@@ -1,0 +1,66 @@
+//! Ablation of the paper's completeness device: the `case` maps that
+//! memoise applications of opaque functions (§3.2, rules AppOpq1/AppCase).
+//!
+//! With case maps disabled the semantics degenerates to the original SCPCF
+//! behaviour: repeated applications of the same unknown function to the same
+//! argument may yield unrelated results, so path conditions are weaker and
+//! some counterexamples are lost or take longer to confirm. The benchmark
+//! measures the analysis of the paper's §2 worked example and of a CPCF
+//! module that calls its functional argument twice, with the device on and
+//! off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpcf::{analyze_source_with, AnalyzeOptions, EvalOptions};
+use spcf::{parse, AnalysisOptions, Engine, StepOptions};
+
+const TWICE: &str = r#"
+(module twice
+  (provide [f (-> (-> integer? integer?) integer?)])
+  (define (f g) (/ 1 (- (g 0) (g 0)))))
+"#;
+
+fn spcf_worked_example() -> spcf::Expr {
+    parse::parse(
+        "((• (-> (-> (-> int int) int int) int))
+          (lambda (g : (-> int int)) (lambda (n : int)
+            (div 1 (- 100 (g n))))))",
+    )
+    .expect("parses")
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_casemap");
+    group.sample_size(10);
+
+    for (label, use_case_maps) in [("with_case_maps", true), ("without_case_maps", false)] {
+        let program = spcf_worked_example();
+        group.bench_function(format!("spcf_worked_example/{label}"), |b| {
+            b.iter(|| {
+                let options = AnalysisOptions {
+                    step: StepOptions { use_case_maps },
+                    ..AnalysisOptions::default()
+                };
+                let mut engine = Engine::with_options(options);
+                engine.analyze(&program)
+            });
+        });
+
+        group.bench_function(format!("cpcf_twice/{label}"), |b| {
+            b.iter(|| {
+                let options = AnalyzeOptions {
+                    eval: EvalOptions {
+                        use_case_maps,
+                        ..EvalOptions::default()
+                    },
+                    ..AnalyzeOptions::default()
+                };
+                analyze_source_with(TWICE, &options).expect("parses")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation of the search budget that replaces the paper's §5.3
+//! "suspect expression" prioritisation in our engine.
+//!
+//! The paper's tool prioritises branches whose innermost contract monitor
+//! guards a concrete module value, cutting a non-terminating search on the
+//! braun-tree benchmark down to two seconds. Our big-step engine bounds the
+//! search with an explicit fuel/branch budget and an unknown-context depth
+//! instead; this benchmark measures how sensitive analysis time is to those
+//! knobs on a deep-precondition program, which is the behaviour the
+//! heuristic was introduced to control.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpcf::{analyze_source_with, AnalyzeOptions, EvalOptions};
+
+const DEEP_PRECONDITION: &str = r#"
+(module deep
+  (struct node (left value right))
+  (provide [tree-value (-> (and/c node? well-formed?) integer?)])
+  (define (well-formed? t)
+    (and (node? t)
+         (integer? (node-value t))
+         (or (null? (node-left t)) (node? (node-left t)))
+         (or (null? (node-right t)) (node? (node-right t)))))
+  (define (tree-value t) (/ 100 (+ 1 (node-value t)))))
+"#;
+
+fn bench_budgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_heuristic");
+    group.sample_size(10);
+    for (label, fuel, havoc_depth) in [
+        ("small_budget", 5_000u64, 1u32),
+        ("default_budget", 30_000, 2),
+        ("large_budget", 120_000, 3),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let options = AnalyzeOptions {
+                    eval: EvalOptions {
+                        fuel,
+                        havoc_depth,
+                        ..EvalOptions::default()
+                    },
+                    ..AnalyzeOptions::default()
+                };
+                analyze_source_with(DEEP_PRECONDITION, &options).expect("parses")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budgets);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks the §5.2 comparison: symbolic counterexample generation versus
+//! QuickCheck-style random testing on the `1/(100 - n)` program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpcf::{analyze_source_with, AnalyzeOptions};
+use randtest::{test_source, RandTestConfig};
+
+const DIV100: &str = r#"
+(module div100
+  (provide [f (-> integer? integer?)])
+  (define (f n) (/ 1 (- 100 n))))
+"#;
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quickcheck_compare");
+    group.sample_size(10);
+    group.bench_function("symbolic_counterexample", |b| {
+        b.iter(|| {
+            let report = analyze_source_with(DIV100, &AnalyzeOptions::default()).expect("parses");
+            assert!(report.first_counterexample().is_some());
+        });
+    });
+    group.bench_function("random_testing_default_range", |b| {
+        b.iter(|| {
+            let result = test_source(
+                DIV100,
+                RandTestConfig {
+                    num_tests: 200,
+                    ..RandTestConfig::default()
+                },
+            )
+            .expect("parses");
+            // With the paper's quoted default range the bug is not found.
+            assert!(!result.found_bug());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark regenerating the "occurrence" group of Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scv_bench::corpus::{group_programs, Group};
+use scv_bench::harness::{run_program, BenchOptions};
+
+fn bench_group(c: &mut Criterion) {
+    // Criterion re-runs each program many times, so use the quick budget and
+    // only the first two programs of the group; the table1 binary covers the
+    // full corpus with the full budget.
+    let programs: Vec<_> = group_programs(Group::Occurrence)
+        .into_iter()
+        .take(2)
+        .collect();
+    let options = BenchOptions::quick();
+    let mut group = c.benchmark_group("table1_occurrence");
+    group.sample_size(10);
+    for program in programs {
+        group.bench_function(program.name, |b| {
+            b.iter(|| run_program(&program, &options));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the paper's Table 1: for every corpus program, analyse the
+//! correct variant (expected: verified) and the erroneous variant (expected:
+//! a validated concrete counterexample), reporting sizes, contract orders
+//! and analysis times.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p scv-bench --bin table1 [--group kobayashi|terauchi|occurrence|games|others]
+//! ```
+
+use scv_bench::corpus::{all_programs, group_programs, Group};
+use scv_bench::harness::{run_all, BenchOptions};
+use scv_bench::report::{render_table, summarize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let group = args
+        .iter()
+        .position(|a| a == "--group")
+        .and_then(|i| args.get(i + 1))
+        .map(|name| match name.as_str() {
+            "kobayashi" => Group::Kobayashi,
+            "terauchi" => Group::Terauchi,
+            "occurrence" => Group::Occurrence,
+            "games" => Group::Games,
+            "others" => Group::Others,
+            other => {
+                eprintln!("unknown group `{other}`");
+                std::process::exit(2);
+            }
+        });
+
+    let programs = match group {
+        Some(group) => group_programs(group),
+        None => all_programs(),
+    };
+    let options = BenchOptions::default();
+    let results = run_all(&programs, &options);
+
+    println!("{}", render_table(&results));
+    println!("{}", summarize(&results));
+}

@@ -1,0 +1,136 @@
+//! The benchmark corpus: one entry per Table 1 program (or program group),
+//! each in a correct and an erroneous variant.
+//!
+//! The programs are ports of the benchmarks the paper evaluates on —
+//! higher-order model checking (Kobayashi et al. 2011), dependent type
+//! inference (Terauchi 2010), occurrence typing (Tobin-Hochstadt & Felleisen
+//! 2010), the soft-contract-verification video games (Nguyễn et al. 2014)
+//! and a set of small programs standing in for the paper's "others" rows.
+//! The erroneous variants are produced the same way the paper produced
+//! theirs: weakening a precondition or omitting a check before a partial
+//! operation (see `diff` notes on each entry).
+
+pub mod games;
+pub mod kobayashi;
+pub mod occurrence;
+pub mod others;
+pub mod terauchi;
+
+/// The benchmark group a program belongs to (one per Table 1 section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Kobayashi et al. 2011 higher-order model checking benchmarks.
+    Kobayashi,
+    /// Terauchi 2010 dependent-type benchmarks.
+    Terauchi,
+    /// Tobin-Hochstadt & Felleisen 2010 occurrence-typing benchmarks.
+    Occurrence,
+    /// Nguyễn et al. 2014 video games.
+    Games,
+    /// Small programs standing in for the paper's "others"/"others-e"/"others-w" rows.
+    Others,
+}
+
+impl Group {
+    /// Human-readable group title, matching the Table 1 section headers.
+    pub fn title(self) -> &'static str {
+        match self {
+            Group::Kobayashi => "Kobayashi et al. 2011 benchmarks",
+            Group::Terauchi => "Terauchi 2010 benchmarks",
+            Group::Occurrence => "Tobin-Hochstadt and Felleisen 2010 benchmarks",
+            Group::Games => "Nguyen et al. 2014 benchmarks (video games)",
+            Group::Others => "Other benchmarks and web submissions",
+        }
+    }
+}
+
+/// One benchmark program in its two variants.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchProgram {
+    /// Program name (the Table 1 row).
+    pub name: &'static str,
+    /// The group it belongs to.
+    pub group: Group,
+    /// The correct variant (the analysis should not find a counterexample).
+    pub correct: &'static str,
+    /// The erroneous variant (the analysis should find a counterexample).
+    pub faulty: &'static str,
+    /// What was changed to introduce the bug (the paper publishes the same
+    /// information as a diff file).
+    pub diff: &'static str,
+    /// Whether the paper itself reports this row as one where no
+    /// counterexample is produced (the "others-w" rows).
+    pub expected_unsolved: bool,
+}
+
+impl BenchProgram {
+    /// Number of non-empty, non-comment source lines of the faulty variant
+    /// (the paper's "Lines" column counts the analysed program).
+    pub fn lines(&self) -> usize {
+        self.faulty
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with(';'))
+            .count()
+    }
+}
+
+/// Every program of the corpus, grouped in Table 1 order.
+pub fn all_programs() -> Vec<BenchProgram> {
+    let mut programs = Vec::new();
+    programs.extend(kobayashi::programs());
+    programs.extend(terauchi::programs());
+    programs.extend(occurrence::programs());
+    programs.extend(games::programs());
+    programs.extend(others::programs());
+    programs
+}
+
+/// The programs of a single group.
+pub fn group_programs(group: Group) -> Vec<BenchProgram> {
+    all_programs().into_iter().filter(|p| p.group == group).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_well_formed() {
+        let programs = all_programs();
+        assert!(programs.len() >= 25, "corpus has {} programs", programs.len());
+        for program in &programs {
+            assert!(!program.name.is_empty());
+            assert!(program.lines() > 0);
+            // Both variants must parse.
+            cpcf::parse_program(program.correct)
+                .unwrap_or_else(|e| panic!("{}: correct variant does not parse: {e}", program.name));
+            cpcf::parse_program(program.faulty)
+                .unwrap_or_else(|e| panic!("{}: faulty variant does not parse: {e}", program.name));
+        }
+    }
+
+    #[test]
+    fn every_group_is_represented() {
+        for group in [
+            Group::Kobayashi,
+            Group::Terauchi,
+            Group::Occurrence,
+            Group::Games,
+            Group::Others,
+        ] {
+            assert!(!group_programs(group).is_empty(), "group {group:?} is empty");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_within_each_group() {
+        // The paper's Table 1 itself has a "mult" row in two groups, so
+        // uniqueness is only required within a group.
+        let programs = all_programs();
+        let mut keys: Vec<(Group, &str)> = programs.iter().map(|p| (p.group, p.name)).collect();
+        keys.sort_by_key(|(g, n)| (format!("{g:?}"), n.to_string()));
+        keys.dedup();
+        assert_eq!(keys.len(), programs.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Abridged ports of the Nguyễn et al. 2014 video-game benchmarks (snake,
+//! tetris, zombie — the largest Table 1 programs). The originals are
+//! 150–270 lines of Racket; these ports keep the data representation
+//! (structs for positions and blocks, and the higher-order message-passing
+//! object encoding of zombie), the contract style (flat predicates checking
+//! structure fields, as the originals do before `struct/c`), and the way the
+//! paper introduced the bugs; the game loops that cannot affect which errors
+//! are reachable are abridged.
+
+use super::{BenchProgram, Group};
+
+/// The programs of this group.
+pub fn programs() -> Vec<BenchProgram> {
+    vec![
+        BenchProgram {
+            name: "snake",
+            group: Group::Games,
+            correct: r#"
+(module snake
+  (struct posn (x y))
+  (struct snake (dir segs))
+  (provide
+    [move-posn (-> posn/c (one-of/c "up" "down" "left" "right") posn?)]
+    [posn-in-board? (-> posn/c integer? integer? boolean?)]
+    [snake-head (-> (and/c snake? nonempty-snake/c) posn?)]
+    [snake-grow (-> (and/c snake? nonempty-snake/c) snake?)])
+  (define (posn/c p) (and (posn? p) (integer? (posn-x p)) (integer? (posn-y p))))
+  (define (nonempty-snake/c s)
+    (and (pair? (snake-segs s)) (posn/c (car (snake-segs s)))))
+  (define (move-posn p dir)
+    (cond [(equal? dir "up") (posn (posn-x p) (+ (posn-y p) 1))]
+          [(equal? dir "down") (posn (posn-x p) (- (posn-y p) 1))]
+          [(equal? dir "left") (posn (- (posn-x p) 1) (posn-y p))]
+          [else (posn (+ (posn-x p) 1) (posn-y p))]))
+  (define (posn-in-board? p w h)
+    (and (>= (posn-x p) 0) (< (posn-x p) w)
+         (>= (posn-y p) 0) (< (posn-y p) h)))
+  (define (snake-head s) (car (snake-segs s)))
+  (define (snake-grow s)
+    (snake (snake-dir s) (cons (snake-head s) (snake-segs s)))))
+"#,
+            faulty: r#"
+(module snake
+  (struct posn (x y))
+  (struct snake (dir segs))
+  (provide
+    [move-posn (-> posn/c (one-of/c "up" "down" "left" "right") posn?)]
+    [posn-in-board? (-> posn/c integer? integer? boolean?)]
+    [snake-head (-> snake? posn?)]
+    [snake-grow (-> snake? snake?)])
+  (define (posn/c p) (and (posn? p) (integer? (posn-x p)) (integer? (posn-y p))))
+  (define (nonempty-snake/c s)
+    (and (pair? (snake-segs s)) (posn/c (car (snake-segs s)))))
+  (define (move-posn p dir)
+    (cond [(equal? dir "up") (posn (posn-x p) (+ (posn-y p) 1))]
+          [(equal? dir "down") (posn (posn-x p) (- (posn-y p) 1))]
+          [(equal? dir "left") (posn (- (posn-x p) 1) (posn-y p))]
+          [else (posn (+ (posn-x p) 1) (posn-y p))]))
+  (define (posn-in-board? p w h)
+    (and (>= (posn-x p) 0) (< (posn-x p) w)
+         (>= (posn-y p) 0) (< (posn-y p) h)))
+  (define (snake-head s) (car (snake-segs s)))
+  (define (snake-grow s)
+    (snake (snake-dir s) (cons (snake-head s) (snake-segs s)))))
+"#,
+            diff: "snake-head and snake-grow's preconditions were weakened from a snake with a non-empty, position-carrying segment list to any snake, so a snake whose segments are empty crashes car",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "tetris",
+            group: Group::Games,
+            correct: r#"
+(module tetris
+  (struct block (x y color))
+  (provide
+    [block/c (-> any/c boolean?)]
+    [block-rotate-cw (-> block/c block/c block/c)]
+    [block-shift (-> block/c integer? integer? block/c)]
+    [blocks-first-x (-> (and/c (listof block/c) pair?) integer?)])
+  (define (block/c b)
+    (and (block? b) (integer? (block-x b)) (integer? (block-y b))))
+  (define (block-rotate-cw c b)
+    (block (+ (block-x c) (- (block-y c) (block-y b)))
+           (+ (block-y c) (- (block-x b) (block-x c)))
+           (block-color b)))
+  (define (block-shift b dx dy)
+    (block (+ (block-x b) dx) (+ (block-y b) dy) (block-color b)))
+  (define (blocks-first-x bs) (block-x (car bs))))
+"#,
+            faulty: r#"
+(module tetris
+  (struct block (x y color))
+  (provide
+    [block/c (-> any/c boolean?)]
+    [block-rotate-cw (-> block/c block/c block/c)]
+    [block-shift (-> block/c integer? integer? block/c)]
+    [blocks-first-x (-> (listof block/c) integer?)])
+  (define (block/c b)
+    (and (block? b) (integer? (block-x b)) (integer? (block-y b))))
+  (define (block-rotate-cw c b)
+    (block (+ (block-x c) (- (block-y c) (block-y b)))
+           (+ (block-y c) (- (block-x b) (block-x c)))
+           (block-color b)))
+  (define (block-shift b dx dy)
+    (block (+ (block-x b) dx) (+ (block-y b) dy) (block-color b)))
+  (define (blocks-first-x bs) (block-x (car bs))))
+"#,
+            diff: "blocks-first-x's precondition was weakened from a non-empty list of blocks to any list of blocks, so the empty list crashes car",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "zombie",
+            group: Group::Games,
+            correct: r#"
+(module zombie
+  (provide
+    [make-posn (-> integer? integer? (-> (one-of/c "x" "y") integer?))]
+    [posn-dist (-> (-> (one-of/c "x" "y") integer?) (-> (one-of/c "x" "y") integer?) integer?)]
+    [first-quadrant? (-> (-> (one-of/c "x" "y") integer?) boolean?)])
+  (define (make-posn x y)
+    (lambda (msg) (if (equal? msg "x") x y)))
+  (define (abs n) (if (< n 0) (- 0 n) n))
+  (define (posn-dist p q)
+    (+ (abs (- (p "x") (q "x"))) (abs (- (p "y") (q "y")))))
+  (define (first-quadrant? p)
+    (and (>= (p "x") 0) (>= (p "y") 0))))
+"#,
+            faulty: r#"
+(module zombie
+  (provide
+    [make-posn (-> integer? integer? (-> (one-of/c "x" "y") integer?))]
+    [posn-dist (-> (-> (one-of/c "x" "y") number?) (-> (one-of/c "x" "y") number?) integer?)]
+    [first-quadrant? (-> (-> (one-of/c "x" "y") number?) boolean?)])
+  (define (make-posn x y)
+    (lambda (msg) (if (equal? msg "x") x y)))
+  (define (abs n) (if (< n 0) (- 0 n) n))
+  (define (posn-dist p q)
+    (+ (abs (- (p "x") (q "x"))) (abs (- (p "y") (q "y")))))
+  (define (first-quadrant? p)
+    (and (>= (p "x") 0) (>= (p "y") 0))))
+"#,
+            diff: "the message-passing position interface now only promises number? (not integer?) for its answers, so a conforming object can answer with a complex number and crash the comparison — the paper's §5.2 object-encoding counterexample",
+            expected_unsolved: false,
+        },
+    ]
+}

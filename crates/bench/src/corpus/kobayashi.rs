@@ -1,0 +1,319 @@
+//! Ports of the Kobayashi et al. 2011 higher-order model-checking
+//! benchmarks (the first Table 1 group).
+
+use super::{BenchProgram, Group};
+
+/// The programs of this group.
+pub fn programs() -> Vec<BenchProgram> {
+    vec![
+        BenchProgram {
+            name: "fhnhn",
+            group: Group::Kobayashi,
+            correct: r#"
+(module fhnhn
+  (provide [main (-> integer? integer?)])
+  (define (check x) (if (>= x 0) x (error "negative")))
+  (define (h y) (lambda (z) (check (+ y z))))
+  (define (main n) ((h (if (< n 0) (- 0 n) n)) 0)))
+"#,
+            faulty: r#"
+(module fhnhn
+  (provide [main (-> integer? integer?)])
+  (define (check x) (if (>= x 0) x (error "negative")))
+  (define (h y) (lambda (z) (check (+ y z))))
+  (define (main n) ((h n) 0)))
+"#,
+            diff: "dropped the absolute-value guard on the argument of h",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "fold-div",
+            group: Group::Kobayashi,
+            correct: r#"
+(module fold-div
+  (provide [main (-> (listof integer?) integer?)])
+  (define (foldl f acc xs)
+    (if (null? xs) acc (foldl f (f acc (car xs)) (cdr xs))))
+  (define (main xs)
+    (foldl (lambda (a x) (/ a (if (zero? x) 1 x))) 100 xs)))
+"#,
+            faulty: r#"
+(module fold-div
+  (provide [main (-> (listof integer?) integer?)])
+  (define (foldl f acc xs)
+    (if (null? xs) acc (foldl f (f acc (car xs)) (cdr xs))))
+  (define (main xs)
+    (foldl (lambda (a x) (/ a x)) 100 xs)))
+"#,
+            diff: "removed the zero? guard on the divisor inside the folded function",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "fold-fun-list",
+            group: Group::Kobayashi,
+            correct: r#"
+(module fold-fun-list
+  (provide [main (-> (listof (-> integer? integer?)) integer? integer?)])
+  (define (compose-all fs x)
+    (if (null? fs) x (compose-all (cdr fs) ((car fs) x))))
+  (define (main fs n)
+    (let ([r (compose-all fs n)])
+      (/ 100 (if (zero? r) 1 r)))))
+"#,
+            faulty: r#"
+(module fold-fun-list
+  (provide [main (-> (listof (-> integer? integer?)) integer? integer?)])
+  (define (compose-all fs x)
+    (if (null? fs) x (compose-all (cdr fs) ((car fs) x))))
+  (define (main fs n)
+    (/ 100 (compose-all fs n))))
+"#,
+            diff: "removed the zero? guard on the composed result before dividing",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "hors",
+            group: Group::Kobayashi,
+            correct: r#"
+(module hors
+  (provide [main (-> integer? integer?)])
+  (define (twice f x) (f (f x)))
+  (define (check x) (if (>= x 0) x (error "negative")))
+  (define (main n) (twice check (if (< n 0) 0 n))))
+"#,
+            faulty: r#"
+(module hors
+  (provide [main (-> integer? integer?)])
+  (define (twice f x) (f (f x)))
+  (define (check x) (if (>= x 0) x (error "negative")))
+  (define (main n) (twice check n)))
+"#,
+            diff: "dropped the clamp of negative inputs before the checked recursion",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "hrec",
+            group: Group::Kobayashi,
+            correct: r#"
+(module hrec
+  (provide [main (-> integer? integer?)])
+  (define (check x) (if (>= x 0) x (error "negative")))
+  (define (walk n) (if (<= n 0) (check 0) (walk (- n 1))))
+  (define (main n) (walk n)))
+"#,
+            faulty: r#"
+(module hrec
+  (provide [main (-> integer? integer?)])
+  (define (check x) (if (>= x 0) x (error "negative")))
+  (define (walk n) (if (<= n 0) (check n) (walk (- n 1))))
+  (define (main n) (walk n)))
+"#,
+            diff: "the base case checks the raw argument instead of the clamped value",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "intro1",
+            group: Group::Kobayashi,
+            correct: r#"
+(module intro1
+  (provide [main (-> integer? integer?)])
+  (define (main n) (if (zero? n) 0 (/ 100 n))))
+"#,
+            faulty: r#"
+(module intro1
+  (provide [main (-> integer? integer?)])
+  (define (main n) (/ 100 n)))
+"#,
+            diff: "removed the zero? guard on the divisor",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "intro2",
+            group: Group::Kobayashi,
+            correct: r#"
+(module intro2
+  (provide [main (-> integer? integer?)])
+  (define (main n) (/ 100 (+ 1 (if (< n 0) (- 0 n) n)))))
+"#,
+            faulty: r#"
+(module intro2
+  (provide [main (-> integer? integer?)])
+  (define (main n) (/ 100 (+ 1 n))))
+"#,
+            diff: "the denominator is no longer 1 plus an absolute value, so n = -1 crashes",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "intro3",
+            group: Group::Kobayashi,
+            correct: r#"
+(module intro3
+  (provide [main (-> integer? integer?)])
+  (define (abs n) (if (< n 0) (- 0 n) n))
+  (define (main n) (begin (assert (>= (+ (abs n) 1) 1)) 0)))
+"#,
+            faulty: r#"
+(module intro3
+  (provide [main (-> integer? integer?)])
+  (define (abs n) (if (< n 0) (- 0 n) n))
+  (define (main n) (begin (assert (>= n 0)) 0)))
+"#,
+            diff: "the assertion is about the raw input instead of the derived non-negative value",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "isnil",
+            group: Group::Kobayashi,
+            correct: r#"
+(module isnil
+  (provide [head (-> (and/c (listof integer?) pair?) integer?)])
+  (define (head xs) (car xs)))
+"#,
+            faulty: r#"
+(module isnil
+  (provide [head (-> (listof integer?) integer?)])
+  (define (head xs) (car xs)))
+"#,
+            diff: "weakened the precondition from non-empty list to any list",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "max",
+            group: Group::Kobayashi,
+            correct: r#"
+(module maxbench
+  (provide [main (-> integer? integer? integer?)])
+  (define (mymax a b) (if (< a b) b a))
+  (define (main a b) (begin (assert (>= (mymax a b) a)) (mymax a b))))
+"#,
+            faulty: r#"
+(module maxbench
+  (provide [main (-> integer? integer? integer?)])
+  (define (mymax a b) (if (< a b) b a))
+  (define (main a b) (begin (assert (> (mymax a b) a)) (mymax a b))))
+"#,
+            diff: "strengthened >= to > in the assertion, which fails when a = max",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "mem",
+            group: Group::Kobayashi,
+            correct: r#"
+(module mem
+  (provide [main (-> integer? (listof integer?) integer?)])
+  (define (mem? x xs)
+    (if (null? xs) #f (if (= x (car xs)) #t (mem? x (cdr xs)))))
+  (define (main x xs) (if (pair? xs) (car xs) 0)))
+"#,
+            faulty: r#"
+(module mem
+  (provide [main (-> integer? (listof integer?) integer?)])
+  (define (mem? x xs)
+    (if (null? xs) #f (if (= x (car xs)) #t (mem? x (cdr xs)))))
+  (define (main x xs) (car xs)))
+"#,
+            diff: "removed the pair? guard before taking the head of the list",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "mult",
+            group: Group::Kobayashi,
+            correct: r#"
+(module multk
+  (provide [main (-> integer? integer? integer?)])
+  (define (mult x y) (if (or (<= x 0) (<= y 0)) 0 (+ x (mult x (- y 1)))))
+  (define (main x y) (if (<= x 0) 0 (/ 100 x))))
+"#,
+            faulty: r#"
+(module multk
+  (provide [main (-> integer? integer? integer?)])
+  (define (mult x y) (if (or (<= x 0) (<= y 0)) 0 (+ x (mult x (- y 1)))))
+  (define (main x y) (if (< x 0) 0 (/ 100 x))))
+"#,
+            diff: "the guard excludes negative divisors but no longer zero",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "nth0",
+            group: Group::Kobayashi,
+            correct: r#"
+(module nth0
+  (provide [main (-> (and/c (listof integer?) pair?) integer?)])
+  (define (nth n xs) (if (zero? n) (car xs) (nth (- n 1) (cdr xs))))
+  (define (main xs) (nth 0 xs)))
+"#,
+            faulty: r#"
+(module nth0
+  (provide [main (-> (and/c (listof integer?) pair?) integer?)])
+  (define (nth n xs) (if (zero? n) (car xs) (nth (- n 1) (cdr xs))))
+  (define (main xs) (nth 1 xs)))
+"#,
+            diff: "asks for the second element of a list only known to be non-empty",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "r-file",
+            group: Group::Kobayashi,
+            correct: r#"
+(module r-file
+  (provide [main (-> integer? integer?)])
+  (define st (box 0))
+  (define (fopen) (begin (assert (zero? (unbox st))) (set-box! st 1)))
+  (define (fread) (begin (assert (= (unbox st) 1)) 7))
+  (define (fclose) (begin (assert (= (unbox st) 1)) (set-box! st 0)))
+  (define (main n) (begin (fopen) (fread) (fclose) 0)))
+"#,
+            faulty: r#"
+(module r-file
+  (provide [main (-> integer? integer?)])
+  (define st (box 0))
+  (define (fopen) (begin (assert (zero? (unbox st))) (set-box! st 1)))
+  (define (fread) (begin (assert (= (unbox st) 1)) 7))
+  (define (fclose) (begin (assert (= (unbox st) 1)) (set-box! st 0)))
+  (define (main n) (begin (fread) (fclose) 0)))
+"#,
+            diff: "reads from the file before opening it",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "r-lock",
+            group: Group::Kobayashi,
+            correct: r#"
+(module r-lock
+  (provide [main (-> integer? integer?)])
+  (define lock (box 0))
+  (define (acquire) (begin (assert (zero? (unbox lock))) (set-box! lock 1)))
+  (define (release) (begin (assert (= (unbox lock) 1)) (set-box! lock 0)))
+  (define (main n) (begin (acquire) (release) 0)))
+"#,
+            faulty: r#"
+(module r-lock
+  (provide [main (-> integer? integer?)])
+  (define lock (box 0))
+  (define (acquire) (begin (assert (zero? (unbox lock))) (set-box! lock 1)))
+  (define (release) (begin (assert (= (unbox lock) 1)) (set-box! lock 0)))
+  (define (main n) (begin (acquire) (acquire) 0)))
+"#,
+            diff: "acquires the lock twice without releasing",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "reverse",
+            group: Group::Kobayashi,
+            correct: r#"
+(module reverse
+  (provide [main (-> (listof integer?) (listof integer?))])
+  (define (rev acc xs) (if (null? xs) acc (rev (cons (car xs) acc) (cdr xs))))
+  (define (main xs) (rev '() xs)))
+"#,
+            faulty: r#"
+(module reverse
+  (provide [main (-> (listof integer?) integer?)])
+  (define (rev acc xs) (if (null? xs) acc (rev (cons (car xs) acc) (cdr xs))))
+  (define (main xs) (car (rev '() xs))))
+"#,
+            diff: "takes the head of the reversed list, which is empty when the input is empty",
+            expected_unsolved: false,
+        },
+    ]
+}

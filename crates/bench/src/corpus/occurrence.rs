@@ -1,0 +1,38 @@
+//! Ports of the Tobin-Hochstadt & Felleisen 2010 occurrence-typing
+//! benchmarks (the third Table 1 group). The paper aggregates 14 small
+//! dynamically-typed modules into one row; we do the same with a module
+//! exporting several occurrence-typed functions.
+
+use super::{BenchProgram, Group};
+
+/// The programs of this group.
+pub fn programs() -> Vec<BenchProgram> {
+    vec![BenchProgram {
+        name: "occurrence",
+        group: Group::Occurrence,
+        correct: r#"
+(module occurrence
+  (provide [succ-or-len (-> (or/c integer? string?) integer?)]
+           [safe-inc (-> any/c integer?)]
+           [bool-to-int (-> (or/c integer? boolean?) integer?)]
+           [first-or-zero (-> any/c integer?)])
+  (define (succ-or-len x) (if (integer? x) (+ x 1) (string-length x)))
+  (define (safe-inc x) (if (integer? x) (+ x 1) 0))
+  (define (bool-to-int x) (if (integer? x) x (if x 1 0)))
+  (define (first-or-zero x) (if (pair? x) (if (integer? (car x)) (car x) 0) 0)))
+"#,
+        faulty: r#"
+(module occurrence
+  (provide [succ-or-len (-> (or/c integer? string?) integer?)]
+           [safe-inc (-> any/c integer?)]
+           [bool-to-int (-> (or/c integer? boolean?) integer?)]
+           [first-or-zero (-> any/c integer?)])
+  (define (succ-or-len x) (if (integer? x) (+ x 1) (string-length x)))
+  (define (safe-inc x) (+ x 1))
+  (define (bool-to-int x) (if (integer? x) x (if x 1 0)))
+  (define (first-or-zero x) (if (pair? x) (if (integer? (car x)) (car x) 0) 0)))
+"#,
+        diff: "safe-inc no longer tests integer? before adding, so any non-number input crashes it",
+        expected_unsolved: false,
+    }]
+}

@@ -1,0 +1,177 @@
+//! Programs standing in for the paper's "others", "others-e" and "others-w"
+//! rows: the paper's own small benchmarks plus anonymous web submissions.
+//! The web submissions are not published, so these are synthetic programs
+//! with the properties the paper reports (2–51 lines, contract order ≤ 3;
+//! five programs — the "-w" rows — defeat counterexample generation because
+//! of numeric-tower/solver limitations, and the paper's own example of that
+//! failure, `1/(1+n²)` under an `integer? → integer?` contract, is included
+//! verbatim).
+
+use super::{BenchProgram, Group};
+
+/// The programs of this group.
+pub fn programs() -> Vec<BenchProgram> {
+    vec![
+        BenchProgram {
+            name: "argmin",
+            group: Group::Others,
+            correct: r#"
+(module argmin
+  (provide [argmin (-> (-> any/c integer?) (and/c (listof integer?) pair?) any/c)])
+  (define (argmin/acc f b a xs)
+    (cond [(null? xs) a]
+          [(< b (f (car xs))) (argmin/acc f a b (cdr xs))]
+          [else (argmin/acc f (car xs) (f (car xs)) (cdr xs))]))
+  (define (argmin f xs)
+    (argmin/acc f (car xs) (f (car xs)) (cdr xs))))
+"#,
+            faulty: r#"
+(module argmin
+  (provide [argmin (-> (-> any/c number?) (and/c (listof integer?) pair?) any/c)])
+  (define (argmin/acc f b a xs)
+    (cond [(null? xs) a]
+          [(< b (f (car xs))) (argmin/acc f a b (cdr xs))]
+          [else (argmin/acc f (car xs) (f (car xs)) (cdr xs))]))
+  (define (argmin f xs)
+    (argmin/acc f (car xs) (f (car xs)) (cdr xs))))
+"#,
+            diff: "the key function's contract promises number? instead of integer?; number? accepts complex numbers, which < rejects — the paper's §5.2 argmin counterexample",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "first-quadrant",
+            group: Group::Others,
+            correct: r#"
+(module first-quadrant
+  (provide [first-quadrant? (-> (-> (one-of/c "x" "y") integer?) boolean?)])
+  (define (first-quadrant? p)
+    (and (>= (p "x") 0) (>= (p "y") 0))))
+"#,
+            faulty: r#"
+(module first-quadrant
+  (provide [first-quadrant? (-> (-> (one-of/c "x" "y") number?) boolean?)])
+  (define (first-quadrant? p)
+    (and (>= (p "x") 0) (>= (p "y") 0))))
+"#,
+            diff: "the posn/c-style interface answers number? instead of integer?; a conforming implementation answering 0+1i crashes the comparison (the paper's §5.2 example)",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "braun-tree",
+            group: Group::Others,
+            correct: r#"
+(module braun-tree
+  (struct node (left value right))
+  (provide [tree-value (-> (and/c node? well-formed?) integer?)])
+  (define (well-formed? t) (and (node? t) (integer? (node-value t))))
+  (define (tree-value t) (node-value t)))
+"#,
+            faulty: r#"
+(module braun-tree
+  (struct node (left value right))
+  (provide [tree-value (-> any/c integer?)])
+  (define (well-formed? t) (and (node? t) (integer? (node-value t))))
+  (define (tree-value t) (node-value t)))
+"#,
+            diff: "the deep precondition on the tree was dropped entirely, so a non-node input crashes the accessor",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "last-pair",
+            group: Group::Others,
+            correct: r#"
+(module last-pair
+  (provide [last (-> (and/c (listof integer?) pair?) integer?)])
+  (define (last xs)
+    (if (null? (cdr xs)) (car xs) (last (cdr xs)))))
+"#,
+            faulty: r#"
+(module last-pair
+  (provide [last (-> (listof integer?) integer?)])
+  (define (last xs)
+    (if (null? (cdr xs)) (car xs) (last (cdr xs)))))
+"#,
+            diff: "weakened the precondition to allow the empty list, whose cdr is an error",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "abs-div",
+            group: Group::Others,
+            correct: r#"
+(module abs-div
+  (provide [f (-> integer? integer? integer?)])
+  (define (abs n) (if (< n 0) (- 0 n) n))
+  (define (f a b) (/ a (+ 1 (abs b)))))
+"#,
+            faulty: r#"
+(module abs-div
+  (provide [f (-> integer? integer? integer?)])
+  (define (abs n) (if (< n 0) (- 0 n) n))
+  (define (f a b) (/ a (+ 1 b))))
+"#,
+            diff: "the denominator is no longer 1 plus an absolute value, so b = -1 divides by zero",
+            expected_unsolved: false,
+        },
+        BenchProgram {
+            name: "filter-pos",
+            group: Group::Others,
+            correct: r#"
+(module filter-pos
+  (provide [keep-pos (-> (listof integer?) (listof integer?))])
+  (define (keep-pos xs)
+    (if (null? xs)
+        '()
+        (if (> (car xs) 0)
+            (cons (car xs) (keep-pos (cdr xs)))
+            (keep-pos (cdr xs))))))
+"#,
+            faulty: r#"
+(module filter-pos
+  (provide [biggest-pos (-> (listof integer?) integer?)])
+  (define (keep-pos xs)
+    (if (null? xs)
+        '()
+        (if (> (car xs) 0)
+            (cons (car xs) (keep-pos (cdr xs)))
+            (keep-pos (cdr xs)))))
+  (define (biggest-pos xs) (car (keep-pos xs))))
+"#,
+            diff: "the new export takes the head of the filtered list, which is empty whenever no element is positive",
+            expected_unsolved: false,
+        },
+        // --- the "others-w" style rows: probable violations the tool cannot
+        // --- confirm with a counterexample (solver limitation, as in §5.3).
+        BenchProgram {
+            name: "w-square-div",
+            group: Group::Others,
+            correct: r#"
+(module w-square-div
+  (provide [f (-> integer? integer?)])
+  (define (f n) (if (zero? n) 1 (/ 1 n))))
+"#,
+            faulty: r#"
+(module w-square-div
+  (provide [f (-> integer? integer?)])
+  (define (f n) (/ 1 (+ 1 (* n n)))))
+"#,
+            diff: "the paper's own hard case: under an integer?→integer? contract the result of 1/(1+n²) need not be an integer, but the solver cannot produce a model for the non-integrality constraint",
+            expected_unsolved: true,
+        },
+        BenchProgram {
+            name: "w-nonlinear",
+            group: Group::Others,
+            correct: r#"
+(module w-nonlinear
+  (provide [f (-> integer? integer?)])
+  (define (f n) (+ (* n n) 1)))
+"#,
+            faulty: r#"
+(module w-nonlinear
+  (provide [f (-> integer? integer?)])
+  (define (f n) (/ 100 (- (* n n) 2))))
+"#,
+            diff: "the divisor n² − 2 is never zero over the integers, so the symbolically reachable error has no model; the tool must report a probable (unconfirmed) violation rather than a counterexample",
+            expected_unsolved: true,
+        },
+    ]
+}

@@ -1,0 +1,253 @@
+//! Running the analysis on corpus programs and collecting Table 1 rows.
+
+use std::time::Instant;
+
+use cpcf::{analyze_module, AnalyzeOptions, EvalOptions, Expr, ExportAnalysis};
+use serde::Serialize;
+
+use crate::corpus::{BenchProgram, Group};
+
+/// Options for a harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Options handed to the analyzer.
+    pub analyze: AnalyzeOptions,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            analyze: AnalyzeOptions {
+                eval: EvalOptions {
+                    fuel: 3_000,
+                    max_branches: 32,
+                    havoc_depth: 2,
+                    ..EvalOptions::default()
+                },
+                validate: true,
+                context_depth: 2,
+            },
+        }
+    }
+}
+
+/// The aggregate verdict for one program variant (all of its exports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// Every export verified.
+    Verified,
+    /// Some export has a validated concrete counterexample.
+    Counterexample,
+    /// Some export has an unconfirmed (probable) violation and none has a
+    /// confirmed counterexample.
+    ProbableError,
+    /// The budget ran out before anything conclusive was found.
+    Exhausted,
+    /// The program failed to parse (a harness bug, not a benchmark result).
+    ParseError,
+}
+
+impl Verdict {
+    /// Short marker used in the rendered table.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Verdict::Verified => "ok",
+            Verdict::Counterexample => "cex",
+            Verdict::ProbableError => "probable",
+            Verdict::Exhausted => "budget",
+            Verdict::ParseError => "parse!",
+        }
+    }
+}
+
+/// The Table 1 row produced for one corpus program.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProgramResult {
+    /// Program name.
+    pub name: String,
+    /// Group title.
+    pub group: String,
+    /// Source lines of the analysed (faulty) variant.
+    pub lines: usize,
+    /// Highest contract order among the exports.
+    pub order: u32,
+    /// Verdict on the correct variant (expected: `Verified`).
+    pub correct_verdict: Verdict,
+    /// Analysis time for the correct variant, in milliseconds.
+    pub correct_ms: u128,
+    /// Verdict on the faulty variant (expected: `Counterexample`, or
+    /// `ProbableError` for the `*`-marked rows).
+    pub faulty_verdict: Verdict,
+    /// Analysis time for the faulty variant, in milliseconds.
+    pub faulty_ms: u128,
+    /// True for rows the paper itself reports as unsolved ("others-w").
+    pub expected_unsolved: bool,
+}
+
+impl ProgramResult {
+    /// True if the row behaves as the paper's evaluation expects: the
+    /// correct variant produces no counterexample and the faulty variant
+    /// produces one (or, for the `*` rows, a probable violation).
+    pub fn matches_expectation(&self) -> bool {
+        let correct_ok = self.correct_verdict != Verdict::Counterexample
+            && self.correct_verdict != Verdict::ParseError;
+        let faulty_ok = if self.expected_unsolved {
+            matches!(self.faulty_verdict, Verdict::ProbableError | Verdict::Exhausted)
+        } else {
+            self.faulty_verdict == Verdict::Counterexample
+        };
+        correct_ok && faulty_ok
+    }
+}
+
+/// The contract order of an export's contract expression (the paper's
+/// "Order" column: `int → int` is order 1, `(int → int) → int` order 2, …).
+pub fn contract_order(contract: &Expr) -> u32 {
+    match contract {
+        Expr::CArrow(doms, rng) => {
+            let dom_order = doms.iter().map(contract_order).max().unwrap_or(0) + 1;
+            dom_order.max(contract_order(rng))
+        }
+        Expr::CAnd(parts) | Expr::COr(parts) | Expr::COneOf(parts) => {
+            parts.iter().map(contract_order).max().unwrap_or(0)
+        }
+        Expr::CCons(a, b) => contract_order(a).max(contract_order(b)),
+        Expr::CListOf(inner) => contract_order(inner),
+        _ => 0,
+    }
+}
+
+fn analyze_variant(source: &str, options: &BenchOptions) -> (Verdict, u128, u32) {
+    let start = Instant::now();
+    let Ok((program, _)) = cpcf::parse_program(source) else {
+        return (Verdict::ParseError, 0, 0);
+    };
+    let module_name = program
+        .modules
+        .last()
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| "main".to_string());
+    let order = program
+        .module(&module_name)
+        .map(|m| {
+            m.provides
+                .iter()
+                .map(|p| contract_order(&p.contract))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    let report = analyze_module(&program, &module_name, &options.analyze);
+    let elapsed = start.elapsed().as_millis();
+    let mut verdict = Verdict::Verified;
+    for (_, export) in &report.exports {
+        match export {
+            ExportAnalysis::Counterexample(_) => {
+                verdict = Verdict::Counterexample;
+                break;
+            }
+            ExportAnalysis::ProbableError(_) => verdict = Verdict::ProbableError,
+            ExportAnalysis::Exhausted => {
+                if verdict == Verdict::Verified {
+                    verdict = Verdict::Exhausted;
+                }
+            }
+            ExportAnalysis::Verified => {}
+        }
+    }
+    (verdict, elapsed, order)
+}
+
+impl BenchOptions {
+    /// A drastically reduced budget for micro-benchmarking (Criterion) runs,
+    /// where each program is analysed many times: deep enough to find the
+    /// shallow bugs, small enough that a single run takes milliseconds.
+    pub fn quick() -> Self {
+        BenchOptions {
+            analyze: AnalyzeOptions {
+                eval: EvalOptions {
+                    fuel: 800,
+                    max_branches: 16,
+                    havoc_depth: 1,
+                    ..EvalOptions::default()
+                },
+                validate: true,
+                context_depth: 1,
+            },
+        }
+    }
+}
+
+/// Runs both variants of a corpus program.
+pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramResult {
+    eprintln!("[table1] analysing {} ...", program.name);
+    let (correct_verdict, correct_ms, order) = analyze_variant(program.correct, options);
+    let (faulty_verdict, faulty_ms, faulty_order) = analyze_variant(program.faulty, options);
+    eprintln!(
+        "[table1]   {}: correct {:?} in {} ms, faulty {:?} in {} ms",
+        program.name, correct_verdict, correct_ms, faulty_verdict, faulty_ms
+    );
+    ProgramResult {
+        name: program.name.to_string(),
+        group: program.group.title().to_string(),
+        lines: program.lines(),
+        order: order.max(faulty_order),
+        correct_verdict,
+        correct_ms,
+        faulty_verdict,
+        faulty_ms,
+        expected_unsolved: program.expected_unsolved,
+    }
+}
+
+/// Runs a list of programs.
+pub fn run_all(programs: &[BenchProgram], options: &BenchOptions) -> Vec<ProgramResult> {
+    programs.iter().map(|p| run_program(p, options)).collect()
+}
+
+/// Runs every program of a group.
+pub fn run_group(group: Group, options: &BenchOptions) -> Vec<ProgramResult> {
+    run_all(&crate::corpus::group_programs(group), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::group_programs;
+
+    #[test]
+    fn contract_order_matches_paper_convention() {
+        let first = cpcf::parse_expr("(-> integer? integer?)").expect("parses");
+        assert_eq!(contract_order(&first), 1);
+        let second = cpcf::parse_expr("(-> (-> integer? integer?) integer?)").expect("parses");
+        assert_eq!(contract_order(&second), 2);
+        let third =
+            cpcf::parse_expr("(-> (-> (-> integer? integer?) integer?) integer?)").expect("parses");
+        assert_eq!(contract_order(&third), 3);
+        let flat = cpcf::parse_expr("(and/c integer? pair?)").expect("parses");
+        assert_eq!(contract_order(&flat), 0);
+    }
+
+    #[test]
+    fn intro1_row_matches_the_paper_shape() {
+        let program = group_programs(crate::corpus::Group::Kobayashi)
+            .into_iter()
+            .find(|p| p.name == "intro1")
+            .expect("intro1 exists");
+        let result = run_program(&program, &BenchOptions::default());
+        assert_eq!(result.correct_verdict, Verdict::Verified);
+        assert_eq!(result.faulty_verdict, Verdict::Counterexample);
+        assert!(result.matches_expectation());
+    }
+
+    #[test]
+    fn unsolved_rows_report_probable_errors() {
+        let program = group_programs(crate::corpus::Group::Others)
+            .into_iter()
+            .find(|p| p.name == "w-square-div")
+            .expect("w-square-div exists");
+        let result = run_program(&program, &BenchOptions::default());
+        assert!(result.expected_unsolved);
+        assert_ne!(result.faulty_verdict, Verdict::ParseError);
+    }
+}

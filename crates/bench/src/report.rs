@@ -1,0 +1,95 @@
+//! Rendering harness results in the shape of the paper's Table 1.
+
+use std::fmt::Write as _;
+
+use crate::harness::{ProgramResult, Verdict};
+
+/// Renders results as a text table with the same columns as Table 1:
+/// program, lines, order, time to analyse the correct variant, time to
+/// refute the incorrect variant. Cells show the verdict marker when the
+/// outcome is not the expected one (so "probable"/"budget" stand out the
+/// way the paper's `*` rows do).
+pub fn render_table(results: &[ProgramResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>6} {:>16} {:>18}",
+        "Program", "Lines", "Order", "Correct (ms)", "Incorrect (ms)"
+    );
+    let mut current_group = None;
+    for result in results {
+        if current_group != Some(&result.group) {
+            let _ = writeln!(out, "--- {}", result.group);
+            current_group = Some(&result.group);
+        }
+        let correct_cell = match result.correct_verdict {
+            Verdict::Verified => format!("{}", result.correct_ms),
+            other => format!("{} ({})", result.correct_ms, other.marker()),
+        };
+        let faulty_cell = match result.faulty_verdict {
+            Verdict::Counterexample => format!("{}", result.faulty_ms),
+            other if result.expected_unsolved => format!("{} ({})*", result.faulty_ms, other.marker()),
+            other => format!("{} ({})", result.faulty_ms, other.marker()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>16} {:>18}",
+            result.name, result.lines, result.order, correct_cell, faulty_cell
+        );
+    }
+    out
+}
+
+/// A short summary: how many rows match the paper's expectation.
+pub fn summarize(results: &[ProgramResult]) -> String {
+    let total = results.len();
+    let matching = results.iter().filter(|r| r.matches_expectation()).count();
+    let counterexamples = results
+        .iter()
+        .filter(|r| r.faulty_verdict == Verdict::Counterexample)
+        .count();
+    let verified = results
+        .iter()
+        .filter(|r| r.correct_verdict == Verdict::Verified)
+        .count();
+    format!(
+        "{matching}/{total} rows match the paper's expectation \
+         ({verified} correct variants verified, {counterexamples} faulty variants refuted \
+         with validated concrete counterexamples)"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, verdict: Verdict) -> ProgramResult {
+        ProgramResult {
+            name: name.to_string(),
+            group: "G".to_string(),
+            lines: 10,
+            order: 1,
+            correct_verdict: Verdict::Verified,
+            correct_ms: 5,
+            faulty_verdict: verdict,
+            faulty_ms: 7,
+            expected_unsolved: false,
+        }
+    }
+
+    #[test]
+    fn table_contains_rows_and_headers() {
+        let rows = vec![sample("a", Verdict::Counterexample), sample("b", Verdict::ProbableError)];
+        let table = render_table(&rows);
+        assert!(table.contains("Program"));
+        assert!(table.contains("a"));
+        assert!(table.contains("probable"));
+    }
+
+    #[test]
+    fn summary_counts_expectations() {
+        let rows = vec![sample("a", Verdict::Counterexample), sample("b", Verdict::ProbableError)];
+        let summary = summarize(&rows);
+        assert!(summary.starts_with("1/2"));
+    }
+}

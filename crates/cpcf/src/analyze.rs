@@ -1,0 +1,553 @@
+//! The analysis driver: soft contract verification with counterexamples.
+//!
+//! For every contracted export of a module, the analyzer synthesizes the
+//! most general unknown context allowed by the contract — opaque arguments
+//! for every `->` domain, iterated when the range is itself a function
+//! contract — and runs the symbolic evaluator. Errors blamed on the module
+//! are candidate violations; for each one the heap's model is used to
+//! reconstruct concrete inputs, the program is re-run concretely, and only a
+//! confirmed blame is reported as a counterexample (otherwise the export is
+//! flagged as a *probable* violation, exactly like the paper's tool when the
+//! solver cannot produce a model).
+
+use std::collections::HashMap;
+
+use crate::cex::{reconstruct_bindings, Counterexample};
+use crate::eval::{eval, Ctx, EvalOptions, Outcome};
+use crate::heap::{empty_env, Heap};
+use crate::syntax::{CBlame, Expr, Label, Module, Program, Provide};
+
+/// The blame party used for the synthesized unknown context.
+pub const CONTEXT_PARTY: &str = "context";
+
+/// Options controlling an analysis run.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Evaluator options (fuel, branching, case maps, havoc depth).
+    pub eval: EvalOptions,
+    /// Re-run counterexamples concretely before reporting them.
+    pub validate: bool,
+    /// How many nested `->` ranges the synthesized context applies.
+    pub context_depth: u32,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            eval: EvalOptions::default(),
+            validate: true,
+            context_depth: 3,
+        }
+    }
+}
+
+/// The verdict for a single contracted export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExportAnalysis {
+    /// No error blamed on the module is reachable within the budget, and the
+    /// whole (finite) interaction space was explored.
+    Verified,
+    /// A confirmed, concrete counterexample.
+    Counterexample(Counterexample),
+    /// An error was reached symbolically but no concrete counterexample
+    /// could be confirmed.
+    ProbableError(CBlame),
+    /// The evaluation budget was exhausted before the space was covered.
+    Exhausted,
+}
+
+impl ExportAnalysis {
+    /// True if the export was verified.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, ExportAnalysis::Verified)
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            ExportAnalysis::Counterexample(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// The analysis report for one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleReport {
+    /// The analysed module.
+    pub module: String,
+    /// Per-export verdicts.
+    pub exports: Vec<(String, ExportAnalysis)>,
+}
+
+impl ModuleReport {
+    /// True if every export was verified.
+    pub fn all_verified(&self) -> bool {
+        self.exports.iter().all(|(_, a)| a.is_verified())
+    }
+
+    /// The first counterexample found, if any.
+    pub fn first_counterexample(&self) -> Option<&Counterexample> {
+        self.exports.iter().find_map(|(_, a)| a.counterexample())
+    }
+}
+
+/// Analyzes the last module of the program with default options.
+pub fn analyze(program: &Program) -> ModuleReport {
+    let name = program
+        .modules
+        .last()
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| "main".to_string());
+    analyze_module(program, &name, &AnalyzeOptions::default())
+}
+
+/// Analyzes the named module.
+pub fn analyze_module(program: &Program, module_name: &str, options: &AnalyzeOptions) -> ModuleReport {
+    let Some(module) = program.module(module_name) else {
+        return ModuleReport {
+            module: module_name.to_string(),
+            exports: Vec::new(),
+        };
+    };
+    let exports = module
+        .provides
+        .iter()
+        .map(|provide| {
+            let verdict = analyze_export(program, module, provide, options);
+            (provide.name.clone(), verdict)
+        })
+        .collect();
+    ModuleReport {
+        module: module_name.to_string(),
+        exports,
+    }
+}
+
+/// Builds a fresh context and global heap with every module's definitions
+/// loaded. Returns `None` if a definition itself fails to evaluate.
+fn load_globals(program: &Program, options: &AnalyzeOptions) -> Option<(Ctx, Heap)> {
+    let mut ctx = Ctx::new(options.eval);
+    for module in &program.modules {
+        for def in &module.structs {
+            ctx.structs.insert(def.name.clone(), def.clone());
+        }
+    }
+    let mut heap = Heap::new();
+    let env = empty_env();
+    for module in &program.modules {
+        for definition in &module.definitions {
+            let outcomes = eval(&mut ctx, &env, &module.name, &definition.body, &heap);
+            let (loc, new_heap) = outcomes.into_iter().find_map(|(outcome, h)| match outcome {
+                Outcome::Val(loc) => Some((loc, h)),
+                _ => None,
+            })?;
+            heap = new_heap;
+            ctx.globals.insert(definition.name.clone(), loc);
+        }
+    }
+    Some((ctx, heap))
+}
+
+/// The synthesized most-general-context expression for an export, along with
+/// the opaque labels it introduces.
+fn context_expression(module: &Module, provide: &Provide, depth: u32, next_label: &mut u32) -> Expr {
+    let mut fresh = || {
+        let label = Label(*next_label);
+        *next_label += 1;
+        label
+    };
+    let mut expr = Expr::Mon {
+        contract: Box::new(provide.contract.clone()),
+        value: Box::new(Expr::var(&provide.name)),
+        pos: module.name.clone(),
+        neg: CONTEXT_PARTY.to_string(),
+        label: fresh(),
+    };
+    let mut contract = &provide.contract;
+    let mut remaining = depth;
+    while remaining > 0 {
+        match contract {
+            Expr::CArrow(doms, rng) => {
+                let args: Vec<Expr> = doms.iter().map(|_| Expr::Opaque(fresh())).collect();
+                expr = Expr::app(expr, args);
+                contract = rng;
+                remaining -= 1;
+            }
+            Expr::CAnd(parts) => {
+                // Use the first arrow conjunct, if any, to drive the context.
+                match parts.iter().find(|p| matches!(p, Expr::CArrow(_, _))) {
+                    Some(arrow) => contract = arrow,
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    expr
+}
+
+fn analyze_export(
+    program: &Program,
+    module: &Module,
+    provide: &Provide,
+    options: &AnalyzeOptions,
+) -> ExportAnalysis {
+    let Some((mut ctx, heap)) = load_globals(program, options) else {
+        return ExportAnalysis::ProbableError(CBlame {
+            party: module.name.clone(),
+            message: "a module-level definition failed to evaluate".to_string(),
+            label: Label(u32::MAX),
+        });
+    };
+    let mut next_label = 500_000;
+    let context_expr = context_expression(module, provide, options.context_depth, &mut next_label);
+    let labels = context_expr.opaque_labels();
+    let outcomes = eval(&mut ctx, &empty_env(), CONTEXT_PARTY, &context_expr, &heap);
+
+    let mut probable: Option<CBlame> = None;
+    let mut saw_timeout = false;
+    for (outcome, branch_heap) in &outcomes {
+        match outcome {
+            Outcome::Timeout => saw_timeout = true,
+            Outcome::Err(blame) if blame.party == module.name => {
+                match reconstruct_bindings(&ctx.prover, branch_heap, &labels) {
+                    None => {
+                        if probable.is_none() {
+                            probable = Some(blame.clone());
+                        }
+                    }
+                    Some(bindings) => {
+                        let mut counterexample = Counterexample {
+                            blame: blame.clone(),
+                            bindings,
+                            validated: false,
+                        };
+                        if options.validate {
+                            if validate(program, &context_expr, &counterexample, options) {
+                                counterexample.validated = true;
+                                return ExportAnalysis::Counterexample(counterexample);
+                            }
+                            if probable.is_none() {
+                                probable = Some(blame.clone());
+                            }
+                        } else {
+                            return ExportAnalysis::Counterexample(counterexample);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(blame) = probable {
+        ExportAnalysis::ProbableError(blame)
+    } else if saw_timeout {
+        ExportAnalysis::Exhausted
+    } else {
+        ExportAnalysis::Verified
+    }
+}
+
+/// Re-runs the context expression with the counterexample's concrete inputs
+/// and checks that the same party is blamed.
+fn validate(
+    program: &Program,
+    context_expr: &Expr,
+    counterexample: &Counterexample,
+    options: &AnalyzeOptions,
+) -> bool {
+    let bindings: HashMap<Label, Expr> = counterexample
+        .bindings
+        .iter()
+        .map(|(l, e)| (*l, e.clone()))
+        .collect();
+    let concrete = instantiate(context_expr, &bindings);
+    let Some((mut ctx, heap)) = load_globals(program, options) else {
+        return false;
+    };
+    let outcomes = eval(&mut ctx, &empty_env(), CONTEXT_PARTY, &concrete, &heap);
+    outcomes.iter().any(|(outcome, _)| {
+        matches!(outcome, Outcome::Err(blame) if blame.party == counterexample.blame.party)
+    })
+}
+
+/// Replaces opaque sub-expressions by the bindings' concrete expressions.
+pub fn instantiate(expr: &Expr, bindings: &HashMap<Label, Expr>) -> Expr {
+    match expr {
+        Expr::Opaque(label) => bindings.get(label).cloned().unwrap_or_else(|| expr.clone()),
+        Expr::Var(_)
+        | Expr::Int(_)
+        | Expr::Complex(_, _)
+        | Expr::Bool(_)
+        | Expr::Str(_)
+        | Expr::Nil
+        | Expr::CAny => expr.clone(),
+        Expr::Lam { params, body } => Expr::Lam {
+            params: params.clone(),
+            body: Box::new(instantiate(body, bindings)),
+        },
+        Expr::App(f, args) => Expr::App(
+            Box::new(instantiate(f, bindings)),
+            args.iter().map(|a| instantiate(a, bindings)).collect(),
+        ),
+        Expr::If(c, t, e) => Expr::If(
+            Box::new(instantiate(c, bindings)),
+            Box::new(instantiate(t, bindings)),
+            Box::new(instantiate(e, bindings)),
+        ),
+        Expr::And(es) => Expr::And(es.iter().map(|e| instantiate(e, bindings)).collect()),
+        Expr::Or(es) => Expr::Or(es.iter().map(|e| instantiate(e, bindings)).collect()),
+        Expr::Begin(es) => Expr::Begin(es.iter().map(|e| instantiate(e, bindings)).collect()),
+        Expr::Let { bindings: lets, recursive, body } => Expr::Let {
+            bindings: lets
+                .iter()
+                .map(|(n, e)| (n.clone(), instantiate(e, bindings)))
+                .collect(),
+            recursive: *recursive,
+            body: Box::new(instantiate(body, bindings)),
+        },
+        Expr::Prim(p, args, label) => Expr::Prim(
+            *p,
+            args.iter().map(|a| instantiate(a, bindings)).collect(),
+            *label,
+        ),
+        Expr::CArrow(doms, rng) => Expr::CArrow(
+            doms.iter().map(|d| instantiate(d, bindings)).collect(),
+            Box::new(instantiate(rng, bindings)),
+        ),
+        Expr::CAnd(es) => Expr::CAnd(es.iter().map(|e| instantiate(e, bindings)).collect()),
+        Expr::COr(es) => Expr::COr(es.iter().map(|e| instantiate(e, bindings)).collect()),
+        Expr::CCons(a, b) => Expr::CCons(
+            Box::new(instantiate(a, bindings)),
+            Box::new(instantiate(b, bindings)),
+        ),
+        Expr::CListOf(c) => Expr::CListOf(Box::new(instantiate(c, bindings))),
+        Expr::COneOf(es) => Expr::COneOf(es.iter().map(|e| instantiate(e, bindings)).collect()),
+        Expr::Mon { contract, value, pos, neg, label } => Expr::Mon {
+            contract: Box::new(instantiate(contract, bindings)),
+            value: Box::new(instantiate(value, bindings)),
+            pos: pos.clone(),
+            neg: neg.clone(),
+            label: *label,
+        },
+        Expr::StructMake(name, args) => Expr::StructMake(
+            name.clone(),
+            args.iter().map(|a| instantiate(a, bindings)).collect(),
+        ),
+        Expr::StructPred(name, e) => {
+            Expr::StructPred(name.clone(), Box::new(instantiate(e, bindings)))
+        }
+        Expr::StructGet(name, index, e, label) => Expr::StructGet(
+            name.clone(),
+            *index,
+            Box::new(instantiate(e, bindings)),
+            *label,
+        ),
+    }
+}
+
+/// Convenience: parse and analyze source text, returning the report of the
+/// last module.
+///
+/// # Errors
+///
+/// Returns a parse error message when the source is malformed.
+pub fn analyze_source(source: &str) -> Result<ModuleReport, String> {
+    analyze_source_with(source, &AnalyzeOptions::default())
+}
+
+/// [`analyze_source`] with explicit options.
+///
+/// # Errors
+///
+/// Returns a parse error message when the source is malformed.
+pub fn analyze_source_with(source: &str, options: &AnalyzeOptions) -> Result<ModuleReport, String> {
+    let (program, _structs) = crate::parse::parse_program(source).map_err(|e| e.to_string())?;
+    let name = program
+        .modules
+        .last()
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| "main".to_string());
+    Ok(analyze_module(&program, &name, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_increment_is_verified() {
+        let report = analyze_source(
+            r#"
+            (module inc
+              (provide [f (-> integer? integer?)])
+              (define (f x) (+ x 1)))
+            "#,
+        )
+        .expect("parses");
+        assert!(report.all_verified(), "report: {report:?}");
+    }
+
+    #[test]
+    fn quickcheck_hard_division_yields_counterexample() {
+        // f n = 1 / (100 - n): needs exactly n = 100 (§5.2 of the paper).
+        let report = analyze_source(
+            r#"
+            (module div100
+              (provide [f (-> integer? integer?)])
+              (define (f n) (/ 1 (- 100 n))))
+            "#,
+        )
+        .expect("parses");
+        let cex = report.first_counterexample().expect("counterexample");
+        assert!(cex.validated);
+        assert!(
+            cex.bindings.iter().any(|(_, e)| *e == Expr::Int(100)),
+            "expected the input 100, got {:?}",
+            cex.bindings
+        );
+    }
+
+    #[test]
+    fn guarded_division_is_verified() {
+        let report = analyze_source(
+            r#"
+            (module safe-div
+              (provide [f (-> integer? integer?)])
+              (define (f n) (if (zero? n) 0 (/ 100 n))))
+            "#,
+        )
+        .expect("parses");
+        assert!(report.all_verified(), "report: {report:?}");
+    }
+
+    #[test]
+    fn precondition_protects_division() {
+        // The contract requires a non-zero argument, so no error is reachable.
+        let report = analyze_source(
+            r#"
+            (module safe-div2
+              (provide [f (-> (and/c integer? (lambda (n) (not (zero? n)))) integer?)])
+              (define (f n) (/ 100 n)))
+            "#,
+        )
+        .expect("parses");
+        assert!(report.all_verified(), "report: {report:?}");
+    }
+
+    #[test]
+    fn weak_contract_lets_complex_numbers_through() {
+        // `<` requires reals but the contract only demands number?: the
+        // argmin-style counterexample (§5.2).
+        let report = analyze_source(
+            r#"
+            (module cmp
+              (provide [smaller? (-> number? boolean?)])
+              (define (smaller? x) (< x 0)))
+            "#,
+        )
+        .expect("parses");
+        let cex = report.first_counterexample().expect("counterexample");
+        assert!(cex.validated);
+        assert!(
+            cex.bindings.iter().any(|(_, e)| matches!(e, Expr::Complex(_, _))),
+            "expected a complex input, got {:?}",
+            cex.bindings
+        );
+    }
+
+    #[test]
+    fn higher_order_argument_counterexample() {
+        // The exported function applies its functional argument and divides
+        // by the result minus 100: the counterexample must provide a function
+        // returning 100.
+        let report = analyze_source(
+            r#"
+            (module ho
+              (provide [f (-> (-> integer? integer?) integer? integer?)])
+              (define (f g n) (/ 1 (- 100 (g n)))))
+            "#,
+        )
+        .expect("parses");
+        let cex = report.first_counterexample().expect("counterexample");
+        assert!(cex.validated);
+        assert!(
+            cex.bindings.iter().any(|(_, e)| matches!(e, Expr::Lam { .. })),
+            "expected a functional input, got {:?}",
+            cex.bindings
+        );
+    }
+
+    #[test]
+    fn car_of_possibly_empty_list_is_caught() {
+        let report = analyze_source(
+            r#"
+            (module head
+              (provide [head (-> (listof integer?) integer?)])
+              (define (head xs) (car xs)))
+            "#,
+        )
+        .expect("parses");
+        let cex = report.first_counterexample().expect("counterexample");
+        assert!(cex.validated);
+    }
+
+    #[test]
+    fn nonempty_list_contract_verifies_car() {
+        let report = analyze_source(
+            r#"
+            (module head
+              (provide [head (-> (and/c (listof integer?) pair?) integer?)])
+              (define (head xs) (car xs)))
+            "#,
+        )
+        .expect("parses");
+        assert!(report.all_verified(), "report: {report:?}");
+    }
+
+    #[test]
+    fn range_contract_violations_blame_the_module() {
+        // The module promises a positive result but returns the argument
+        // unchanged.
+        let report = analyze_source(
+            r#"
+            (module pos
+              (provide [f (-> integer? (and/c integer? (lambda (r) (> r 0))))])
+              (define (f x) x))
+            "#,
+        )
+        .expect("parses");
+        let cex = report.first_counterexample().expect("counterexample");
+        assert!(cex.validated);
+    }
+
+    #[test]
+    fn struct_accessors_are_checked() {
+        let report = analyze_source(
+            r#"
+            (module tree
+              (struct node (left right))
+              (provide [left-of (-> any/c any/c)])
+              (define (left-of t) (node-left t)))
+            "#,
+        )
+        .expect("parses");
+        let cex = report.first_counterexample().expect("counterexample");
+        assert!(cex.validated, "accessing a field of a non-node must be caught");
+    }
+
+    #[test]
+    fn struct_contract_protects_accessors() {
+        let report = analyze_source(
+            r#"
+            (module tree
+              (struct node (left right))
+              (provide [left-of (-> node? any/c)])
+              (define (left-of t) (node-left t)))
+            "#,
+        )
+        .expect("parses");
+        assert!(report.all_verified(), "report: {report:?}");
+    }
+}

@@ -1,0 +1,1714 @@
+//! The symbolic evaluator for CPCF: non-deterministic big-step evaluation
+//! over the symbolic heap, with contract monitoring, blame, structural
+//! refinement of opaque values and a demonic ("havoc") treatment of values
+//! that escape to the unknown context.
+//!
+//! The typed core (`spcf`) follows the paper's small-step presentation rule
+//! for rule; this crate — which has to handle contracts, structures, boxes
+//! and dynamic typing — uses an equivalent big-step formulation with an
+//! explicit fuel budget, which keeps the many language features manageable.
+//! Each evaluation returns *all* possible outcomes, each paired with the
+//! heap (path condition) it holds in.
+
+use std::collections::HashMap;
+
+use folic::{CmpOp, Proof};
+
+use crate::heap::{
+    extend_env, CRefinement, CSymExpr, ContractVal, Env, Heap, Loc, SVal, Tag,
+};
+use crate::numeric::Number;
+use crate::prove::Prover;
+use crate::syntax::{CBlame, Expr, Label, Prim, StructDef};
+
+/// A single outcome of evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Normal termination with a value.
+    Val(Loc),
+    /// Blame.
+    Err(CBlame),
+    /// The fuel budget ran out along this path.
+    Timeout,
+}
+
+impl Outcome {
+    /// The value location, if this is a normal outcome.
+    pub fn value(&self) -> Option<Loc> {
+        match self {
+            Outcome::Val(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// The blame, if this is an error outcome.
+    pub fn blame(&self) -> Option<&CBlame> {
+        match self {
+            Outcome::Err(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Total fuel (recursive evaluation steps) for one analysis run.
+    pub fuel: u64,
+    /// Maximum number of outcome branches kept at any point.
+    pub max_branches: usize,
+    /// Memoise applications of opaque functions (`case` maps).
+    pub use_case_maps: bool,
+    /// How deep the demonic context explores escaped structured values.
+    pub havoc_depth: u32,
+    /// Unrolling bound for `listof` contracts on opaque values.
+    pub listof_depth: u32,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            fuel: 60_000,
+            max_branches: 512,
+            use_case_maps: true,
+            havoc_depth: 3,
+            listof_depth: 3,
+        }
+    }
+}
+
+/// The evaluation context: prover, options, global definitions, struct
+/// declarations and the remaining fuel.
+#[derive(Debug)]
+pub struct Ctx {
+    /// The prover used for tag and numeric queries.
+    pub prover: Prover,
+    /// Options.
+    pub options: EvalOptions,
+    /// Global (module-level) definitions: name → location.
+    pub globals: HashMap<String, Loc>,
+    /// Struct declarations by name.
+    pub structs: HashMap<String, StructDef>,
+    /// Remaining fuel.
+    pub fuel: u64,
+    /// Counter for generating fresh opaque labels during havoc.
+    pub next_label: u32,
+}
+
+impl Ctx {
+    /// Creates a context with the given options.
+    pub fn new(options: EvalOptions) -> Self {
+        Ctx {
+            prover: Prover::new(),
+            options,
+            globals: HashMap::new(),
+            structs: HashMap::new(),
+            fuel: options.fuel,
+            next_label: 1_000_000,
+        }
+    }
+
+    fn tick(&mut self) -> bool {
+        if self.fuel == 0 {
+            false
+        } else {
+            self.fuel -= 1;
+            true
+        }
+    }
+
+    /// A fresh label (used for synthesized opaque values during havoc).
+    pub fn fresh_label(&mut self) -> Label {
+        let label = Label(self.next_label);
+        self.next_label += 1;
+        label
+    }
+}
+
+/// All outcomes of evaluating `expr`.
+pub fn eval(ctx: &mut Ctx, env: &Env, owner: &str, expr: &Expr, heap: &Heap) -> Vec<(Outcome, Heap)> {
+    if !ctx.tick() {
+        return vec![(Outcome::Timeout, heap.clone())];
+    }
+    let mut results = eval_inner(ctx, env, owner, expr, heap);
+    if results.len() > ctx.options.max_branches {
+        results.truncate(ctx.options.max_branches);
+    }
+    results
+}
+
+fn eval_inner(
+    ctx: &mut Ctx,
+    env: &Env,
+    owner: &str,
+    expr: &Expr,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    match expr {
+        Expr::Int(n) => alloc_value(heap, SVal::Num(Number::Int(*n))),
+        Expr::Complex(re, im) => alloc_value(heap, SVal::Num(Number::complex(*re, *im))),
+        Expr::Bool(b) => alloc_value(heap, SVal::Bool(*b)),
+        Expr::Str(s) => alloc_value(heap, SVal::Str(s.clone())),
+        Expr::Nil => alloc_value(heap, SVal::Nil),
+        Expr::Opaque(label) => {
+            let mut heap = heap.clone();
+            let loc = heap.alloc_opaque(*label);
+            vec![(Outcome::Val(loc), heap)]
+        }
+        Expr::Var(name) => match env.get(name).copied().or_else(|| ctx.globals.get(name).copied()) {
+            Some(loc) => vec![(Outcome::Val(loc), heap.clone())],
+            None => vec![(
+                Outcome::Err(CBlame {
+                    party: owner.to_string(),
+                    message: format!("unbound variable `{name}`"),
+                    label: Label(u32::MAX),
+                }),
+                heap.clone(),
+            )],
+        },
+        Expr::Lam { params, body } => alloc_value(
+            heap,
+            SVal::Closure {
+                params: params.clone(),
+                body: (**body).clone(),
+                env: env.clone(),
+                owner: owner.to_string(),
+            },
+        ),
+        Expr::If(condition, then_branch, else_branch) => {
+            bind(ctx, env, owner, condition, heap, |ctx, loc, heap| {
+                truthiness(ctx, &heap, loc)
+                    .into_iter()
+                    .flat_map(|(is_true, branch_heap)| {
+                        let branch = if is_true { then_branch } else { else_branch };
+                        eval(ctx, env, owner, branch, &branch_heap)
+                    })
+                    .collect()
+            })
+        }
+        Expr::And(parts) => eval_and(ctx, env, owner, parts, heap),
+        Expr::Or(parts) => eval_or(ctx, env, owner, parts, heap),
+        Expr::Begin(parts) => eval_begin(ctx, env, owner, parts, heap),
+        Expr::Let { bindings, recursive, body } => {
+            eval_let(ctx, env, owner, bindings, *recursive, body, heap)
+        }
+        Expr::App(function, args) => bind(ctx, env, owner, function, heap, |ctx, f_loc, heap| {
+            bind_list(ctx, env, owner, args, &heap, |ctx, arg_locs, heap| {
+                apply(ctx, owner, f_loc, &arg_locs, &heap, Label(u32::MAX))
+            })
+        }),
+        Expr::Prim(prim, args, label) => {
+            bind_list(ctx, env, owner, args, heap, |ctx, arg_locs, heap| {
+                apply_prim(ctx, owner, *prim, &arg_locs, &heap, *label)
+            })
+        }
+        Expr::StructMake(name, args) => {
+            bind_list(ctx, env, owner, args, heap, |_, arg_locs, heap| {
+                let mut heap = heap;
+                let loc = heap.alloc(SVal::StructVal {
+                    tag: name.clone(),
+                    fields: arg_locs,
+                });
+                vec![(Outcome::Val(loc), heap)]
+            })
+        }
+        Expr::StructPred(name, inner) => bind(ctx, env, owner, inner, heap, |ctx, loc, heap| {
+            tag_predicate(ctx, &heap, loc, &Tag::Struct(name.clone()))
+        }),
+        Expr::StructGet(name, index, inner, label) => {
+            let field_count = ctx.structs.get(name).map(|d| d.fields.len()).unwrap_or(0);
+            let name = name.clone();
+            let index = *index;
+            let label = *label;
+            bind(ctx, env, owner, inner, heap, move |ctx, loc, heap| {
+                struct_project(ctx, owner, &heap, loc, &name, index, field_count, label)
+            })
+        }
+        // Contract combinators evaluate to contract values.
+        Expr::CAny => alloc_value(heap, SVal::Contract(ContractVal::Any)),
+        Expr::CArrow(doms, rng) => bind_list(ctx, env, owner, doms, heap, |ctx, dom_locs, heap| {
+            bind(ctx, env, owner, rng, &heap, |_, rng_loc, heap| {
+                let mut heap = heap;
+                let loc = heap.alloc(SVal::Contract(ContractVal::Func {
+                    doms: dom_locs.clone(),
+                    rng: rng_loc,
+                }));
+                vec![(Outcome::Val(loc), heap)]
+            })
+        }),
+        Expr::CAnd(parts) => bind_list(ctx, env, owner, parts, heap, |_, locs, heap| {
+            let mut heap = heap;
+            let loc = heap.alloc(SVal::Contract(ContractVal::And(locs)));
+            vec![(Outcome::Val(loc), heap)]
+        }),
+        Expr::COr(parts) => bind_list(ctx, env, owner, parts, heap, |_, locs, heap| {
+            let mut heap = heap;
+            let loc = heap.alloc(SVal::Contract(ContractVal::Or(locs)));
+            vec![(Outcome::Val(loc), heap)]
+        }),
+        Expr::CCons(car, cdr) => bind(ctx, env, owner, car, heap, |ctx, car_loc, heap| {
+            bind(ctx, env, owner, cdr, &heap, |_, cdr_loc, heap| {
+                let mut heap = heap;
+                let loc = heap.alloc(SVal::Contract(ContractVal::Cons(car_loc, cdr_loc)));
+                vec![(Outcome::Val(loc), heap)]
+            })
+        }),
+        Expr::CListOf(element) => bind(ctx, env, owner, element, heap, |_, element_loc, heap| {
+            let mut heap = heap;
+            let loc = heap.alloc(SVal::Contract(ContractVal::ListOf(element_loc)));
+            vec![(Outcome::Val(loc), heap)]
+        }),
+        Expr::COneOf(parts) => bind_list(ctx, env, owner, parts, heap, |_, locs, heap| {
+            let mut heap = heap;
+            let loc = heap.alloc(SVal::Contract(ContractVal::OneOf(locs)));
+            vec![(Outcome::Val(loc), heap)]
+        }),
+        Expr::Mon { contract, value, pos, neg, label } => {
+            let (pos, neg, label) = (pos.clone(), neg.clone(), *label);
+            bind(ctx, env, owner, contract, heap, move |ctx, contract_loc, heap| {
+                let (pos, neg) = (pos.clone(), neg.clone());
+                bind(ctx, env, owner, value, &heap, move |ctx, value_loc, heap| {
+                    monitor(ctx, contract_loc, value_loc, &pos, &neg, label, &heap)
+                })
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing helpers
+// ---------------------------------------------------------------------------
+
+fn alloc_value(heap: &Heap, value: SVal) -> Vec<(Outcome, Heap)> {
+    let mut heap = heap.clone();
+    let loc = heap.alloc(value);
+    vec![(Outcome::Val(loc), heap)]
+}
+
+/// Evaluates `expr` and continues with `k` on every normal outcome,
+/// propagating errors and timeouts.
+fn bind<K>(
+    ctx: &mut Ctx,
+    env: &Env,
+    owner: &str,
+    expr: &Expr,
+    heap: &Heap,
+    mut k: K,
+) -> Vec<(Outcome, Heap)>
+where
+    K: FnMut(&mut Ctx, Loc, Heap) -> Vec<(Outcome, Heap)>,
+{
+    let mut out = Vec::new();
+    for (outcome, branch_heap) in eval(ctx, env, owner, expr, heap) {
+        if out.len() >= ctx.options.max_branches {
+            break;
+        }
+        match outcome {
+            Outcome::Val(loc) => out.extend(k(ctx, loc, branch_heap)),
+            other => out.push((other, branch_heap)),
+        }
+    }
+    out
+}
+
+/// Evaluates a list of expressions left to right and continues with the
+/// resulting locations.
+fn bind_list<K>(
+    ctx: &mut Ctx,
+    env: &Env,
+    owner: &str,
+    exprs: &[Expr],
+    heap: &Heap,
+    mut k: K,
+) -> Vec<(Outcome, Heap)>
+where
+    K: FnMut(&mut Ctx, Vec<Loc>, Heap) -> Vec<(Outcome, Heap)>,
+{
+    fn go<K>(
+        ctx: &mut Ctx,
+        env: &Env,
+        owner: &str,
+        exprs: &[Expr],
+        done: Vec<Loc>,
+        heap: Heap,
+        k: &mut K,
+    ) -> Vec<(Outcome, Heap)>
+    where
+        K: FnMut(&mut Ctx, Vec<Loc>, Heap) -> Vec<(Outcome, Heap)>,
+    {
+        match exprs.split_first() {
+            None => k(ctx, done, heap),
+            Some((first, rest)) => {
+                let mut out = Vec::new();
+                for (outcome, branch_heap) in eval(ctx, env, owner, first, &heap) {
+                    if out.len() >= ctx.options.max_branches {
+                        break;
+                    }
+                    match outcome {
+                        Outcome::Val(loc) => {
+                            let mut done = done.clone();
+                            done.push(loc);
+                            out.extend(go(ctx, env, owner, rest, done, branch_heap, k));
+                        }
+                        other => out.push((other, branch_heap)),
+                    }
+                }
+                out
+            }
+        }
+    }
+    go(ctx, env, owner, exprs, Vec::new(), heap.clone(), &mut k)
+}
+
+fn eval_and(ctx: &mut Ctx, env: &Env, owner: &str, parts: &[Expr], heap: &Heap) -> Vec<(Outcome, Heap)> {
+    match parts.split_first() {
+        None => alloc_value(heap, SVal::Bool(true)),
+        Some((first, [])) => eval(ctx, env, owner, first, heap),
+        Some((first, rest)) => bind(ctx, env, owner, first, heap, |ctx, loc, heap| {
+            truthiness(ctx, &heap, loc)
+                .into_iter()
+                .flat_map(|(is_true, branch_heap)| {
+                    if is_true {
+                        eval_and(ctx, env, owner, rest, &branch_heap)
+                    } else {
+                        alloc_value(&branch_heap, SVal::Bool(false))
+                    }
+                })
+                .collect()
+        }),
+    }
+}
+
+fn eval_or(ctx: &mut Ctx, env: &Env, owner: &str, parts: &[Expr], heap: &Heap) -> Vec<(Outcome, Heap)> {
+    match parts.split_first() {
+        None => alloc_value(heap, SVal::Bool(false)),
+        Some((first, [])) => eval(ctx, env, owner, first, heap),
+        Some((first, rest)) => bind(ctx, env, owner, first, heap, |ctx, loc, heap| {
+            truthiness(ctx, &heap, loc)
+                .into_iter()
+                .flat_map(|(is_true, branch_heap)| {
+                    if is_true {
+                        vec![(Outcome::Val(loc), branch_heap)]
+                    } else {
+                        eval_or(ctx, env, owner, rest, &branch_heap)
+                    }
+                })
+                .collect()
+        }),
+    }
+}
+
+fn eval_begin(ctx: &mut Ctx, env: &Env, owner: &str, parts: &[Expr], heap: &Heap) -> Vec<(Outcome, Heap)> {
+    match parts.split_first() {
+        None => alloc_value(heap, SVal::Nil),
+        Some((only, [])) => eval(ctx, env, owner, only, heap),
+        Some((first, rest)) => bind(ctx, env, owner, first, heap, |ctx, _loc, heap| {
+            eval_begin(ctx, env, owner, rest, &heap)
+        }),
+    }
+}
+
+fn eval_let(
+    ctx: &mut Ctx,
+    env: &Env,
+    owner: &str,
+    bindings: &[(String, Expr)],
+    recursive: bool,
+    body: &Expr,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    if recursive {
+        // Pre-allocate placeholder locations so right-hand sides can refer to
+        // every binding, then overwrite the placeholders with the results.
+        let mut heap = heap.clone();
+        let placeholders: Vec<(String, Loc)> = bindings
+            .iter()
+            .map(|(name, _)| (name.clone(), heap.alloc(SVal::opaque())))
+            .collect();
+        let extended = extend_env(env, placeholders.clone());
+        let exprs: Vec<Expr> = bindings.iter().map(|(_, e)| e.clone()).collect();
+        bind_list(ctx, &extended, owner, &exprs, &heap, |ctx, locs, heap| {
+            let mut heap = heap;
+            for ((_, placeholder), value_loc) in placeholders.iter().zip(&locs) {
+                let value = heap.get(*value_loc).clone();
+                heap.set(*placeholder, value);
+            }
+            eval(ctx, &extended, owner, body, &heap)
+        })
+    } else {
+        let exprs: Vec<Expr> = bindings.iter().map(|(_, e)| e.clone()).collect();
+        let names: Vec<String> = bindings.iter().map(|(n, _)| n.clone()).collect();
+        bind_list(ctx, env, owner, &exprs, heap, |ctx, locs, heap| {
+            let extended = extend_env(env, names.iter().cloned().zip(locs.iter().copied()));
+            eval(ctx, &extended, owner, body, &heap)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truthiness and tag predicates
+// ---------------------------------------------------------------------------
+
+/// The possible truth values of the value at `loc` (Racket-style: only `#f`
+/// is false).
+pub fn truthiness(ctx: &mut Ctx, heap: &Heap, loc: Loc) -> Vec<(bool, Heap)> {
+    match heap.get(loc) {
+        SVal::Bool(false) => vec![(false, heap.clone())],
+        SVal::Opaque { refinements, .. } => {
+            if refinements.contains(&CRefinement::IsFalse) {
+                return vec![(false, heap.clone())];
+            }
+            if refinements.contains(&CRefinement::IsTruthy)
+                || refinements.iter().any(|r| {
+                    matches!(r, CRefinement::Is(tag) if *tag != Tag::Boolean)
+                        || matches!(r, CRefinement::NumCmp(_, _))
+                })
+            {
+                return vec![(true, heap.clone())];
+            }
+            let _ = ctx;
+            let mut truthy = heap.clone();
+            truthy.refine(loc, CRefinement::IsTruthy);
+            let mut falsy = heap.clone();
+            falsy.set(loc, SVal::Bool(false));
+            vec![(true, truthy), (false, falsy)]
+        }
+        _ => vec![(true, heap.clone())],
+    }
+}
+
+/// A tag predicate applied to `loc`: returns boolean outcomes, structurally
+/// refining opaque values on the positive branch where that pins down their
+/// shape.
+pub fn tag_predicate(ctx: &mut Ctx, heap: &Heap, loc: Loc, tag: &Tag) -> Vec<(Outcome, Heap)> {
+    match ctx.prover.prove_tag(heap, loc, tag) {
+        Proof::Proved => alloc_value(heap, SVal::Bool(true)),
+        Proof::Refuted => alloc_value(heap, SVal::Bool(false)),
+        Proof::Ambiguous => {
+            let mut yes = heap.clone();
+            refine_to_tag(ctx, &mut yes, loc, tag);
+            let mut no = heap.clone();
+            no.refine(loc, CRefinement::IsNot(tag.clone()));
+            let mut out = alloc_value(&yes, SVal::Bool(true));
+            out.extend(alloc_value(&no, SVal::Bool(false)));
+            out
+        }
+    }
+}
+
+/// Refines the opaque value at `loc` to have the given tag, replacing it
+/// structurally when the tag determines a shape (§4.2).
+pub fn refine_to_tag(ctx: &mut Ctx, heap: &mut Heap, loc: Loc, tag: &Tag) {
+    match tag {
+        Tag::Pair => {
+            let car = heap.alloc(SVal::opaque());
+            let cdr = heap.alloc(SVal::opaque());
+            heap.set(loc, SVal::Pair(car, cdr));
+        }
+        Tag::Null => heap.set(loc, SVal::Nil),
+        Tag::BoxT => {
+            let inner = heap.alloc(SVal::opaque());
+            heap.set(loc, SVal::BoxVal(inner));
+        }
+        Tag::Struct(name) => {
+            let field_count = ctx.structs.get(name).map(|d| d.fields.len()).unwrap_or(0);
+            let fields = (0..field_count).map(|_| heap.alloc(SVal::opaque())).collect();
+            heap.set(
+                loc,
+                SVal::StructVal {
+                    tag: name.clone(),
+                    fields,
+                },
+            );
+        }
+        other => heap.refine(loc, CRefinement::Is(other.clone())),
+    }
+}
+
+fn struct_project(
+    ctx: &mut Ctx,
+    owner: &str,
+    heap: &Heap,
+    loc: Loc,
+    name: &str,
+    index: usize,
+    field_count: usize,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: owner.to_string(),
+        message: format!("{name}-{index}: expected a {name}"),
+        label,
+    };
+    match heap.get(loc) {
+        SVal::StructVal { tag, fields } if tag == name => match fields.get(index) {
+            Some(field) => vec![(Outcome::Val(*field), heap.clone())],
+            None => vec![(Outcome::Err(blame), heap.clone())],
+        },
+        SVal::Opaque { .. } => match ctx.prover.prove_tag(heap, loc, &Tag::Struct(name.to_string())) {
+            Proof::Refuted => vec![(Outcome::Err(blame), heap.clone())],
+            _ => {
+                // Positive branch: refine to a struct with fresh fields.
+                let mut yes = heap.clone();
+                let fields: Vec<Loc> = (0..field_count.max(index + 1))
+                    .map(|_| yes.alloc(SVal::opaque()))
+                    .collect();
+                let field = fields[index];
+                yes.set(
+                    loc,
+                    SVal::StructVal {
+                        tag: name.to_string(),
+                        fields,
+                    },
+                );
+                // Negative branch: blame.
+                let mut no = heap.clone();
+                no.refine(loc, CRefinement::IsNot(Tag::Struct(name.to_string())));
+                vec![(Outcome::Val(field), yes), (Outcome::Err(blame), no)]
+            }
+        },
+        _ => vec![(Outcome::Err(blame), heap.clone())],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Application
+// ---------------------------------------------------------------------------
+
+/// Applies the value at `function_loc` to `args`.
+pub fn apply(
+    ctx: &mut Ctx,
+    caller: &str,
+    function_loc: Loc,
+    args: &[Loc],
+    heap: &Heap,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    if !ctx.tick() {
+        return vec![(Outcome::Timeout, heap.clone())];
+    }
+    match heap.get(function_loc).clone() {
+        SVal::Closure { params, body, env, owner } => {
+            if params.len() != args.len() {
+                return vec![(
+                    Outcome::Err(CBlame {
+                        party: caller.to_string(),
+                        message: format!(
+                            "arity mismatch: expected {} arguments, got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                        label,
+                    }),
+                    heap.clone(),
+                )];
+            }
+            let extended = extend_env(&env, params.into_iter().zip(args.iter().copied()));
+            eval(ctx, &extended, &owner, &body, heap)
+        }
+        SVal::Guarded { doms, rng, inner, pos, neg, label: mon_label } => {
+            if doms.len() != args.len() {
+                return vec![(
+                    Outcome::Err(CBlame {
+                        party: neg.clone(),
+                        message: format!(
+                            "arity mismatch on contracted function: expected {}, got {}",
+                            doms.len(),
+                            args.len()
+                        ),
+                        label: mon_label,
+                    }),
+                    heap.clone(),
+                )];
+            }
+            // Monitor each argument against its domain contract with the
+            // blame parties swapped, then run the inner function, then
+            // monitor the result against the range contract.
+            monitor_args(ctx, &doms, args, &neg, &pos, mon_label, heap, Vec::new(), &mut |ctx,
+                 monitored,
+                 heap| {
+                let mut out = Vec::new();
+                for (outcome, inner_heap) in
+                    apply(ctx, caller, inner, &monitored, &heap, label)
+                {
+                    match outcome {
+                        Outcome::Val(result) => out.extend(monitor(
+                            ctx, rng, result, &pos, &neg, mon_label, &inner_heap,
+                        )),
+                        other => out.push((other, inner_heap)),
+                    }
+                }
+                out
+            })
+        }
+        SVal::Opaque { .. } => apply_opaque(ctx, caller, function_loc, args, heap, label),
+        _ => vec![(
+            Outcome::Err(CBlame {
+                party: caller.to_string(),
+                message: "application of a non-procedure".to_string(),
+                label,
+            }),
+            heap.clone(),
+        )],
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn monitor_args(
+    ctx: &mut Ctx,
+    doms: &[Loc],
+    args: &[Loc],
+    pos: &str,
+    neg: &str,
+    label: Label,
+    heap: &Heap,
+    done: Vec<Loc>,
+    k: &mut dyn FnMut(&mut Ctx, Vec<Loc>, Heap) -> Vec<(Outcome, Heap)>,
+) -> Vec<(Outcome, Heap)> {
+    match (doms.split_first(), args.split_first()) {
+        (None, None) => k(ctx, done, heap.clone()),
+        (Some((dom, doms_rest)), Some((arg, args_rest))) => {
+            let mut out = Vec::new();
+            for (outcome, branch_heap) in monitor(ctx, *dom, *arg, pos, neg, label, heap) {
+                match outcome {
+                    Outcome::Val(monitored) => {
+                        let mut done = done.clone();
+                        done.push(monitored);
+                        out.extend(monitor_args(
+                            ctx, doms_rest, args_rest, pos, neg, label, &branch_heap, done, k,
+                        ));
+                    }
+                    other => out.push((other, branch_heap)),
+                }
+            }
+            out
+        }
+        _ => vec![(Outcome::Timeout, heap.clone())],
+    }
+}
+
+/// Applies an opaque (unknown) function: the paper's demonic-context rules
+/// adapted to the untyped setting.
+fn apply_opaque(
+    ctx: &mut Ctx,
+    caller: &str,
+    function_loc: Loc,
+    args: &[Loc],
+    heap: &Heap,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: caller.to_string(),
+        message: "application of a value that may not be a procedure".to_string(),
+        label,
+    };
+    let mut outcomes = Vec::new();
+    match ctx.prover.prove_tag(heap, function_loc, &Tag::Procedure) {
+        Proof::Refuted => return vec![(Outcome::Err(blame), heap.clone())],
+        Proof::Ambiguous => {
+            let mut no = heap.clone();
+            no.refine(function_loc, CRefinement::IsNot(Tag::Procedure));
+            outcomes.push((Outcome::Err(blame), no));
+        }
+        Proof::Proved => {}
+    }
+
+    // The function is (assumed) a procedure: refine and produce a result.
+    let mut base = heap.clone();
+    if !matches!(
+        ctx.prover.prove_tag(&base, function_loc, &Tag::Procedure),
+        Proof::Proved
+    ) {
+        base.refine(function_loc, CRefinement::Is(Tag::Procedure));
+    }
+
+    // Memoised result for a previously seen single simple argument.
+    if ctx.options.use_case_maps && args.len() == 1 && is_simple(&base, args[0]) {
+        if let SVal::Opaque { entries, .. } = base.get(function_loc) {
+            if let Some((_, result)) = entries.iter().find(|(a, _)| *a == args[0]) {
+                outcomes.push((Outcome::Val(*result), base));
+                return outcomes;
+            }
+        }
+        let result = base.alloc(SVal::opaque());
+        if let SVal::Opaque { refinements, entries } = base.get(function_loc).clone() {
+            let mut entries = entries;
+            entries.push((args[0], result));
+            base.set(function_loc, SVal::Opaque { refinements, entries });
+        }
+        outcomes.push((Outcome::Val(result), base.clone()));
+    } else {
+        let result = base.alloc(SVal::opaque());
+        outcomes.push((Outcome::Val(result), base.clone()));
+    }
+
+    // Demonic exploration: the unknown function may use its behavioural
+    // arguments arbitrarily; errors found that way are real errors of the
+    // escaping values' owners.
+    let havoc_depth = ctx.options.havoc_depth;
+    if havoc_depth > 0 {
+        for &arg in args {
+            for (outcome, havoc_heap) in havoc(ctx, caller, arg, &base, havoc_depth) {
+                match outcome {
+                    Outcome::Err(_) | Outcome::Timeout => outcomes.push((outcome, havoc_heap)),
+                    Outcome::Val(_) => {
+                        // The exploration finished without an error: the
+                        // unknown context then returns an unknown value.
+                        let mut h = havoc_heap;
+                        let result = h.alloc(SVal::opaque());
+                        outcomes.push((Outcome::Val(result), h));
+                    }
+                }
+            }
+        }
+    }
+    outcomes
+}
+
+fn is_simple(heap: &Heap, loc: Loc) -> bool {
+    matches!(
+        heap.get(loc),
+        SVal::Num(_) | SVal::Bool(_) | SVal::Str(_) | SVal::Nil | SVal::Opaque { .. }
+    )
+}
+
+/// The demonic context: explores a value that escaped to unknown code.
+/// Procedures are applied to fresh opaque arguments; pairs, boxes and
+/// structs are explored component-wise.
+pub fn havoc(ctx: &mut Ctx, caller: &str, loc: Loc, heap: &Heap, depth: u32) -> Vec<(Outcome, Heap)> {
+    if depth == 0 || !ctx.tick() {
+        return vec![(Outcome::Val(loc), heap.clone())];
+    }
+    match heap.get(loc).clone() {
+        SVal::Closure { params, .. } => {
+            let mut heap = heap.clone();
+            let args: Vec<Loc> = (0..params.len()).map(|_| heap.alloc(SVal::opaque())).collect();
+            let mut out = Vec::new();
+            for (outcome, branch_heap) in apply(ctx, "context", loc, &args, &heap, Label(u32::MAX))
+            {
+                match outcome {
+                    Outcome::Val(result) => {
+                        out.extend(havoc(ctx, caller, result, &branch_heap, depth - 1));
+                    }
+                    other => out.push((other, branch_heap)),
+                }
+            }
+            out
+        }
+        SVal::Guarded { doms, .. } => {
+            let mut heap = heap.clone();
+            let args: Vec<Loc> = (0..doms.len()).map(|_| heap.alloc(SVal::opaque())).collect();
+            let mut out = Vec::new();
+            for (outcome, branch_heap) in apply(ctx, "context", loc, &args, &heap, Label(u32::MAX))
+            {
+                match outcome {
+                    Outcome::Val(result) => {
+                        out.extend(havoc(ctx, caller, result, &branch_heap, depth - 1));
+                    }
+                    other => out.push((other, branch_heap)),
+                }
+            }
+            out
+        }
+        SVal::Pair(car, cdr) => {
+            let mut out = Vec::new();
+            for (outcome, branch_heap) in havoc(ctx, caller, car, heap, depth - 1) {
+                match outcome {
+                    Outcome::Val(_) => out.extend(havoc(ctx, caller, cdr, &branch_heap, depth - 1)),
+                    other => out.push((other, branch_heap)),
+                }
+            }
+            out
+        }
+        SVal::StructVal { fields, .. } => {
+            let mut states = vec![(Outcome::Val(loc), heap.clone())];
+            for field in fields {
+                let mut next = Vec::new();
+                for (outcome, branch_heap) in states {
+                    match outcome {
+                        Outcome::Val(_) => {
+                            next.extend(havoc(ctx, caller, field, &branch_heap, depth - 1));
+                        }
+                        other => next.push((other, branch_heap)),
+                    }
+                }
+                states = next;
+            }
+            states
+        }
+        SVal::BoxVal(inner) => havoc(ctx, caller, inner, heap, depth - 1),
+        _ => vec![(Outcome::Val(loc), heap.clone())],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract monitoring
+// ---------------------------------------------------------------------------
+
+/// Monitors the value at `value_loc` against the contract at `contract_loc`.
+pub fn monitor(
+    ctx: &mut Ctx,
+    contract_loc: Loc,
+    value_loc: Loc,
+    pos: &str,
+    neg: &str,
+    label: Label,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    if !ctx.tick() {
+        return vec![(Outcome::Timeout, heap.clone())];
+    }
+    let listof_depth = ctx.options.listof_depth;
+    let blame = |message: String| CBlame {
+        party: pos.to_string(),
+        message,
+        label,
+    };
+    match heap.get(contract_loc).clone() {
+        SVal::Contract(ContractVal::Any) => vec![(Outcome::Val(value_loc), heap.clone())],
+        SVal::Contract(ContractVal::Func { doms, rng }) => {
+            match ctx.prover.prove_tag(heap, value_loc, &Tag::Procedure) {
+                Proof::Refuted => vec![(
+                    Outcome::Err(blame("expected a procedure".to_string())),
+                    heap.clone(),
+                )],
+                proof => {
+                    let mut outcomes = Vec::new();
+                    if proof == Proof::Ambiguous {
+                        let mut no = heap.clone();
+                        no.refine(value_loc, CRefinement::IsNot(Tag::Procedure));
+                        outcomes
+                            .push((Outcome::Err(blame("expected a procedure".to_string())), no));
+                    }
+                    let mut yes = heap.clone();
+                    if proof == Proof::Ambiguous {
+                        yes.refine(value_loc, CRefinement::Is(Tag::Procedure));
+                    }
+                    let guarded = yes.alloc(SVal::Guarded {
+                        doms,
+                        rng,
+                        inner: value_loc,
+                        pos: pos.to_string(),
+                        neg: neg.to_string(),
+                        label,
+                    });
+                    outcomes.push((Outcome::Val(guarded), yes));
+                    outcomes
+                }
+            }
+        }
+        SVal::Contract(ContractVal::And(parts)) => {
+            monitor_all(ctx, &parts, value_loc, pos, neg, label, heap)
+        }
+        SVal::Contract(ContractVal::Or(parts)) => {
+            monitor_or(ctx, &parts, value_loc, pos, neg, label, heap)
+        }
+        SVal::Contract(ContractVal::Cons(car_contract, cdr_contract)) => {
+            monitor_pair(ctx, car_contract, cdr_contract, value_loc, pos, neg, label, heap)
+        }
+        SVal::Contract(ContractVal::ListOf(element)) => {
+            monitor_listof(ctx, element, value_loc, pos, neg, label, heap, listof_depth)
+        }
+        SVal::Contract(ContractVal::OneOf(options)) => {
+            monitor_one_of(ctx, &options, value_loc, pos, neg, label, heap)
+        }
+        SVal::Contract(ContractVal::Flat(predicate)) => {
+            monitor_flat(ctx, predicate, value_loc, pos, label, heap)
+        }
+        // A procedure used directly as a contract is a flat contract.
+        SVal::Closure { .. } | SVal::Guarded { .. } => {
+            monitor_flat(ctx, contract_loc, value_loc, pos, label, heap)
+        }
+        // A literal value as a contract means equality with that value.
+        other_value => {
+            let holds = values_equal(heap, contract_loc, value_loc);
+            match holds {
+                Some(true) => vec![(Outcome::Val(value_loc), heap.clone())],
+                Some(false) => vec![(
+                    Outcome::Err(blame(format!("expected the literal {other_value}"))),
+                    heap.clone(),
+                )],
+                None => {
+                    // Opaque value: branch on taking the literal's value.
+                    let mut yes = heap.clone();
+                    yes.set(value_loc, other_value.clone());
+                    let mut no = heap.clone();
+                    let _ = &mut no;
+                    vec![
+                        (Outcome::Val(value_loc), yes),
+                        (
+                            Outcome::Err(blame(format!("expected the literal {other_value}"))),
+                            no,
+                        ),
+                    ]
+                }
+            }
+        }
+    }
+}
+
+fn monitor_all(
+    ctx: &mut Ctx,
+    contracts: &[Loc],
+    value_loc: Loc,
+    pos: &str,
+    neg: &str,
+    label: Label,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    match contracts.split_first() {
+        None => vec![(Outcome::Val(value_loc), heap.clone())],
+        Some((first, rest)) => {
+            let mut out = Vec::new();
+            for (outcome, branch_heap) in monitor(ctx, *first, value_loc, pos, neg, label, heap) {
+                match outcome {
+                    Outcome::Val(next_value) => {
+                        out.extend(monitor_all(ctx, rest, next_value, pos, neg, label, &branch_heap));
+                    }
+                    other => out.push((other, branch_heap)),
+                }
+            }
+            out
+        }
+    }
+}
+
+fn monitor_or(
+    ctx: &mut Ctx,
+    contracts: &[Loc],
+    value_loc: Loc,
+    pos: &str,
+    neg: &str,
+    label: Label,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    match contracts.split_first() {
+        None => vec![(
+            Outcome::Err(CBlame {
+                party: pos.to_string(),
+                message: "none of the or/c alternatives hold".to_string(),
+                label,
+            }),
+            heap.clone(),
+        )],
+        Some((first, rest)) => {
+            // A branch where the first alternative succeeds, and branches
+            // where it fails and the rest are tried.
+            let mut out = Vec::new();
+            for (outcome, branch_heap) in monitor(ctx, *first, value_loc, pos, neg, label, heap) {
+                match outcome {
+                    Outcome::Val(v) => out.push((Outcome::Val(v), branch_heap)),
+                    Outcome::Err(_) => {
+                        out.extend(monitor_or(ctx, rest, value_loc, pos, neg, label, &branch_heap));
+                    }
+                    Outcome::Timeout => out.push((Outcome::Timeout, branch_heap)),
+                }
+            }
+            out
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn monitor_pair(
+    ctx: &mut Ctx,
+    car_contract: Loc,
+    cdr_contract: Loc,
+    value_loc: Loc,
+    pos: &str,
+    neg: &str,
+    label: Label,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: pos.to_string(),
+        message: "expected a pair".to_string(),
+        label,
+    };
+    let branches: Vec<(Option<(Loc, Loc)>, Heap)> = match heap.get(value_loc) {
+        SVal::Pair(car, cdr) => vec![(Some((*car, *cdr)), heap.clone())],
+        SVal::Opaque { .. } => match ctx.prover.prove_tag(heap, value_loc, &Tag::Pair) {
+            Proof::Refuted => vec![(None, heap.clone())],
+            _ => {
+                let mut yes = heap.clone();
+                refine_to_tag(ctx, &mut yes, value_loc, &Tag::Pair);
+                let (car, cdr) = match yes.get(value_loc) {
+                    SVal::Pair(a, b) => (*a, *b),
+                    _ => unreachable!("refine_to_tag installs a pair"),
+                };
+                let mut no = heap.clone();
+                no.refine(value_loc, CRefinement::IsNot(Tag::Pair));
+                vec![(Some((car, cdr)), yes), (None, no)]
+            }
+        },
+        _ => vec![(None, heap.clone())],
+    };
+    let mut out = Vec::new();
+    for (pair, branch_heap) in branches {
+        match pair {
+            None => out.push((Outcome::Err(blame.clone()), branch_heap)),
+            Some((car, cdr)) => {
+                for (car_outcome, car_heap) in
+                    monitor(ctx, car_contract, car, pos, neg, label, &branch_heap)
+                {
+                    match car_outcome {
+                        Outcome::Val(_) => {
+                            out.extend(monitor(ctx, cdr_contract, cdr, pos, neg, label, &car_heap)
+                                .into_iter()
+                                .map(|(o, h)| match o {
+                                    Outcome::Val(_) => (Outcome::Val(value_loc), h),
+                                    other => (other, h),
+                                }));
+                        }
+                        other => out.push((other, car_heap)),
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn monitor_listof(
+    ctx: &mut Ctx,
+    element_contract: Loc,
+    value_loc: Loc,
+    pos: &str,
+    neg: &str,
+    label: Label,
+    heap: &Heap,
+    depth: u32,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: pos.to_string(),
+        message: "expected a proper list".to_string(),
+        label,
+    };
+    match heap.get(value_loc).clone() {
+        SVal::Nil => vec![(Outcome::Val(value_loc), heap.clone())],
+        SVal::Pair(car, cdr) => {
+            let mut out = Vec::new();
+            for (car_outcome, car_heap) in
+                monitor(ctx, element_contract, car, pos, neg, label, heap)
+            {
+                match car_outcome {
+                    Outcome::Val(_) => out.extend(
+                        monitor_listof(ctx, element_contract, cdr, pos, neg, label, &car_heap, depth)
+                            .into_iter()
+                            .map(|(o, h)| match o {
+                                Outcome::Val(_) => (Outcome::Val(value_loc), h),
+                                other => (other, h),
+                            }),
+                    ),
+                    other => out.push((other, car_heap)),
+                }
+            }
+            out
+        }
+        SVal::Opaque { .. } => {
+            if depth == 0 {
+                // Assume the rest of the unknown list is empty.
+                let mut heap = heap.clone();
+                heap.set(value_loc, SVal::Nil);
+                return vec![(Outcome::Val(value_loc), heap)];
+            }
+            // Branch: the unknown value is '() / a pair / not a list at all.
+            let mut nil_heap = heap.clone();
+            nil_heap.set(value_loc, SVal::Nil);
+            let mut pair_heap = heap.clone();
+            refine_to_tag(ctx, &mut pair_heap, value_loc, &Tag::Pair);
+            let mut bad_heap = heap.clone();
+            bad_heap.refine(value_loc, CRefinement::IsNot(Tag::Pair));
+            bad_heap.refine(value_loc, CRefinement::IsNot(Tag::Null));
+            let mut out = vec![(Outcome::Val(value_loc), nil_heap)];
+            out.extend(monitor_listof(
+                ctx,
+                element_contract,
+                value_loc,
+                pos,
+                neg,
+                label,
+                &pair_heap,
+                depth - 1,
+            ));
+            out.push((Outcome::Err(blame), bad_heap));
+            out
+        }
+        _ => vec![(Outcome::Err(blame), heap.clone())],
+    }
+}
+
+fn monitor_one_of(
+    ctx: &mut Ctx,
+    options: &[Loc],
+    value_loc: Loc,
+    pos: &str,
+    _neg: &str,
+    label: Label,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    let _ = ctx;
+    let blame = CBlame {
+        party: pos.to_string(),
+        message: "value is not one of the allowed literals".to_string(),
+        label,
+    };
+    let mut out = Vec::new();
+    let mut all_decided_false = true;
+    for &option in options {
+        match values_equal(heap, option, value_loc) {
+            Some(true) => return vec![(Outcome::Val(value_loc), heap.clone())],
+            Some(false) => {}
+            None => {
+                all_decided_false = false;
+                // Branch where the opaque value takes this literal's value.
+                let mut branch = heap.clone();
+                branch.set(value_loc, heap.get(option).clone());
+                out.push((Outcome::Val(value_loc), branch));
+            }
+        }
+    }
+    if all_decided_false || !out.is_empty() {
+        out.push((Outcome::Err(blame), heap.clone()));
+    }
+    out
+}
+
+fn monitor_flat(
+    ctx: &mut Ctx,
+    predicate: Loc,
+    value_loc: Loc,
+    pos: &str,
+    label: Label,
+    heap: &Heap,
+) -> Vec<(Outcome, Heap)> {
+    let mut out = Vec::new();
+    for (outcome, branch_heap) in apply(ctx, pos, predicate, &[value_loc], heap, label) {
+        match outcome {
+            Outcome::Val(result) => {
+                for (is_true, truth_heap) in truthiness(ctx, &branch_heap, result) {
+                    if is_true {
+                        out.push((Outcome::Val(value_loc), truth_heap));
+                    } else {
+                        out.push((
+                            Outcome::Err(CBlame {
+                                party: pos.to_string(),
+                                message: "flat contract violated".to_string(),
+                                label,
+                            }),
+                            truth_heap,
+                        ));
+                    }
+                }
+            }
+            other => out.push((other, branch_heap)),
+        }
+    }
+    out
+}
+
+/// Structural equality of two concrete values; `None` when an opaque value
+/// is involved.
+pub fn values_equal(heap: &Heap, a: Loc, b: Loc) -> Option<bool> {
+    if a == b {
+        return Some(true);
+    }
+    match (heap.get(a), heap.get(b)) {
+        (SVal::Opaque { .. }, _) | (_, SVal::Opaque { .. }) => None,
+        (SVal::Num(x), SVal::Num(y)) => Some(x.num_eq(*y)),
+        (SVal::Bool(x), SVal::Bool(y)) => Some(x == y),
+        (SVal::Str(x), SVal::Str(y)) => Some(x == y),
+        (SVal::Nil, SVal::Nil) => Some(true),
+        (SVal::Pair(a1, a2), SVal::Pair(b1, b2)) => {
+            match (values_equal(heap, *a1, *b1), values_equal(heap, *a2, *b2)) {
+                (Some(true), Some(true)) => Some(true),
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                _ => None,
+            }
+        }
+        (SVal::StructVal { tag: t1, fields: f1 }, SVal::StructVal { tag: t2, fields: f2 }) => {
+            if t1 != t2 || f1.len() != f2.len() {
+                return Some(false);
+            }
+            let mut all = Some(true);
+            for (x, y) in f1.iter().zip(f2.iter()) {
+                match values_equal(heap, *x, *y) {
+                    Some(true) => {}
+                    Some(false) => return Some(false),
+                    None => all = None,
+                }
+            }
+            all
+        }
+        _ => Some(false),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive operations
+// ---------------------------------------------------------------------------
+
+fn operand(heap: &Heap, loc: Loc) -> CSymExpr {
+    match heap.int_at(loc) {
+        Some(n) => CSymExpr::int(n),
+        None => CSymExpr::loc(loc),
+    }
+}
+
+/// Applies a primitive operation.
+pub fn apply_prim(
+    ctx: &mut Ctx,
+    owner: &str,
+    prim: Prim,
+    args: &[Loc],
+    heap: &Heap,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = |message: String| CBlame {
+        party: owner.to_string(),
+        message,
+        label,
+    };
+    match prim {
+        Prim::IsNumber => tag_predicate(ctx, heap, args[0], &Tag::Number),
+        Prim::IsReal => tag_predicate(ctx, heap, args[0], &Tag::Real),
+        Prim::IsInteger => tag_predicate(ctx, heap, args[0], &Tag::Integer),
+        Prim::IsProcedure => tag_predicate(ctx, heap, args[0], &Tag::Procedure),
+        Prim::IsPair => tag_predicate(ctx, heap, args[0], &Tag::Pair),
+        Prim::IsNull => tag_predicate(ctx, heap, args[0], &Tag::Null),
+        Prim::IsBoolean => tag_predicate(ctx, heap, args[0], &Tag::Boolean),
+        Prim::IsString => tag_predicate(ctx, heap, args[0], &Tag::StringT),
+        Prim::IsBox => tag_predicate(ctx, heap, args[0], &Tag::BoxT),
+        Prim::Not => truthiness(ctx, heap, args[0])
+            .into_iter()
+            .flat_map(|(is_true, branch_heap)| alloc_value(&branch_heap, SVal::Bool(!is_true)))
+            .collect(),
+        Prim::Cons => {
+            let mut heap = heap.clone();
+            let loc = heap.alloc(SVal::Pair(args[0], args[1]));
+            vec![(Outcome::Val(loc), heap)]
+        }
+        Prim::Car | Prim::Cdr => pair_project(ctx, owner, prim, args[0], heap, label),
+        Prim::Equal => match values_equal(heap, args[0], args[1]) {
+            Some(result) => alloc_value(heap, SVal::Bool(result)),
+            None => {
+                let mut out = alloc_value(heap, SVal::Bool(true));
+                out.extend(alloc_value(heap, SVal::Bool(false)));
+                out
+            }
+        },
+        Prim::Assert => truthiness(ctx, heap, args[0])
+            .into_iter()
+            .map(|(is_true, branch_heap)| {
+                if is_true {
+                    (Outcome::Val(args[0]), branch_heap)
+                } else {
+                    (Outcome::Err(blame("assertion failed".to_string())), branch_heap)
+                }
+            })
+            .collect(),
+        Prim::Raise => {
+            let message = match heap.get(args[0]) {
+                SVal::Str(s) => s.clone(),
+                other => format!("{other}"),
+            };
+            vec![(Outcome::Err(blame(format!("error: {message}"))), heap.clone())]
+        }
+        Prim::MakeBox => {
+            let mut heap = heap.clone();
+            let loc = heap.alloc(SVal::BoxVal(args[0]));
+            vec![(Outcome::Val(loc), heap)]
+        }
+        Prim::Unbox => match heap.get(args[0]).clone() {
+            SVal::BoxVal(inner) => vec![(Outcome::Val(inner), heap.clone())],
+            SVal::Opaque { .. } => {
+                let mut yes = heap.clone();
+                refine_to_tag(ctx, &mut yes, args[0], &Tag::BoxT);
+                let inner = match yes.get(args[0]) {
+                    SVal::BoxVal(inner) => *inner,
+                    _ => unreachable!("refine_to_tag installs a box"),
+                };
+                let mut no = heap.clone();
+                no.refine(args[0], CRefinement::IsNot(Tag::BoxT));
+                vec![
+                    (Outcome::Val(inner), yes),
+                    (Outcome::Err(blame("unbox: expected a box".to_string())), no),
+                ]
+            }
+            _ => vec![(Outcome::Err(blame("unbox: expected a box".to_string())), heap.clone())],
+        },
+        Prim::SetBox => match heap.get(args[0]).clone() {
+            SVal::BoxVal(_) => {
+                let mut heap = heap.clone();
+                heap.set(args[0], SVal::BoxVal(args[1]));
+                alloc_value(&heap, SVal::Nil)
+            }
+            _ => vec![(
+                Outcome::Err(blame("set-box!: expected a box".to_string())),
+                heap.clone(),
+            )],
+        },
+        Prim::StringLength => match heap.get(args[0]) {
+            SVal::Str(s) => alloc_value(heap, SVal::Num(Number::Int(s.len() as i64))),
+            SVal::Opaque { .. } => {
+                let proof = ctx.prover.prove_tag(heap, args[0], &Tag::StringT);
+                let mut outcomes = Vec::new();
+                if proof != Proof::Refuted {
+                    let mut result_heap = heap.clone();
+                    if proof != Proof::Proved {
+                        result_heap.refine(args[0], CRefinement::Is(Tag::StringT));
+                    }
+                    let result = result_heap.alloc_fresh_opaque();
+                    result_heap.refine(result, CRefinement::Is(Tag::Integer));
+                    result_heap.refine(result, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+                    outcomes.push((Outcome::Val(result), result_heap));
+                }
+                if proof != Proof::Proved {
+                    let mut no = heap.clone();
+                    no.refine(args[0], CRefinement::IsNot(Tag::StringT));
+                    outcomes.push((
+                        Outcome::Err(blame("string-length: expected a string".to_string())),
+                        no,
+                    ));
+                }
+                outcomes
+            }
+            _ => vec![(
+                Outcome::Err(blame("string-length: expected a string".to_string())),
+                heap.clone(),
+            )],
+        },
+        Prim::IsZero => numeric_comparison(ctx, owner, Prim::NumEq, args[0], None, heap, label),
+        Prim::NumEq | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge => {
+            numeric_comparison(ctx, owner, prim, args[0], Some(args[1]), heap, label)
+        }
+        Prim::Add | Prim::Sub | Prim::Mul | Prim::Add1 | Prim::Sub1 | Prim::Div | Prim::Mod => {
+            arithmetic(ctx, owner, prim, args, heap, label)
+        }
+    }
+}
+
+fn pair_project(
+    ctx: &mut Ctx,
+    owner: &str,
+    prim: Prim,
+    loc: Loc,
+    heap: &Heap,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: owner.to_string(),
+        message: format!("{prim}: expected a pair"),
+        label,
+    };
+    match heap.get(loc) {
+        SVal::Pair(car, cdr) => {
+            let field = if prim == Prim::Car { *car } else { *cdr };
+            vec![(Outcome::Val(field), heap.clone())]
+        }
+        SVal::Opaque { .. } => match ctx.prover.prove_tag(heap, loc, &Tag::Pair) {
+            Proof::Refuted => vec![(Outcome::Err(blame), heap.clone())],
+            _ => {
+                let mut yes = heap.clone();
+                refine_to_tag(ctx, &mut yes, loc, &Tag::Pair);
+                let (car, cdr) = match yes.get(loc) {
+                    SVal::Pair(a, b) => (*a, *b),
+                    _ => unreachable!("refine_to_tag installs a pair"),
+                };
+                let field = if prim == Prim::Car { car } else { cdr };
+                let mut no = heap.clone();
+                no.refine(loc, CRefinement::IsNot(Tag::Pair));
+                vec![(Outcome::Val(field), yes), (Outcome::Err(blame), no)]
+            }
+        },
+        _ => vec![(Outcome::Err(blame), heap.clone())],
+    }
+}
+
+/// Ensures `loc` can be treated as an integer for symbolic arithmetic,
+/// returning the feasible branches: `(is_real_integer, heap)`. The non-real
+/// branch concretises the value to `0+1i` so counterexamples involving the
+/// numeric tower (the `argmin` example) can be produced.
+fn integer_branches(ctx: &mut Ctx, heap: &Heap, loc: Loc, allow_complex: bool) -> Vec<(bool, Heap)> {
+    match heap.get(loc) {
+        SVal::Num(n) => vec![(n.is_real(), heap.clone())],
+        SVal::Opaque { .. } => match ctx.prover.prove_tag(heap, loc, &Tag::Real) {
+            Proof::Proved => vec![(true, heap.clone())],
+            Proof::Refuted => vec![(false, heap.clone())],
+            Proof::Ambiguous => {
+                let mut real = heap.clone();
+                real.refine(loc, CRefinement::Is(Tag::Integer));
+                let mut branches = vec![(true, real)];
+                if allow_complex
+                    && ctx.prover.prove_tag(heap, loc, &Tag::Number) != Proof::Refuted
+                {
+                    let mut complex = heap.clone();
+                    complex.set(loc, SVal::Num(Number::complex(0, 1)));
+                    branches.push((false, complex));
+                }
+                branches
+            }
+        },
+        _ => vec![(false, heap.clone())],
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn numeric_comparison(
+    ctx: &mut Ctx,
+    owner: &str,
+    prim: Prim,
+    left: Loc,
+    right: Option<Loc>,
+    heap: &Heap,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: owner.to_string(),
+        message: format!("{prim}: expected real numbers"),
+        label,
+    };
+    let cmp = match prim {
+        Prim::NumEq => CmpOp::Eq,
+        Prim::Lt => CmpOp::Lt,
+        Prim::Le => CmpOp::Le,
+        Prim::Gt => CmpOp::Gt,
+        Prim::Ge => CmpOp::Ge,
+        _ => CmpOp::Eq,
+    };
+    // `=` works on all numbers, the orderings require reals.
+    let needs_real = !matches!(prim, Prim::NumEq);
+    let mut out = Vec::new();
+    for (left_real, left_heap) in integer_branches(ctx, heap, left, needs_real) {
+        if !left_real && needs_real {
+            out.push((Outcome::Err(blame.clone()), left_heap));
+            continue;
+        }
+        if !left_real && !needs_real {
+            // Comparing a complex number for equality: decided concretely
+            // when possible, otherwise both ways.
+            out.extend(alloc_value(&left_heap, SVal::Bool(false)));
+            continue;
+        }
+        let branches_right = match right {
+            Some(right) => integer_branches(ctx, &left_heap, right, needs_real),
+            None => vec![(true, left_heap.clone())],
+        };
+        for (right_real, branch_heap) in branches_right {
+            if !right_real && needs_real {
+                out.push((Outcome::Err(blame.clone()), branch_heap));
+                continue;
+            }
+            if !right_real {
+                out.extend(alloc_value(&branch_heap, SVal::Bool(false)));
+                continue;
+            }
+            // Both sides (assumed) integers: decide or branch symbolically.
+            let left_concrete = branch_heap.int_at(left);
+            let right_concrete = match right {
+                Some(r) => branch_heap.int_at(r),
+                None => Some(0),
+            };
+            match (left_concrete, right_concrete) {
+                (Some(a), Some(b)) => {
+                    out.extend(alloc_value(&branch_heap, SVal::Bool(cmp.eval(a, b))));
+                }
+                _ => {
+                    let (subject, subject_cmp, other_expr) = if branch_heap.int_at(left).is_none() {
+                        let rhs = match right {
+                            Some(r) => operand(&branch_heap, r),
+                            None => CSymExpr::int(0),
+                        };
+                        (left, cmp, rhs)
+                    } else {
+                        let flipped = match cmp {
+                            CmpOp::Eq => CmpOp::Eq,
+                            CmpOp::Ne => CmpOp::Ne,
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                        };
+                        (right.expect("symbolic side"), flipped, operand(&branch_heap, left))
+                    };
+                    match ctx.prover.prove_num(&branch_heap, subject, subject_cmp, &other_expr) {
+                        Proof::Proved => out.extend(alloc_value(&branch_heap, SVal::Bool(true))),
+                        Proof::Refuted => out.extend(alloc_value(&branch_heap, SVal::Bool(false))),
+                        Proof::Ambiguous => {
+                            let mut yes = branch_heap.clone();
+                            yes.refine(subject, CRefinement::NumCmp(subject_cmp, other_expr.clone()));
+                            out.extend(alloc_value(&yes, SVal::Bool(true)));
+                            let mut no = branch_heap.clone();
+                            no.refine(
+                                subject,
+                                CRefinement::NumCmp(subject_cmp.negate(), other_expr),
+                            );
+                            out.extend(alloc_value(&no, SVal::Bool(false)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn arithmetic(
+    ctx: &mut Ctx,
+    owner: &str,
+    prim: Prim,
+    args: &[Loc],
+    heap: &Heap,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = |message: String| CBlame {
+        party: owner.to_string(),
+        message,
+        label,
+    };
+    // All-concrete fast path (covers complex arithmetic too).
+    let concrete: Option<Vec<Number>> = args.iter().map(|&l| heap.num_at(l)).collect();
+    if let Some(values) = concrete {
+        return match concrete_arith(prim, &values) {
+            Ok(result) => alloc_value(heap, SVal::Num(result)),
+            Err(message) => vec![(Outcome::Err(blame(message)), heap.clone())],
+        };
+    }
+    // Symbolic path: every opaque argument is assumed to be an integer (a
+    // branch blaming non-numbers is produced when the tag is refutable).
+    let mut branch_heaps = vec![heap.clone()];
+    for &arg in args {
+        let mut next = Vec::new();
+        for branch_heap in branch_heaps {
+            match branch_heap.get(arg) {
+                SVal::Num(n) if n.is_real() => next.push(branch_heap),
+                SVal::Num(_) => {
+                    // Complex argument to integer-only symbolic arithmetic:
+                    // only +,-,* support it and those were handled in the
+                    // concrete path, so here the other operand is opaque;
+                    // treat the operation as erroneous only for / and modulo.
+                    next.push(branch_heap);
+                }
+                SVal::Opaque { .. } => {
+                    match ctx.prover.prove_tag(&branch_heap, arg, &Tag::Number) {
+                        Proof::Refuted => {}
+                        _ => {
+                            let mut yes = branch_heap.clone();
+                            if ctx.prover.prove_tag(&yes, arg, &Tag::Integer) != Proof::Proved {
+                                yes.refine(arg, CRefinement::Is(Tag::Integer));
+                            }
+                            next.push(yes);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        branch_heaps = next;
+    }
+    let mut out: Vec<(Outcome, Heap)> = Vec::new();
+    // A branch blaming the operation when some argument may not be a number.
+    for &arg in args {
+        if matches!(heap.get(arg), SVal::Opaque { .. })
+            && ctx.prover.prove_tag(heap, arg, &Tag::Number) != Proof::Proved
+        {
+            let mut bad = heap.clone();
+            bad.refine(arg, CRefinement::IsNot(Tag::Number));
+            out.push((Outcome::Err(blame(format!("{prim}: expected numbers"))), bad));
+            break;
+        }
+    }
+    for branch_heap in branch_heaps {
+        match prim {
+            Prim::Div | Prim::Mod => {
+                let divisor = args[1];
+                let zero = CRefinement::NumCmp(CmpOp::Eq, CSymExpr::int(0));
+                match ctx.prover.prove_num(&branch_heap, divisor, CmpOp::Eq, &CSymExpr::int(0)) {
+                    Proof::Proved => out.push((
+                        Outcome::Err(blame(format!("{prim}: division by zero"))),
+                        branch_heap,
+                    )),
+                    Proof::Refuted => {
+                        out.push(symbolic_arith_result(prim, args, branch_heap));
+                    }
+                    Proof::Ambiguous => {
+                        let mut error_heap = branch_heap.clone();
+                        if matches!(error_heap.get(divisor), SVal::Opaque { .. }) {
+                            error_heap.refine(divisor, zero);
+                        }
+                        out.push((
+                            Outcome::Err(blame(format!("{prim}: division by zero"))),
+                            error_heap,
+                        ));
+                        let mut ok_heap = branch_heap.clone();
+                        if matches!(ok_heap.get(divisor), SVal::Opaque { .. }) {
+                            ok_heap.refine(
+                                divisor,
+                                CRefinement::NumCmp(CmpOp::Ne, CSymExpr::int(0)),
+                            );
+                        }
+                        out.push(symbolic_arith_result(prim, args, ok_heap));
+                    }
+                }
+            }
+            _ => out.push(symbolic_arith_result(prim, args, branch_heap)),
+        }
+    }
+    out
+}
+
+fn symbolic_arith_result(prim: Prim, args: &[Loc], mut heap: Heap) -> (Outcome, Heap) {
+    let expr = match prim {
+        Prim::Add1 => CSymExpr::Add(Box::new(operand(&heap, args[0])), Box::new(CSymExpr::int(1))),
+        Prim::Sub1 => CSymExpr::Sub(Box::new(operand(&heap, args[0])), Box::new(CSymExpr::int(1))),
+        Prim::Add | Prim::Sub | Prim::Mul => {
+            let mut iter = args.iter();
+            let first = operand(&heap, *iter.next().expect("at least one argument"));
+            iter.fold(first, |acc, &next| {
+                let rhs = operand(&heap, next);
+                match prim {
+                    Prim::Add => CSymExpr::Add(Box::new(acc), Box::new(rhs)),
+                    Prim::Sub => CSymExpr::Sub(Box::new(acc), Box::new(rhs)),
+                    _ => CSymExpr::Mul(Box::new(acc), Box::new(rhs)),
+                }
+            })
+        }
+        Prim::Div => CSymExpr::Div(
+            Box::new(operand(&heap, args[0])),
+            Box::new(operand(&heap, args[1])),
+        ),
+        Prim::Mod => CSymExpr::Mod(
+            Box::new(operand(&heap, args[0])),
+            Box::new(operand(&heap, args[1])),
+        ),
+        _ => unreachable!("not an arithmetic primitive"),
+    };
+    let result = heap.alloc_fresh_opaque();
+    heap.refine(result, CRefinement::Is(Tag::Integer));
+    heap.refine(result, CRefinement::NumCmp(CmpOp::Eq, expr));
+    (Outcome::Val(result), heap)
+}
+
+fn concrete_arith(prim: Prim, values: &[Number]) -> Result<Number, String> {
+    match prim {
+        Prim::Add1 => Ok(values[0].add(Number::Int(1))),
+        Prim::Sub1 => Ok(values[0].sub(Number::Int(1))),
+        Prim::Add => Ok(values.iter().fold(Number::Int(0), |a, b| a.add(*b))),
+        Prim::Mul => Ok(values.iter().fold(Number::Int(1), |a, b| a.mul(*b))),
+        Prim::Sub => {
+            if values.len() == 1 {
+                Ok(Number::Int(0).sub(values[0]))
+            } else {
+                Ok(values[1..].iter().fold(values[0], |a, b| a.sub(*b)))
+            }
+        }
+        Prim::Div => values[0]
+            .div(values[1])
+            .ok_or_else(|| "/: division by zero or non-integer operands".to_string()),
+        Prim::Mod => values[0]
+            .rem(values[1])
+            .ok_or_else(|| "modulo: division by zero or non-integer operands".to_string()),
+        _ => Err(format!("{prim}: not an arithmetic primitive")),
+    }
+}

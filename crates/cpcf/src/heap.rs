@@ -1,0 +1,520 @@
+//! The symbolic heap for CPCF: locations, storeable values, refinements on
+//! opaque values, and first-class contract values.
+//!
+//! Compared to the typed core (the `spcf` crate), values are dynamically
+//! tagged: an opaque value accumulates *tag refinements* (`pair?`,
+//! `procedure?`, `integer?`, …) alongside numeric refinements, and is
+//! structurally refined in place when a tag test determines its shape (an
+//! opaque value known to be a pair becomes a pair of fresh opaque values, as
+//! §4.2 of the paper describes for user-defined data structures).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use folic::CmpOp;
+
+use crate::numeric::Number;
+use crate::syntax::{Expr, Label};
+
+/// A heap location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(u32);
+
+impl Loc {
+    /// Creates a location from an index.
+    pub fn new(index: u32) -> Self {
+        Loc(index)
+    }
+
+    /// The index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The solver variable standing for this location's numeric value.
+    pub fn solver_var(self) -> folic::Var {
+        folic::Var::new(self.0)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Environments map names to locations; shared so closures are cheap.
+pub type Env = Rc<HashMap<String, Loc>>;
+
+/// Creates an empty environment.
+pub fn empty_env() -> Env {
+    Rc::new(HashMap::new())
+}
+
+/// Extends an environment with new bindings.
+pub fn extend_env(env: &Env, bindings: impl IntoIterator<Item = (String, Loc)>) -> Env {
+    let mut map = (**env).clone();
+    map.extend(bindings);
+    Rc::new(map)
+}
+
+/// Dynamic type tags used by refinements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// Any number (including complex).
+    Number,
+    /// A real number.
+    Real,
+    /// An exact integer.
+    Integer,
+    /// A procedure.
+    Procedure,
+    /// A pair.
+    Pair,
+    /// The empty list.
+    Null,
+    /// A boolean.
+    Boolean,
+    /// A string.
+    StringT,
+    /// A mutable box.
+    BoxT,
+    /// An instance of the named struct.
+    Struct(String),
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tag::Number => write!(f, "number?"),
+            Tag::Real => write!(f, "real?"),
+            Tag::Integer => write!(f, "integer?"),
+            Tag::Procedure => write!(f, "procedure?"),
+            Tag::Pair => write!(f, "pair?"),
+            Tag::Null => write!(f, "null?"),
+            Tag::Boolean => write!(f, "boolean?"),
+            Tag::StringT => write!(f, "string?"),
+            Tag::BoxT => write!(f, "box?"),
+            Tag::Struct(name) => write!(f, "{name}?"),
+        }
+    }
+}
+
+/// Symbolic integer expressions over locations (right-hand sides of numeric
+/// refinements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CSymExpr {
+    /// A location's numeric value.
+    Loc(Loc),
+    /// A constant.
+    Const(i64),
+    /// Addition.
+    Add(Box<CSymExpr>, Box<CSymExpr>),
+    /// Subtraction.
+    Sub(Box<CSymExpr>, Box<CSymExpr>),
+    /// Multiplication.
+    Mul(Box<CSymExpr>, Box<CSymExpr>),
+    /// Truncated division.
+    Div(Box<CSymExpr>, Box<CSymExpr>),
+    /// Remainder.
+    Mod(Box<CSymExpr>, Box<CSymExpr>),
+}
+
+impl CSymExpr {
+    /// A location operand.
+    pub fn loc(l: Loc) -> Self {
+        CSymExpr::Loc(l)
+    }
+
+    /// A constant operand.
+    pub fn int(n: i64) -> Self {
+        CSymExpr::Const(n)
+    }
+}
+
+impl fmt::Display for CSymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CSymExpr::Loc(l) => write!(f, "{l}"),
+            CSymExpr::Const(n) => write!(f, "{n}"),
+            CSymExpr::Add(a, b) => write!(f, "(+ {a} {b})"),
+            CSymExpr::Sub(a, b) => write!(f, "(- {a} {b})"),
+            CSymExpr::Mul(a, b) => write!(f, "(* {a} {b})"),
+            CSymExpr::Div(a, b) => write!(f, "(/ {a} {b})"),
+            CSymExpr::Mod(a, b) => write!(f, "(modulo {a} {b})"),
+        }
+    }
+}
+
+/// A refinement on an opaque value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CRefinement {
+    /// The value has this tag.
+    Is(Tag),
+    /// The value does not have this tag.
+    IsNot(Tag),
+    /// The value is a number standing in `op` relation to the expression.
+    NumCmp(CmpOp, CSymExpr),
+    /// The value is the boolean `false` (used for falsity branches).
+    IsFalse,
+    /// The value is a true value (anything but `#f`).
+    IsTruthy,
+}
+
+impl fmt::Display for CRefinement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CRefinement::Is(tag) => write!(f, "{tag}"),
+            CRefinement::IsNot(tag) => write!(f, "(not {tag})"),
+            CRefinement::NumCmp(op, rhs) => write!(f, "(λx. ({op} x {rhs}))"),
+            CRefinement::IsFalse => write!(f, "false?"),
+            CRefinement::IsTruthy => write!(f, "truthy?"),
+        }
+    }
+}
+
+/// A first-class contract value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractVal {
+    /// A flat contract: the location of a predicate.
+    Flat(Loc),
+    /// A function contract with domain and range contract locations.
+    Func {
+        /// Domain contracts.
+        doms: Vec<Loc>,
+        /// Range contract.
+        rng: Loc,
+    },
+    /// Conjunction of contracts.
+    And(Vec<Loc>),
+    /// Disjunction of contracts.
+    Or(Vec<Loc>),
+    /// Contract on pairs.
+    Cons(Loc, Loc),
+    /// Contract on proper lists.
+    ListOf(Loc),
+    /// Membership in a fixed set of values.
+    OneOf(Vec<Loc>),
+    /// The trivial contract.
+    Any,
+}
+
+/// A storeable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SVal {
+    /// A number.
+    Num(Number),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// The empty list.
+    Nil,
+    /// A pair of locations.
+    Pair(Loc, Loc),
+    /// A closure, remembering the module that owns its code (for blame).
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Expr,
+        /// Captured environment.
+        env: Env,
+        /// Owning party (module name or "context").
+        owner: String,
+    },
+    /// A struct instance.
+    StructVal {
+        /// Struct tag.
+        tag: String,
+        /// Field locations.
+        fields: Vec<Loc>,
+    },
+    /// A mutable box.
+    BoxVal(Loc),
+    /// A contract value.
+    Contract(ContractVal),
+    /// A function wrapped in a function contract (a "guarded" value).
+    Guarded {
+        /// Domain contract locations.
+        doms: Vec<Loc>,
+        /// Range contract location.
+        rng: Loc,
+        /// The wrapped function.
+        inner: Loc,
+        /// Positive blame party (the function's provider).
+        pos: String,
+        /// Negative blame party (the function's client).
+        neg: String,
+        /// Monitor label.
+        label: Label,
+    },
+    /// An opaque value with accumulated refinements and (when used as a
+    /// function on simple arguments) a memo table of applications.
+    Opaque {
+        /// Refinements learned along the current path.
+        refinements: Vec<CRefinement>,
+        /// Memoised `(argument, result)` pairs (the `case` map).
+        entries: Vec<(Loc, Loc)>,
+    },
+}
+
+impl SVal {
+    /// A fresh, completely unknown opaque value.
+    pub fn opaque() -> SVal {
+        SVal::Opaque {
+            refinements: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// True if this is an opaque value.
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, SVal::Opaque { .. })
+    }
+
+    /// The number stored, if any.
+    pub fn as_num(&self) -> Option<Number> {
+        match self {
+            SVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The exact integer stored, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_num().and_then(Number::as_int)
+    }
+}
+
+impl fmt::Display for SVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SVal::Num(n) => write!(f, "{n}"),
+            SVal::Bool(b) => write!(f, "{}", if *b { "#t" } else { "#f" }),
+            SVal::Str(s) => write!(f, "{s:?}"),
+            SVal::Nil => write!(f, "'()"),
+            SVal::Pair(a, b) => write!(f, "(cons {a} {b})"),
+            SVal::Closure { params, owner, .. } => {
+                write!(f, "#<procedure:{}({})>", owner, params.join(" "))
+            }
+            SVal::StructVal { tag, fields } => {
+                write!(f, "({tag}")?;
+                for field in fields {
+                    write!(f, " {field}")?;
+                }
+                write!(f, ")")
+            }
+            SVal::BoxVal(l) => write!(f, "(box {l})"),
+            SVal::Contract(_) => write!(f, "#<contract>"),
+            SVal::Guarded { inner, .. } => write!(f, "#<guarded {inner}>"),
+            SVal::Opaque { refinements, .. } => {
+                write!(f, "•")?;
+                for r in refinements {
+                    write!(f, ", {r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The symbolic heap.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Heap {
+    entries: BTreeMap<Loc, SVal>,
+    opaque_locs: BTreeMap<Label, Loc>,
+    next: u32,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of allocated locations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocates a fresh location.
+    pub fn alloc(&mut self, value: SVal) -> Loc {
+        let loc = Loc::new(self.next);
+        self.next += 1;
+        self.entries.insert(loc, value);
+        loc
+    }
+
+    /// Allocates (or reuses) the location for an opaque source label.
+    pub fn alloc_opaque(&mut self, label: Label) -> Loc {
+        if let Some(&loc) = self.opaque_locs.get(&label) {
+            return loc;
+        }
+        let loc = self.alloc(SVal::opaque());
+        self.opaque_locs.insert(label, loc);
+        loc
+    }
+
+    /// Allocates a fresh anonymous opaque value.
+    pub fn alloc_fresh_opaque(&mut self) -> Loc {
+        self.alloc(SVal::opaque())
+    }
+
+    /// The location of an opaque source label, if it was reached.
+    pub fn opaque_loc(&self, label: Label) -> Option<Loc> {
+        self.opaque_locs.get(&label).copied()
+    }
+
+    /// Looks up a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling location (an engine bug, not a user error).
+    pub fn get(&self, loc: Loc) -> &SVal {
+        self.entries
+            .get(&loc)
+            .unwrap_or_else(|| panic!("dangling location {loc}"))
+    }
+
+    /// Looks up a location without panicking.
+    pub fn try_get(&self, loc: Loc) -> Option<&SVal> {
+        self.entries.get(&loc)
+    }
+
+    /// Replaces the value at a location.
+    pub fn set(&mut self, loc: Loc, value: SVal) {
+        self.entries.insert(loc, value);
+    }
+
+    /// Adds a refinement to the opaque value at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location does not hold an opaque value.
+    pub fn refine(&mut self, loc: Loc, refinement: CRefinement) {
+        match self.entries.get_mut(&loc) {
+            Some(SVal::Opaque { refinements, .. }) => {
+                if !refinements.contains(&refinement) {
+                    refinements.push(refinement);
+                }
+            }
+            other => panic!("refining non-opaque location {loc}: {other:?}"),
+        }
+    }
+
+    /// The refinements on `loc` (empty when not opaque).
+    pub fn refinements(&self, loc: Loc) -> &[CRefinement] {
+        match self.try_get(loc) {
+            Some(SVal::Opaque { refinements, .. }) => refinements,
+            _ => &[],
+        }
+    }
+
+    /// True if the opaque value at `loc` carries the given refinement.
+    pub fn has_refinement(&self, loc: Loc, refinement: &CRefinement) -> bool {
+        self.refinements(loc).contains(refinement)
+    }
+
+    /// The concrete number at `loc`, if it holds one.
+    pub fn num_at(&self, loc: Loc) -> Option<Number> {
+        self.try_get(loc).and_then(SVal::as_num)
+    }
+
+    /// The concrete integer at `loc`, if it holds one.
+    pub fn int_at(&self, loc: Loc) -> Option<i64> {
+        self.try_get(loc).and_then(SVal::as_int)
+    }
+
+    /// Iterates over allocated locations in order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &SVal)> + '_ {
+        self.entries.iter().map(|(l, v)| (*l, v))
+    }
+
+    /// Index of the next allocation (for fresh solver variables).
+    pub fn next_index(&self) -> u32 {
+        self.next
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (loc, value) in self.iter() {
+            writeln!(f, "  {loc} ↦ {value}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_lookup() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(SVal::Num(Number::Int(1)));
+        let b = heap.alloc(SVal::Bool(true));
+        assert_eq!(heap.int_at(a), Some(1));
+        assert_eq!(heap.get(b), &SVal::Bool(true));
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn opaque_reuse_per_label() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_opaque(Label(1));
+        let b = heap.alloc_opaque(Label(1));
+        let c = heap.alloc_opaque(Label(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(heap.opaque_loc(Label(1)), Some(a));
+    }
+
+    #[test]
+    fn refinements_deduplicate() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::Is(Tag::Integer));
+        heap.refine(l, CRefinement::Is(Tag::Integer));
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+        assert_eq!(heap.refinements(l).len(), 2);
+        assert!(heap.has_refinement(l, &CRefinement::Is(Tag::Integer)));
+    }
+
+    #[test]
+    fn structural_refinement_replaces_opaque() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        let car = heap.alloc_fresh_opaque();
+        let cdr = heap.alloc_fresh_opaque();
+        heap.set(l, SVal::Pair(car, cdr));
+        assert!(matches!(heap.get(l), SVal::Pair(_, _)));
+    }
+
+    #[test]
+    fn environments_extend_without_mutating() {
+        let base = empty_env();
+        let extended = extend_env(&base, vec![("x".to_string(), Loc::new(0))]);
+        assert!(base.get("x").is_none());
+        assert_eq!(extended.get("x"), Some(&Loc::new(0)));
+    }
+
+    #[test]
+    fn display_of_values_is_informative() {
+        let mut heap = Heap::new();
+        let l = heap.alloc(SVal::Num(Number::complex(0, 1)));
+        assert_eq!(format!("{}", heap.get(l)), "0+1i");
+        let o = heap.alloc_fresh_opaque();
+        heap.refine(o, CRefinement::Is(Tag::Pair));
+        assert!(format!("{}", heap.get(o)).contains("pair?"));
+    }
+}

@@ -1,0 +1,204 @@
+//! A small slice of Racket's numeric tower: exact integers and exact
+//! (Gaussian-integer) complex numbers.
+//!
+//! The paper's evaluation leans on the fact that Racket's `number?` accepts
+//! complex numbers while `<` requires reals — that mismatch is exactly what
+//! the `argmin` counterexample (§5.2) exploits. Supporting integers plus
+//! exact complex numbers is enough to reproduce those counterexamples; the
+//! rest of the tower (rationals, floats) is orthogonal to the technique and
+//! is documented as out of scope in DESIGN.md.
+
+use std::fmt;
+
+/// A number: an exact integer or an exact complex with integer parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Number {
+    /// An exact integer.
+    Int(i64),
+    /// An exact complex number `re + im·i` with `im ≠ 0`.
+    Complex(i64, i64),
+}
+
+impl Number {
+    /// Builds a number, normalising a zero imaginary part to an integer.
+    pub fn complex(re: i64, im: i64) -> Number {
+        if im == 0 {
+            Number::Int(re)
+        } else {
+            Number::Complex(re, im)
+        }
+    }
+
+    /// The integer value, if the number is a (real) integer.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Number::Int(n) => Some(n),
+            Number::Complex(_, _) => None,
+        }
+    }
+
+    /// True if the number is real (no imaginary part).
+    pub fn is_real(self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+
+    /// True if the number is zero.
+    pub fn is_zero(self) -> bool {
+        matches!(self, Number::Int(0))
+    }
+
+    /// The real part.
+    pub fn re(self) -> i64 {
+        match self {
+            Number::Int(n) => n,
+            Number::Complex(re, _) => re,
+        }
+    }
+
+    /// The imaginary part.
+    pub fn im(self) -> i64 {
+        match self {
+            Number::Int(_) => 0,
+            Number::Complex(_, im) => im,
+        }
+    }
+
+    /// Addition.
+    pub fn add(self, other: Number) -> Number {
+        Number::complex(
+            self.re().wrapping_add(other.re()),
+            self.im().wrapping_add(other.im()),
+        )
+    }
+
+    /// Subtraction.
+    pub fn sub(self, other: Number) -> Number {
+        Number::complex(
+            self.re().wrapping_sub(other.re()),
+            self.im().wrapping_sub(other.im()),
+        )
+    }
+
+    /// Multiplication `(a+bi)(c+di) = (ac−bd) + (ad+bc)i`.
+    pub fn mul(self, other: Number) -> Number {
+        let (a, b, c, d) = (self.re(), self.im(), other.re(), other.im());
+        Number::complex(
+            a.wrapping_mul(c).wrapping_sub(b.wrapping_mul(d)),
+            a.wrapping_mul(d).wrapping_add(b.wrapping_mul(c)),
+        )
+    }
+
+    /// Integer (truncated) division; defined only for real operands with a
+    /// non-zero divisor. Returns `None` otherwise; the caller turns that
+    /// into blame.
+    pub fn div(self, other: Number) -> Option<Number> {
+        match (self, other) {
+            (Number::Int(_), Number::Int(0)) => None,
+            (Number::Int(a), Number::Int(b)) => Some(Number::Int(a.wrapping_div(b))),
+            _ => None,
+        }
+    }
+
+    /// Remainder; same domain restrictions as [`Number::div`].
+    pub fn rem(self, other: Number) -> Option<Number> {
+        match (self, other) {
+            (Number::Int(_), Number::Int(0)) => None,
+            (Number::Int(a), Number::Int(b)) => Some(Number::Int(a.wrapping_rem(b))),
+            _ => None,
+        }
+    }
+
+    /// Numeric equality (defined for all numbers).
+    pub fn num_eq(self, other: Number) -> bool {
+        self.re() == other.re() && self.im() == other.im()
+    }
+
+    /// Ordering comparison; `None` when either operand is not real — Racket
+    /// raises a contract error for `<` on complex numbers, and so do we.
+    pub fn compare(self, other: Number) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => Some(a.cmp(&b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(n) => write!(f, "{n}"),
+            Number::Complex(re, im) => {
+                if *im >= 0 {
+                    write!(f, "{re}+{im}i")
+                } else {
+                    write!(f, "{re}{im}i")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(n: i64) -> Self {
+        Number::Int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_imaginary_normalises_to_int() {
+        assert_eq!(Number::complex(5, 0), Number::Int(5));
+        assert!(Number::complex(5, 0).is_real());
+        assert!(!Number::complex(5, 1).is_real());
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let i = Number::complex(0, 1);
+        // i * i = -1
+        assert_eq!(i.mul(i), Number::Int(-1));
+        // (1+i) + (2-i) = 3
+        assert_eq!(
+            Number::complex(1, 1).add(Number::complex(2, -1)),
+            Number::Int(3)
+        );
+        assert_eq!(
+            Number::complex(1, 2).sub(Number::Int(1)),
+            Number::complex(0, 2)
+        );
+    }
+
+    #[test]
+    fn division_is_partial() {
+        assert_eq!(Number::Int(7).div(Number::Int(2)), Some(Number::Int(3)));
+        assert_eq!(Number::Int(7).div(Number::Int(0)), None);
+        assert_eq!(Number::complex(1, 1).div(Number::Int(2)), None);
+        assert_eq!(Number::Int(7).rem(Number::Int(2)), Some(Number::Int(1)));
+        assert_eq!(Number::Int(7).rem(Number::Int(0)), None);
+    }
+
+    #[test]
+    fn comparison_requires_reals() {
+        assert_eq!(
+            Number::Int(1).compare(Number::Int(2)),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(Number::complex(0, 1).compare(Number::Int(0)), None);
+    }
+
+    #[test]
+    fn equality_covers_complex() {
+        assert!(Number::complex(0, 1).num_eq(Number::complex(0, 1)));
+        assert!(!Number::complex(0, 1).num_eq(Number::Int(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Number::Int(-3).to_string(), "-3");
+        assert_eq!(Number::complex(0, 1).to_string(), "0+1i");
+        assert_eq!(Number::complex(2, -5).to_string(), "2-5i");
+    }
+}

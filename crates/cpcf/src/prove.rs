@@ -1,0 +1,393 @@
+//! Reasoning about opaque values: tag-level reasoning done directly on
+//! refinements, numeric reasoning delegated to the first-order solver.
+//!
+//! As in the typed core, only *base values* are ever encoded for the solver
+//! (Fig. 4): numeric refinements become integer formulas, the memo tables of
+//! opaque functions become functionality constraints, and everything
+//! higher-order stays on the semantics side.
+
+use folic::{CmpOp, Formula, Model, Proof, SmtResult, Solver, SolverConfig, Term, Var};
+
+use crate::heap::{CRefinement, CSymExpr, Heap, Loc, SVal, Tag};
+use crate::numeric::Number;
+
+/// Configuration for solver queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProveConfig {
+    /// Underlying solver configuration.
+    pub solver: SolverConfig,
+}
+
+/// The prover: tag reasoning plus numeric queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prover {
+    /// Query configuration.
+    pub config: ProveConfig,
+}
+
+/// Is `sub` a subtag of `sup` (every `sub` value is a `sup` value)?
+fn subtag(sub: &Tag, sup: &Tag) -> bool {
+    match (sub, sup) {
+        _ if sub == sup => true,
+        (Tag::Integer, Tag::Real | Tag::Number) => true,
+        (Tag::Real, Tag::Number) => true,
+        _ => false,
+    }
+}
+
+/// Are two tags disjoint (no value has both)?
+fn disjoint(a: &Tag, b: &Tag) -> bool {
+    if subtag(a, b) || subtag(b, a) {
+        return false;
+    }
+    // Number/Real/Integer overlap each other but nothing else; all remaining
+    // tag pairs are disjoint.
+    true
+}
+
+impl Prover {
+    /// Creates a prover with defaults.
+    pub fn new() -> Self {
+        Prover::default()
+    }
+
+    /// Does the value at `loc` have tag `tag`? Three-valued, using concrete
+    /// values and tag refinements.
+    pub fn prove_tag(&self, heap: &Heap, loc: Loc, tag: &Tag) -> Proof {
+        match heap.get(loc) {
+            SVal::Num(n) => concrete_tag(&number_tag(*n), tag),
+            SVal::Bool(_) => concrete_tag(&Tag::Boolean, tag),
+            SVal::Str(_) => concrete_tag(&Tag::StringT, tag),
+            SVal::Nil => concrete_tag(&Tag::Null, tag),
+            SVal::Pair(_, _) => concrete_tag(&Tag::Pair, tag),
+            SVal::Closure { .. } | SVal::Guarded { .. } => concrete_tag(&Tag::Procedure, tag),
+            SVal::StructVal { tag: name, .. } => concrete_tag(&Tag::Struct(name.clone()), tag),
+            SVal::BoxVal(_) => concrete_tag(&Tag::BoxT, tag),
+            SVal::Contract(_) => Proof::Refuted,
+            SVal::Opaque { refinements, .. } => {
+                for refinement in refinements {
+                    match refinement {
+                        CRefinement::Is(known) => {
+                            if subtag(known, tag) {
+                                return Proof::Proved;
+                            }
+                            if disjoint(known, tag) {
+                                return Proof::Refuted;
+                            }
+                        }
+                        CRefinement::IsNot(known) => {
+                            if subtag(tag, known) {
+                                return Proof::Refuted;
+                            }
+                        }
+                        CRefinement::NumCmp(_, _) => {
+                            // Having a numeric refinement implies being a number.
+                            if subtag(&Tag::Integer, tag) {
+                                return Proof::Proved;
+                            }
+                        }
+                        CRefinement::IsFalse => {
+                            if *tag == Tag::Boolean {
+                                return Proof::Proved;
+                            }
+                            if disjoint(&Tag::Boolean, tag) {
+                                return Proof::Refuted;
+                            }
+                        }
+                        CRefinement::IsTruthy => {}
+                    }
+                }
+                Proof::Ambiguous
+            }
+        }
+    }
+
+    /// Does the numeric value at `loc` stand in relation `op` to `rhs`?
+    pub fn prove_num(&self, heap: &Heap, loc: Loc, op: CmpOp, rhs: &CSymExpr) -> Proof {
+        let mut translation = translate_heap(heap);
+        let lhs = Term::var(loc.solver_var());
+        let rhs_term = translate_sym_expr(rhs, &mut translation);
+        let goal = Formula::atom(lhs, op, rhs_term);
+        let mut solver = Solver::with_config(self.config.solver);
+        for formula in &translation.formulas {
+            solver.assert(formula.clone());
+        }
+        solver.prove(&goal)
+    }
+
+    /// A model of the heap's numeric constraints, for counterexample
+    /// construction.
+    pub fn heap_model(&self, heap: &Heap) -> Option<Model> {
+        let translation = translate_heap(heap);
+        let mut solver = Solver::with_config(self.config.solver);
+        for formula in &translation.formulas {
+            solver.assert(formula.clone());
+        }
+        match solver.check() {
+            SmtResult::Sat(model) => Some(model),
+            _ => None,
+        }
+    }
+}
+
+fn number_tag(n: Number) -> Tag {
+    if n.is_real() {
+        Tag::Integer
+    } else {
+        Tag::Number
+    }
+}
+
+fn concrete_tag(actual: &Tag, asked: &Tag) -> Proof {
+    if subtag(actual, asked) {
+        Proof::Proved
+    } else if *actual == Tag::Number && matches!(asked, Tag::Real | Tag::Integer) {
+        // A complex number is a number but not real/integer.
+        Proof::Refuted
+    } else {
+        Proof::Refuted
+    }
+}
+
+/// The result of translating a heap into formulas.
+#[derive(Debug, Clone, Default)]
+pub struct Translation {
+    /// Conjuncts describing the heap's numeric content.
+    pub formulas: Vec<Formula>,
+    next_aux: u32,
+}
+
+impl Translation {
+    fn fresh_aux(&mut self) -> Var {
+        let var = Var::new(self.next_aux);
+        self.next_aux += 1;
+        var
+    }
+}
+
+/// Translates the numeric portion of the heap into formulas.
+pub fn translate_heap(heap: &Heap) -> Translation {
+    let mut translation = Translation {
+        formulas: Vec::new(),
+        next_aux: heap.next_index(),
+    };
+    for (loc, value) in heap.iter() {
+        match value {
+            SVal::Num(Number::Int(n)) => {
+                translation
+                    .formulas
+                    .push(Formula::eq(Term::var(loc.solver_var()), Term::int(*n)));
+            }
+            SVal::Opaque { refinements, entries } => {
+                for refinement in refinements {
+                    if let CRefinement::NumCmp(op, rhs) = refinement {
+                        let rhs_term = translate_sym_expr(rhs, &mut translation);
+                        translation.formulas.push(Formula::atom(
+                            Term::var(loc.solver_var()),
+                            *op,
+                            rhs_term,
+                        ));
+                    }
+                }
+                // Functionality of the memo table: equal numeric inputs give
+                // equal numeric outputs (only encoded for base-valued pairs).
+                for i in 0..entries.len() {
+                    for j in (i + 1)..entries.len() {
+                        let (arg_i, res_i) = entries[i];
+                        let (arg_j, res_j) = entries[j];
+                        if is_base(heap, arg_i) && is_base(heap, arg_j)
+                            && is_base(heap, res_i) && is_base(heap, res_j)
+                        {
+                            translation.formulas.push(Formula::implies(
+                                Formula::eq(
+                                    Term::var(arg_i.solver_var()),
+                                    Term::var(arg_j.solver_var()),
+                                ),
+                                Formula::eq(
+                                    Term::var(res_i.solver_var()),
+                                    Term::var(res_j.solver_var()),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    translation
+}
+
+fn is_base(heap: &Heap, loc: Loc) -> bool {
+    matches!(
+        heap.try_get(loc),
+        Some(SVal::Num(_)) | Some(SVal::Opaque { .. })
+    )
+}
+
+/// Translates a symbolic expression, adding division side constraints.
+pub fn translate_sym_expr(expr: &CSymExpr, translation: &mut Translation) -> Term {
+    match expr {
+        CSymExpr::Loc(l) => Term::var(l.solver_var()),
+        CSymExpr::Const(n) => Term::int(*n),
+        CSymExpr::Add(a, b) => Term::add(
+            translate_sym_expr(a, translation),
+            translate_sym_expr(b, translation),
+        ),
+        CSymExpr::Sub(a, b) => Term::sub(
+            translate_sym_expr(a, translation),
+            translate_sym_expr(b, translation),
+        ),
+        CSymExpr::Mul(a, b) => Term::mul(
+            translate_sym_expr(a, translation),
+            translate_sym_expr(b, translation),
+        ),
+        CSymExpr::Div(a, b) | CSymExpr::Mod(a, b) => {
+            let dividend = translate_sym_expr(a, translation);
+            let divisor = translate_sym_expr(b, translation);
+            let quotient = Term::var(translation.fresh_aux());
+            let remainder = Term::var(translation.fresh_aux());
+            translation.formulas.push(Formula::eq(
+                dividend.clone(),
+                Term::add(Term::mul(quotient.clone(), divisor.clone()), remainder.clone()),
+            ));
+            translation.formulas.push(Formula::implies(
+                Formula::gt(divisor.clone(), Term::int(0)),
+                Formula::and(vec![
+                    Formula::lt(remainder.clone(), divisor.clone()),
+                    Formula::lt(Term::neg(divisor.clone()), remainder.clone()),
+                ]),
+            ));
+            translation.formulas.push(Formula::implies(
+                Formula::lt(divisor.clone(), Term::int(0)),
+                Formula::and(vec![
+                    Formula::lt(remainder.clone(), Term::neg(divisor.clone())),
+                    Formula::lt(divisor, remainder.clone()),
+                ]),
+            ));
+            translation.formulas.push(Formula::or(vec![
+                Formula::eq(remainder.clone(), Term::int(0)),
+                Formula::and(vec![
+                    Formula::gt(dividend.clone(), Term::int(0)),
+                    Formula::gt(remainder.clone(), Term::int(0)),
+                ]),
+                Formula::and(vec![
+                    Formula::lt(dividend, Term::int(0)),
+                    Formula::lt(remainder.clone(), Term::int(0)),
+                ]),
+            ]));
+            if matches!(expr, CSymExpr::Div(_, _)) {
+                quotient
+            } else {
+                remainder
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_lattice() {
+        assert!(subtag(&Tag::Integer, &Tag::Number));
+        assert!(subtag(&Tag::Integer, &Tag::Real));
+        assert!(!subtag(&Tag::Number, &Tag::Integer));
+        assert!(disjoint(&Tag::Pair, &Tag::Procedure));
+        assert!(!disjoint(&Tag::Integer, &Tag::Number));
+    }
+
+    #[test]
+    fn concrete_values_have_decided_tags() {
+        let mut heap = Heap::new();
+        let n = heap.alloc(SVal::Num(Number::Int(3)));
+        let c = heap.alloc(SVal::Num(Number::complex(0, 1)));
+        let p = heap.alloc(SVal::Pair(n, c));
+        let prover = Prover::new();
+        assert_eq!(prover.prove_tag(&heap, n, &Tag::Integer), Proof::Proved);
+        assert_eq!(prover.prove_tag(&heap, n, &Tag::Number), Proof::Proved);
+        assert_eq!(prover.prove_tag(&heap, c, &Tag::Number), Proof::Proved);
+        assert_eq!(prover.prove_tag(&heap, c, &Tag::Real), Proof::Refuted);
+        assert_eq!(prover.prove_tag(&heap, p, &Tag::Pair), Proof::Proved);
+        assert_eq!(prover.prove_tag(&heap, p, &Tag::Number), Proof::Refuted);
+    }
+
+    #[test]
+    fn refinements_decide_tags() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        let prover = Prover::new();
+        assert_eq!(prover.prove_tag(&heap, l, &Tag::Pair), Proof::Ambiguous);
+        heap.refine(l, CRefinement::Is(Tag::Integer));
+        assert_eq!(prover.prove_tag(&heap, l, &Tag::Number), Proof::Proved);
+        assert_eq!(prover.prove_tag(&heap, l, &Tag::Pair), Proof::Refuted);
+    }
+
+    #[test]
+    fn negative_refinements_refute() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::IsNot(Tag::Pair));
+        let prover = Prover::new();
+        assert_eq!(prover.prove_tag(&heap, l, &Tag::Pair), Proof::Refuted);
+        assert_eq!(prover.prove_tag(&heap, l, &Tag::Number), Proof::Ambiguous);
+    }
+
+    #[test]
+    fn numeric_refinements_feed_the_solver() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let prover = Prover::new();
+        assert_eq!(
+            prover.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0)),
+            Proof::Proved
+        );
+        assert_eq!(
+            prover.prove_num(&heap, l, CmpOp::Eq, &CSymExpr::int(0)),
+            Proof::Refuted
+        );
+        assert_eq!(
+            prover.prove_num(&heap, l, CmpOp::Eq, &CSymExpr::int(7)),
+            Proof::Ambiguous
+        );
+    }
+
+    #[test]
+    fn heap_model_solves_linked_refinements() {
+        let mut heap = Heap::new();
+        let n = heap.alloc_fresh_opaque();
+        let d = heap.alloc_fresh_opaque();
+        heap.refine(
+            d,
+            CRefinement::NumCmp(
+                CmpOp::Eq,
+                CSymExpr::Sub(Box::new(CSymExpr::int(100)), Box::new(CSymExpr::loc(n))),
+            ),
+        );
+        heap.refine(d, CRefinement::NumCmp(CmpOp::Eq, CSymExpr::int(0)));
+        let prover = Prover::new();
+        let model = prover.heap_model(&heap).expect("satisfiable");
+        assert_eq!(model.value(n.solver_var()), Some(100));
+    }
+
+    #[test]
+    fn memo_table_functionality_is_encoded() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(SVal::Num(Number::Int(5)));
+        let b = heap.alloc(SVal::Num(Number::Int(5)));
+        let x = heap.alloc(SVal::Num(Number::Int(1)));
+        let y = heap.alloc(SVal::Num(Number::Int(0)));
+        let f = heap.alloc_fresh_opaque();
+        heap.set(
+            f,
+            SVal::Opaque {
+                refinements: vec![CRefinement::Is(Tag::Procedure)],
+                entries: vec![(a, x), (b, y)],
+            },
+        );
+        let prover = Prover::new();
+        assert!(prover.heap_model(&heap).is_none(), "5 ↦ 1 and 5 ↦ 0 conflict");
+    }
+}

@@ -1,0 +1,504 @@
+//! Quantifier-free first-order formulas over integer terms.
+//!
+//! The formula language is the target of the symbolic heap translation: the
+//! path condition accumulated by symbolic execution is a conjunction of
+//! these formulas, and proof-relation queries are validity/satisfiability
+//! questions about them.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::term::{Term, Var};
+
+/// Comparison operators for atomic formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality `=`.
+    Eq,
+    /// Disequality `≠`.
+    Ne,
+    /// Strictly less `<`.
+    Lt,
+    /// Less or equal `≤`.
+    Le,
+    /// Strictly greater `>`.
+    Gt,
+    /// Greater or equal `≥`.
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator whose truth value is the negation of `self`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates the comparison on two integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "distinct",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An atomic comparison between two terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Left-hand side.
+    pub lhs: Term,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Term,
+}
+
+impl Atom {
+    /// Constructs an atom.
+    pub fn new(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Atom { lhs, op, rhs }
+    }
+
+    /// The atom with the complementary comparison.
+    pub fn negate(&self) -> Atom {
+        Atom {
+            lhs: self.lhs.clone(),
+            op: self.op.negate(),
+            rhs: self.rhs.clone(),
+        }
+    }
+
+    /// Evaluates the atom under an assignment.
+    pub fn eval<F>(&self, assignment: &F) -> Option<bool>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        Some(self.op.eval(self.lhs.eval(assignment)?, self.rhs.eval(assignment)?))
+    }
+
+    /// Collects the free variables of the atom.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        self.lhs.collect_vars(out);
+        self.rhs.collect_vars(out);
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.op, self.lhs, self.rhs)
+    }
+}
+
+/// A quantifier-free formula.
+///
+/// ```
+/// use folic::formula::Formula;
+/// use folic::term::{Term, Var};
+///
+/// // x0 = 100 - x1  ∧  x0 = 0
+/// let x0 = Term::var(Var::new(0));
+/// let x1 = Term::var(Var::new(1));
+/// let f = Formula::and(vec![
+///     Formula::eq(x0.clone(), Term::sub(Term::int(100), x1)),
+///     Formula::eq(x0, Term::int(0)),
+/// ]);
+/// assert_eq!(f.vars().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// An atomic comparison.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// An atom `lhs op rhs`.
+    pub fn atom(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Formula::Atom(Atom::new(lhs, op, rhs))
+    }
+
+    /// Equality atom.
+    pub fn eq(lhs: Term, rhs: Term) -> Self {
+        Formula::atom(lhs, CmpOp::Eq, rhs)
+    }
+
+    /// Disequality atom.
+    pub fn ne(lhs: Term, rhs: Term) -> Self {
+        Formula::atom(lhs, CmpOp::Ne, rhs)
+    }
+
+    /// Strict less-than atom.
+    pub fn lt(lhs: Term, rhs: Term) -> Self {
+        Formula::atom(lhs, CmpOp::Lt, rhs)
+    }
+
+    /// Less-or-equal atom.
+    pub fn le(lhs: Term, rhs: Term) -> Self {
+        Formula::atom(lhs, CmpOp::Le, rhs)
+    }
+
+    /// Strict greater-than atom.
+    pub fn gt(lhs: Term, rhs: Term) -> Self {
+        Formula::atom(lhs, CmpOp::Gt, rhs)
+    }
+
+    /// Greater-or-equal atom.
+    pub fn ge(lhs: Term, rhs: Term) -> Self {
+        Formula::atom(lhs, CmpOp::Ge, rhs)
+    }
+
+    /// Negation, with trivial simplification of constants.
+    pub fn not(f: Formula) -> Self {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction, flattening nested conjunctions and dropping `True`.
+    pub fn and(fs: Vec<Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested disjunctions and dropping `False`.
+    pub fn or(fs: Vec<Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Implication `a ⇒ b`.
+    pub fn implies(a: Formula, b: Formula) -> Self {
+        match (&a, &b) {
+            (Formula::False, _) | (_, Formula::True) => Formula::True,
+            (Formula::True, _) => b,
+            (_, Formula::False) => Formula::not(a),
+            _ => Formula::Implies(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Bi-implication `a ⇔ b`.
+    pub fn iff(a: Formula, b: Formula) -> Self {
+        match (&a, &b) {
+            (Formula::True, _) => b,
+            (_, Formula::True) => a,
+            (Formula::False, _) => Formula::not(b),
+            (_, Formula::False) => Formula::not(a),
+            _ => Formula::Iff(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Collects the free variables of the formula.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => a.collect_vars(out),
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Evaluates the formula under a (total, for its variables) assignment.
+    ///
+    /// Returns `None` if some needed variable is unassigned or arithmetic
+    /// overflows.
+    pub fn eval<F>(&self, assignment: &F) -> Option<bool>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Atom(a) => a.eval(assignment),
+            Formula::Not(f) => f.eval(assignment).map(|b| !b),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.eval(assignment)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.eval(assignment)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+            Formula::Implies(a, b) => Some(!a.eval(assignment)? || b.eval(assignment)?),
+            Formula::Iff(a, b) => Some(a.eval(assignment)? == b.eval(assignment)?),
+        }
+    }
+
+    /// Converts the formula to negation normal form: negations pushed to the
+    /// atoms (and absorbed into the comparison operator), implications and
+    /// bi-implications expanded.
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf(false)
+    }
+
+    fn nnf(&self, negated: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negated {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negated {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Atom(a) => {
+                if negated {
+                    Formula::Atom(a.negate())
+                } else {
+                    Formula::Atom(a.clone())
+                }
+            }
+            Formula::Not(f) => f.nnf(!negated),
+            Formula::And(fs) => {
+                let converted: Vec<Formula> = fs.iter().map(|f| f.nnf(negated)).collect();
+                if negated {
+                    Formula::or(converted)
+                } else {
+                    Formula::and(converted)
+                }
+            }
+            Formula::Or(fs) => {
+                let converted: Vec<Formula> = fs.iter().map(|f| f.nnf(negated)).collect();
+                if negated {
+                    Formula::and(converted)
+                } else {
+                    Formula::or(converted)
+                }
+            }
+            Formula::Implies(a, b) => {
+                // a ⇒ b  ≡  ¬a ∨ b
+                let expanded = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
+                expanded.nnf(negated)
+            }
+            Formula::Iff(a, b) => {
+                // a ⇔ b  ≡  (a ⇒ b) ∧ (b ⇒ a)
+                let expanded = Formula::And(vec![
+                    Formula::Implies(a.clone(), b.clone()),
+                    Formula::Implies(b.clone(), a.clone()),
+                ]);
+                expanded.nnf(negated)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => f.write_str("true"),
+            Formula::False => f.write_str("false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(inner) => write!(f, "(not {inner})"),
+            Formula::And(fs) => {
+                f.write_str("(and")?;
+                for g in fs {
+                    write!(f, " {g}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Or(fs) => {
+                f.write_str("(or")?;
+                for g in fs {
+                    write!(f, " {g}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Implies(a, b) => write!(f, "(=> {a} {b})"),
+            Formula::Iff(a, b) => write!(f, "(= {a} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> Term {
+        Term::var(Var::new(i))
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::eq(x(0), Term::int(1))]),
+            Formula::eq(x(0), Term::int(1))
+        );
+        assert_eq!(
+            Formula::and(vec![Formula::False, Formula::eq(x(0), Term::int(1))]),
+            Formula::False
+        );
+        assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
+    }
+
+    #[test]
+    fn nnf_pushes_negation_into_atoms() {
+        let f = Formula::not(Formula::And(vec![
+            Formula::eq(x(0), Term::int(1)),
+            Formula::lt(x(1), Term::int(2)),
+        ]));
+        let nnf = f.to_nnf();
+        assert_eq!(
+            nnf,
+            Formula::Or(vec![
+                Formula::ne(x(0), Term::int(1)),
+                Formula::ge(x(1), Term::int(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn nnf_expands_implication() {
+        let f = Formula::Implies(
+            Box::new(Formula::eq(x(0), Term::int(0))),
+            Box::new(Formula::eq(x(1), Term::int(1))),
+        );
+        let nnf = f.to_nnf();
+        assert_eq!(
+            nnf,
+            Formula::Or(vec![
+                Formula::ne(x(0), Term::int(0)),
+                Formula::eq(x(1), Term::int(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn eval_respects_semantics() {
+        let f = Formula::Implies(
+            Box::new(Formula::eq(x(0), Term::int(0))),
+            Box::new(Formula::eq(x(1), Term::int(1))),
+        );
+        // x0 = 0, x1 = 1: antecedent and consequent hold.
+        let sat = f.eval(&|v| Some(if v.index() == 0 { 0 } else { 1 }));
+        assert_eq!(sat, Some(true));
+        // x0 = 0, x1 = 5: antecedent holds, consequent fails.
+        let unsat = f.eval(&|v| Some(if v.index() == 0 { 0 } else { 5 }));
+        assert_eq!(unsat, Some(false));
+        // x0 = 3: antecedent fails, implication holds vacuously.
+        let vac = f.eval(&|v| Some(if v.index() == 0 { 3 } else { 5 }));
+        assert_eq!(vac, Some(true));
+    }
+
+    #[test]
+    fn nnf_preserves_truth_value() {
+        let f = Formula::Iff(
+            Box::new(Formula::lt(x(0), x(1))),
+            Box::new(Formula::not(Formula::ge(x(0), x(1)))),
+        );
+        let nnf = f.to_nnf();
+        for a in -3..3 {
+            for b in -3..3 {
+                let assignment = |v: Var| Some(if v.index() == 0 { a } else { b });
+                assert_eq!(f.eval(&assignment), nnf.eval(&assignment));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_op_negation_is_involutive() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+            // negation flips the truth value on every input pair
+            for a in -2..=2 {
+                for b in -2..=2 {
+                    assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+                }
+            }
+        }
+    }
+}

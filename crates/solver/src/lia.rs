@@ -1,0 +1,1114 @@
+//! Theory solver for (quasi-)linear integer arithmetic.
+//!
+//! The theory solver decides conjunctions of integer comparisons. Its job in
+//! the lazy SMT loop is twofold:
+//!
+//! 1. decide whether the conjunction of theory literals selected by the SAT
+//!    solver is consistent, and
+//! 2. when it is, produce an explicit integer **model** — the model is what
+//!    becomes the concrete counterexample after it is plugged back into the
+//!    symbolic heap.
+//!
+//! The algorithm combines
+//!
+//! * fraction-free Gaussian elimination over the equality constraints (with a
+//!   GCD divisibility test) for fast refutation of inconsistent equality
+//!   chains — the common case for path conditions,
+//! * interval (bounds) propagation over all constraints, and
+//! * a backtracking, small-values-first model search with forced-assignment
+//!   propagation, which handles disequalities and the product constraints
+//!   introduced by multiplication of two unknowns.
+//!
+//! The search is complete up to the configured value bound; when it gives up
+//! it reports [`LiaResult::Unknown`] rather than guessing, which is exactly
+//! the "relative" part of relative completeness.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::formula::{Atom, CmpOp};
+use crate::linear::{linearise, LinExpr, Linearised};
+use crate::term::{Term, Var};
+
+/// Relation of a linear expression to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `expr = 0`
+    Eq,
+    /// `expr ≤ 0`
+    Le,
+    /// `expr ≠ 0`
+    Ne,
+}
+
+/// A linear constraint `expr op 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearConstraint {
+    /// The linear expression compared against zero.
+    pub expr: LinExpr,
+    /// The relation.
+    pub op: ConstraintOp,
+}
+
+/// A product constraint `result = left · right` where both factors are
+/// non-constant. `result` is always a fresh variable introduced during
+/// flattening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductConstraint {
+    /// Variable equal to the product.
+    pub result: Var,
+    /// Left factor.
+    pub left: LinExpr,
+    /// Right factor.
+    pub right: LinExpr,
+}
+
+/// A conjunction of linear and product constraints.
+#[derive(Debug, Clone, Default)]
+pub struct LiaProblem {
+    /// Linear constraints.
+    pub linear: Vec<LinearConstraint>,
+    /// Product constraints.
+    pub products: Vec<ProductConstraint>,
+    /// All variables mentioned (including fresh product variables).
+    pub vars: BTreeSet<Var>,
+    /// Variables that appeared in the original atoms (not introduced by
+    /// flattening); these are the ones reported in models.
+    pub original_vars: BTreeSet<Var>,
+}
+
+/// Result of a theory consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiaResult {
+    /// Consistent, with a witnessing integer assignment.
+    Sat(BTreeMap<Var, i64>),
+    /// Inconsistent.
+    Unsat,
+    /// The solver could not decide within its budget.
+    Unknown,
+}
+
+/// Tuning knobs for the model search.
+#[derive(Debug, Clone, Copy)]
+pub struct LiaConfig {
+    /// Absolute bound on enumerated values for otherwise-unbounded variables.
+    pub value_bound: i64,
+    /// Maximum number of search nodes explored before giving up.
+    pub node_budget: u64,
+}
+
+impl Default for LiaConfig {
+    fn default() -> Self {
+        LiaConfig {
+            value_bound: 256,
+            node_budget: 20_000,
+        }
+    }
+}
+
+/// Errors that can occur while building a [`LiaProblem`] from atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Coefficient arithmetic overflowed `i64`.
+    Overflow,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Overflow => write!(f, "coefficient arithmetic overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl LiaProblem {
+    /// Builds a problem from a conjunction of atoms.
+    pub fn from_atoms(atoms: &[Atom]) -> Result<LiaProblem, BuildError> {
+        let mut problem = LiaProblem::default();
+        let mut original_vars = BTreeSet::new();
+        for atom in atoms {
+            atom.collect_vars(&mut original_vars);
+        }
+        problem.original_vars = original_vars.clone();
+        let mut fresh = original_vars
+            .iter()
+            .next_back()
+            .map(|v| v.index() + 1)
+            .unwrap_or(0);
+
+        for atom in atoms {
+            let lhs = flatten(&atom.lhs, &mut fresh, &mut problem)?;
+            let rhs = flatten(&atom.rhs, &mut fresh, &mut problem)?;
+            let diff = lhs.checked_sub(&rhs).ok_or(BuildError::Overflow)?;
+            match atom.op {
+                CmpOp::Eq => problem.push_linear(diff, ConstraintOp::Eq),
+                CmpOp::Ne => problem.push_linear(diff, ConstraintOp::Ne),
+                CmpOp::Le => problem.push_linear(diff, ConstraintOp::Le),
+                CmpOp::Lt => {
+                    let mut shifted = diff;
+                    shifted.add_constant(1).ok_or(BuildError::Overflow)?;
+                    problem.push_linear(shifted, ConstraintOp::Le);
+                }
+                CmpOp::Ge => {
+                    let negated = diff.checked_scale(-1).ok_or(BuildError::Overflow)?;
+                    problem.push_linear(negated, ConstraintOp::Le);
+                }
+                CmpOp::Gt => {
+                    let mut negated = diff.checked_scale(-1).ok_or(BuildError::Overflow)?;
+                    negated.add_constant(1).ok_or(BuildError::Overflow)?;
+                    problem.push_linear(negated, ConstraintOp::Le);
+                }
+            }
+        }
+        Ok(problem)
+    }
+
+    fn push_linear(&mut self, expr: LinExpr, op: ConstraintOp) {
+        for v in expr.vars() {
+            self.vars.insert(v);
+        }
+        self.linear.push(LinearConstraint { expr, op });
+    }
+
+    fn push_product(&mut self, result: Var, left: LinExpr, right: LinExpr) {
+        self.vars.insert(result);
+        for v in left.vars().chain(right.vars()) {
+            self.vars.insert(v);
+        }
+        self.products.push(ProductConstraint { result, left, right });
+    }
+
+    /// Checks an assignment against every constraint of the problem.
+    pub fn satisfied_by(&self, assignment: &BTreeMap<Var, i64>) -> bool {
+        let lookup = |v: Var| assignment.get(&v).copied();
+        for c in &self.linear {
+            let Some(value) = c.expr.eval(&lookup) else {
+                return false;
+            };
+            let holds = match c.op {
+                ConstraintOp::Eq => value == 0,
+                ConstraintOp::Le => value <= 0,
+                ConstraintOp::Ne => value != 0,
+            };
+            if !holds {
+                return false;
+            }
+        }
+        for p in &self.products {
+            let (Some(result), Some(left), Some(right)) = (
+                lookup(p.result),
+                p.left.eval(&lookup),
+                p.right.eval(&lookup),
+            ) else {
+                return false;
+            };
+            match left.checked_mul(right) {
+                Some(product) if product == result => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Flattens a term into a linear expression, introducing product constraints
+/// for non-constant multiplications.
+fn flatten(term: &Term, fresh: &mut u32, problem: &mut LiaProblem) -> Result<LinExpr, BuildError> {
+    match term {
+        Term::Mul(a, b) => {
+            // Try full linearisation first: constant folding may remove the product.
+            if let Linearised::Linear(e) = linearise(term) {
+                return Ok(e);
+            }
+            let left = flatten(a, fresh, problem)?;
+            let right = flatten(b, fresh, problem)?;
+            if let Some(k) = left.as_constant() {
+                return right.checked_scale(k).ok_or(BuildError::Overflow);
+            }
+            if let Some(k) = right.as_constant() {
+                return left.checked_scale(k).ok_or(BuildError::Overflow);
+            }
+            let result = Var::new(*fresh);
+            *fresh += 1;
+            problem.push_product(result, left, right);
+            Ok(LinExpr::variable(result))
+        }
+        Term::Add(a, b) => {
+            let left = flatten(a, fresh, problem)?;
+            let right = flatten(b, fresh, problem)?;
+            left.checked_add(&right).ok_or(BuildError::Overflow)
+        }
+        Term::Sub(a, b) => {
+            let left = flatten(a, fresh, problem)?;
+            let right = flatten(b, fresh, problem)?;
+            left.checked_sub(&right).ok_or(BuildError::Overflow)
+        }
+        Term::Neg(a) => {
+            let inner = flatten(a, fresh, problem)?;
+            inner.checked_scale(-1).ok_or(BuildError::Overflow)
+        }
+        Term::Int(n) => Ok(LinExpr::constant(*n)),
+        Term::Var(v) => Ok(LinExpr::variable(*v)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equality-substitution presolve.
+// ---------------------------------------------------------------------------
+
+/// The result of presolving: a reduced problem plus the eliminated variables
+/// and the expressions (over the remaining variables at elimination time)
+/// defining them.
+#[derive(Debug, Clone)]
+struct Presolved {
+    problem: LiaProblem,
+    /// `(var, expr)` pairs in elimination order; `var = expr` holds.
+    eliminated: Vec<(Var, LinExpr)>,
+}
+
+/// Eliminates variables defined by equalities with a ±1 coefficient,
+/// substituting them through every other constraint. Returns `None` when a
+/// constraint reduces to a contradiction.
+fn presolve(problem: &LiaProblem) -> Option<Presolved> {
+    let mut problem = problem.clone();
+    let mut eliminated: Vec<(Var, LinExpr)> = Vec::new();
+    // Variables appearing as the result of a product constraint are kept: the
+    // product machinery owns them.
+    let product_results: BTreeSet<Var> = problem.products.iter().map(|p| p.result).collect();
+
+    loop {
+        // Check for constant constraints and find a candidate to eliminate.
+        let mut candidate: Option<(usize, Var, LinExpr)> = None;
+        for (index, constraint) in problem.linear.iter().enumerate() {
+            if let Some(value) = constraint.expr.as_constant() {
+                let holds = match constraint.op {
+                    ConstraintOp::Eq => value == 0,
+                    ConstraintOp::Le => value <= 0,
+                    ConstraintOp::Ne => value != 0,
+                };
+                if !holds {
+                    return None;
+                }
+                continue;
+            }
+            if constraint.op != ConstraintOp::Eq || candidate.is_some() {
+                continue;
+            }
+            // Look for a variable with coefficient ±1 not used as a product result.
+            for (var, coeff) in constraint.expr.iter() {
+                if (coeff == 1 || coeff == -1) && !product_results.contains(&var) {
+                    // var = -(expr - coeff·var) / coeff
+                    let mut rest = constraint.expr.clone();
+                    if rest.add_term(var, -coeff).is_none() {
+                        continue;
+                    }
+                    let Some(definition) = rest.checked_scale(-coeff) else {
+                        continue;
+                    };
+                    candidate = Some((index, var, definition));
+                    break;
+                }
+            }
+        }
+        let Some((index, var, definition)) = candidate else {
+            break;
+        };
+        // Substitute on a copy so arithmetic overflow can abort cleanly.
+        let mut next = problem.clone();
+        next.linear.swap_remove(index);
+        if substitute(&mut next, var, &definition).is_none() {
+            break;
+        }
+        next.vars.remove(&var);
+        // Drop constraints that became trivially true; contradictions are
+        // kept and detected at the top of the next iteration.
+        next.linear.retain(|c| match c.expr.as_constant() {
+            Some(value) => match c.op {
+                ConstraintOp::Eq => value != 0,
+                ConstraintOp::Le => value > 0,
+                ConstraintOp::Ne => value == 0,
+            },
+            None => true,
+        });
+        problem = next;
+        eliminated.push((var, definition));
+    }
+    Some(Presolved { problem, eliminated })
+}
+
+/// Substitutes `var := definition` through every constraint. Returns `None`
+/// on arithmetic overflow.
+fn substitute(problem: &mut LiaProblem, var: Var, definition: &LinExpr) -> Option<()> {
+    for constraint in &mut problem.linear {
+        constraint.expr = substitute_expr(&constraint.expr, var, definition)?;
+    }
+    for product in &mut problem.products {
+        product.left = substitute_expr(&product.left, var, definition)?;
+        product.right = substitute_expr(&product.right, var, definition)?;
+    }
+    Some(())
+}
+
+fn substitute_expr(expr: &LinExpr, var: Var, definition: &LinExpr) -> Option<LinExpr> {
+    let coeff = expr.coeff(var);
+    if coeff == 0 {
+        return Some(expr.clone());
+    }
+    let mut out = expr.clone();
+    out.add_term(var, -coeff)?;
+    out.checked_add(&definition.checked_scale(coeff)?)
+}
+
+// ---------------------------------------------------------------------------
+// Gaussian elimination over the equality constraints.
+// ---------------------------------------------------------------------------
+
+/// Returns `true` if the equality subsystem is provably infeasible (over the
+/// rationals or by integer divisibility).
+fn equalities_infeasible(problem: &LiaProblem) -> bool {
+    let vars: Vec<Var> = problem.vars.iter().copied().collect();
+    let index_of: BTreeMap<Var, usize> = vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let mut rows: Vec<Vec<i128>> = Vec::new();
+    for c in &problem.linear {
+        if c.op != ConstraintOp::Eq {
+            continue;
+        }
+        let mut row = vec![0i128; vars.len() + 1];
+        for (v, coeff) in c.expr.iter() {
+            row[index_of[&v]] = coeff as i128;
+        }
+        row[vars.len()] = c.expr.constant_part() as i128;
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return false;
+    }
+    let width = vars.len();
+    let mut pivot_row = 0usize;
+    for col in 0..width {
+        if pivot_row >= rows.len() {
+            break;
+        }
+        // Find a row with a non-zero entry in this column.
+        let Some(found) = (pivot_row..rows.len()).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(pivot_row, found);
+        let pivot = rows[pivot_row][col];
+        for r in 0..rows.len() {
+            if r == pivot_row || rows[r][col] == 0 {
+                continue;
+            }
+            let factor = rows[r][col];
+            for c in 0..=width {
+                // row_r := pivot * row_r - factor * row_pivot (fraction-free).
+                let updated = pivot
+                    .checked_mul(rows[r][c])
+                    .and_then(|x| factor.checked_mul(rows[pivot_row][c]).map(|y| (x, y)))
+                    .and_then(|(x, y)| x.checked_sub(y));
+                match updated {
+                    Some(value) => rows[r][c] = value,
+                    None => return false, // give up on overflow; search will decide
+                }
+            }
+            // Keep numbers small by dividing out the row GCD.
+            let mut gcd = 0i128;
+            for c in 0..=width {
+                gcd = gcd_i128(gcd, rows[r][c]);
+            }
+            if gcd > 1 {
+                for c in 0..=width {
+                    rows[r][c] /= gcd;
+                }
+            }
+        }
+        pivot_row += 1;
+    }
+    for row in &rows {
+        let all_zero_coeffs = row[..width].iter().all(|&c| c == 0);
+        if all_zero_coeffs && row[width] != 0 {
+            return true;
+        }
+        // GCD divisibility test: gcd of coefficients must divide the constant.
+        if !all_zero_coeffs {
+            let mut gcd = 0i128;
+            for &c in &row[..width] {
+                gcd = gcd_i128(gcd, c);
+            }
+            if gcd != 0 && row[width] % gcd != 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let tmp = a % b;
+        a = b;
+        b = tmp;
+    }
+    a
+}
+
+// ---------------------------------------------------------------------------
+// Bounds propagation and model search.
+// ---------------------------------------------------------------------------
+
+type Bounds = BTreeMap<Var, (Option<i64>, Option<i64>)>;
+
+#[derive(Debug, Clone)]
+struct SearchState {
+    assignment: BTreeMap<Var, i64>,
+    bounds: Bounds,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum SearchOutcome {
+    Model(BTreeMap<Var, i64>),
+    NoModel,
+    GaveUp,
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let quotient = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        quotient - 1
+    } else {
+        quotient
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let quotient = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        quotient + 1
+    } else {
+        quotient
+    }
+}
+
+fn clamp_i64(value: i128) -> i64 {
+    value.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// Minimum and maximum of `coeff·x` where `x` ranges over `[lo, hi]`.
+fn scaled_range(coeff: i64, lo: Option<i64>, hi: Option<i64>) -> (Option<i128>, Option<i128>) {
+    let coeff = coeff as i128;
+    let lo = lo.map(|v| v as i128 * coeff);
+    let hi = hi.map(|v| v as i128 * coeff);
+    if coeff >= 0 {
+        (lo, hi)
+    } else {
+        (hi, lo)
+    }
+}
+
+fn add_opt(a: Option<i128>, b: Option<i128>) -> Option<i128> {
+    match (a, b) {
+        (Some(x), Some(y)) => x.checked_add(y),
+        _ => None,
+    }
+}
+
+/// Minimum and maximum value of a linear expression given the current
+/// assignment and bounds. `None` means unbounded in that direction.
+fn expr_range(expr: &LinExpr, state: &SearchState) -> (Option<i128>, Option<i128>) {
+    let mut min = Some(expr.constant_part() as i128);
+    let mut max = Some(expr.constant_part() as i128);
+    for (var, coeff) in expr.iter() {
+        if let Some(&value) = state.assignment.get(&var) {
+            let contribution = Some(coeff as i128 * value as i128);
+            min = add_opt(min, contribution);
+            max = add_opt(max, contribution);
+        } else {
+            let (lo, hi) = state.bounds.get(&var).copied().unwrap_or((None, None));
+            let (cmin, cmax) = scaled_range(coeff, lo, hi);
+            min = add_opt(min, cmin);
+            max = add_opt(max, cmax);
+        }
+    }
+    (min, max)
+}
+
+/// Tightens the bound of `var`, returning `false` on an empty domain.
+fn tighten(state: &mut SearchState, var: Var, new_lo: Option<i64>, new_hi: Option<i64>) -> Option<bool> {
+    let entry = state.bounds.entry(var).or_insert((None, None));
+    let mut changed = false;
+    if let Some(lo) = new_lo {
+        if entry.0.map_or(true, |old| lo > old) {
+            entry.0 = Some(lo);
+            changed = true;
+        }
+    }
+    if let Some(hi) = new_hi {
+        if entry.1.map_or(true, |old| hi < old) {
+            entry.1 = Some(hi);
+            changed = true;
+        }
+    }
+    if let (Some(lo), Some(hi)) = *entry {
+        if lo > hi {
+            return None;
+        }
+    }
+    Some(changed)
+}
+
+/// One round of propagation over a single `expr ≤ 0` constraint.
+/// Returns `None` on conflict, `Some(changed)` otherwise.
+fn propagate_le(expr: &LinExpr, state: &mut SearchState) -> Option<bool> {
+    let (min, _) = expr_range(expr, state);
+    if let Some(min) = min {
+        if min > 0 {
+            return None;
+        }
+    }
+    let mut changed = false;
+    // Derive a bound for each unassigned variable.
+    let terms: Vec<(Var, i64)> = expr
+        .iter()
+        .filter(|(v, _)| !state.assignment.contains_key(v))
+        .collect();
+    for (var, coeff) in &terms {
+        // a·x ≤ -constant - (minimum of the rest)
+        let mut rest_min = Some(expr.constant_part() as i128);
+        for (other, other_coeff) in expr.iter() {
+            if other == *var {
+                continue;
+            }
+            if let Some(&value) = state.assignment.get(&other) {
+                rest_min = add_opt(rest_min, Some(other_coeff as i128 * value as i128));
+            } else {
+                let (lo, hi) = state.bounds.get(&other).copied().unwrap_or((None, None));
+                let (cmin, _) = scaled_range(other_coeff, lo, hi);
+                rest_min = add_opt(rest_min, cmin);
+            }
+        }
+        let Some(rest_min) = rest_min else { continue };
+        let rhs = -rest_min;
+        if *coeff > 0 {
+            let hi = clamp_i64(div_floor(rhs, *coeff as i128));
+            changed |= tighten(state, *var, None, Some(hi))?;
+        } else if *coeff < 0 {
+            let lo = clamp_i64(div_ceil(rhs, *coeff as i128));
+            changed |= tighten(state, *var, Some(lo), None)?;
+        }
+    }
+    Some(changed)
+}
+
+/// Propagation for `expr ≠ 0`: only prunes when the expression is pinned to a
+/// single unassigned variable at one of its bounds, and detects conflicts
+/// when the expression is fully determined.
+fn propagate_ne(expr: &LinExpr, state: &mut SearchState) -> Option<bool> {
+    let (min, max) = expr_range(expr, state);
+    if let (Some(min), Some(max)) = (min, max) {
+        if min == 0 && max == 0 {
+            return None;
+        }
+        if min > 0 || max < 0 {
+            return Some(false); // already satisfied
+        }
+    }
+    // Single unassigned variable: exclude the forbidden value if it sits at a bound.
+    let unassigned: Vec<(Var, i64)> = expr
+        .iter()
+        .filter(|(v, _)| !state.assignment.contains_key(v))
+        .collect();
+    if unassigned.len() != 1 {
+        return Some(false);
+    }
+    let (var, coeff) = unassigned[0];
+    let mut rest = expr.constant_part() as i128;
+    for (other, other_coeff) in expr.iter() {
+        if other == var {
+            continue;
+        }
+        let value = *state.assignment.get(&other)?;
+        rest += other_coeff as i128 * value as i128;
+    }
+    // coeff·x + rest ≠ 0  ⇒  x ≠ -rest/coeff (when divisible).
+    if (-rest) % (coeff as i128) != 0 {
+        return Some(false);
+    }
+    let forbidden = clamp_i64((-rest) / coeff as i128);
+    let (lo, hi) = state.bounds.get(&var).copied().unwrap_or((None, None));
+    let mut changed = false;
+    if lo == Some(forbidden) {
+        changed |= tighten(state, var, Some(forbidden + 1), None)?;
+    }
+    if hi == Some(forbidden) {
+        changed |= tighten(state, var, None, Some(forbidden - 1))?;
+    }
+    Some(changed)
+}
+
+/// Propagation for product constraints.
+fn propagate_product(product: &ProductConstraint, state: &mut SearchState) -> Option<bool> {
+    let lookup = |v: Var| state.assignment.get(&v).copied();
+    let left = product.left.eval(&lookup);
+    let right = product.right.eval(&lookup);
+    let result = lookup(product.result);
+    let mut changed = false;
+    match (left, right, result) {
+        (Some(l), Some(r), Some(p)) => {
+            if l.checked_mul(r) != Some(p) {
+                return None;
+            }
+        }
+        (Some(l), Some(r), None) => {
+            let p = l.checked_mul(r)?;
+            changed |= tighten(state, product.result, Some(p), Some(p))?;
+        }
+        (Some(l), None, Some(p)) if l != 0 => {
+            if p % l != 0 {
+                return None;
+            }
+            // right is a linear expression; only prune when it is a bare variable.
+            if product.right.num_vars() == 1 && product.right.constant_part() == 0 {
+                let (var, coeff) = product.right.iter().next()?;
+                if coeff != 0 && (p / l) % coeff == 0 {
+                    let value = (p / l) / coeff;
+                    changed |= tighten(state, var, Some(value), Some(value))?;
+                }
+            }
+        }
+        (None, Some(r), Some(p)) if r != 0 => {
+            if p % r != 0 {
+                return None;
+            }
+            if product.left.num_vars() == 1 && product.left.constant_part() == 0 {
+                let (var, coeff) = product.left.iter().next()?;
+                if coeff != 0 && (p / r) % coeff == 0 {
+                    let value = (p / r) / coeff;
+                    changed |= tighten(state, var, Some(value), Some(value))?;
+                }
+            }
+        }
+        _ => {}
+    }
+    Some(changed)
+}
+
+/// Runs propagation to a fixpoint. Returns `false` on conflict.
+fn propagate(problem: &LiaProblem, state: &mut SearchState) -> bool {
+    loop {
+        let mut changed = false;
+        for constraint in &problem.linear {
+            let step = match constraint.op {
+                ConstraintOp::Le => propagate_le(&constraint.expr, state),
+                ConstraintOp::Eq => {
+                    let le = propagate_le(&constraint.expr, state);
+                    match le {
+                        None => None,
+                        Some(first) => {
+                            match constraint.expr.checked_scale(-1) {
+                                Some(negated) => {
+                                    propagate_le(&negated, state).map(|second| first || second)
+                                }
+                                None => Some(first),
+                            }
+                        }
+                    }
+                }
+                ConstraintOp::Ne => propagate_ne(&constraint.expr, state),
+            };
+            match step {
+                None => return false,
+                Some(step_changed) => changed |= step_changed,
+            }
+        }
+        for product in &problem.products {
+            match propagate_product(product, state) {
+                None => return false,
+                Some(step_changed) => changed |= step_changed,
+            }
+        }
+        // Promote singleton domains to assignments.
+        let singletons: Vec<(Var, i64)> = state
+            .bounds
+            .iter()
+            .filter_map(|(v, (lo, hi))| match (lo, hi) {
+                (Some(lo), Some(hi)) if lo == hi && !state.assignment.contains_key(v) => {
+                    Some((*v, *lo))
+                }
+                _ => None,
+            })
+            .collect();
+        for (var, value) in singletons {
+            state.assignment.insert(var, value);
+            changed = true;
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+/// Candidate values for branching on `var`, ordered small-magnitude first.
+fn candidate_values(state: &SearchState, var: Var, config: &LiaConfig) -> (Vec<i64>, bool) {
+    let (lo, hi) = state.bounds.get(&var).copied().unwrap_or((None, None));
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => {
+            let width = (hi as i128 - lo as i128 + 1).max(0);
+            if width <= (2 * config.value_bound as i128 + 1) {
+                let mut values: Vec<i64> = (lo..=hi).collect();
+                values.sort_by_key(|v| (v.unsigned_abs(), *v < 0));
+                (values, false)
+            } else {
+                let mut values = spiral(config.value_bound)
+                    .filter(|v| *v >= lo && *v <= hi)
+                    .collect::<Vec<i64>>();
+                if values.is_empty() {
+                    values.push(lo);
+                }
+                (values, true)
+            }
+        }
+        (Some(lo), None) => {
+            let values: Vec<i64> = (0..=config.value_bound)
+                .map(|offset| lo.saturating_add(offset))
+                .collect();
+            // Prefer values near zero when the lower bound is negative.
+            let mut values: Vec<i64> = if lo <= 0 {
+                spiral(config.value_bound).filter(|v| *v >= lo).collect()
+            } else {
+                values
+            };
+            values.sort_by_key(|v| (v.unsigned_abs(), *v < 0));
+            values.dedup();
+            (values, true)
+        }
+        (None, Some(hi)) => {
+            let mut values: Vec<i64> = if hi >= 0 {
+                spiral(config.value_bound).filter(|v| *v <= hi).collect()
+            } else {
+                (0..=config.value_bound)
+                    .map(|offset| hi.saturating_sub(offset))
+                    .collect()
+            };
+            values.sort_by_key(|v| (v.unsigned_abs(), *v < 0));
+            values.dedup();
+            (values, true)
+        }
+        (None, None) => (spiral(config.value_bound).collect(), true),
+    }
+}
+
+/// 0, 1, -1, 2, -2, … up to ±bound.
+fn spiral(bound: i64) -> impl Iterator<Item = i64> {
+    (0..=bound).flat_map(|v| {
+        if v == 0 {
+            vec![0]
+        } else {
+            vec![v, -v]
+        }
+    })
+}
+
+fn pick_branch_var(problem: &LiaProblem, state: &SearchState) -> Option<Var> {
+    let mut best: Option<(Var, i128)> = None;
+    for &var in &problem.vars {
+        if state.assignment.contains_key(&var) {
+            continue;
+        }
+        let (lo, hi) = state.bounds.get(&var).copied().unwrap_or((None, None));
+        let width = match (lo, hi) {
+            (Some(lo), Some(hi)) => hi as i128 - lo as i128,
+            _ => i128::MAX,
+        };
+        match best {
+            Some((_, best_width)) if best_width <= width => {}
+            _ => best = Some((var, width)),
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+fn search(
+    problem: &LiaProblem,
+    state: SearchState,
+    config: &LiaConfig,
+    budget: &mut u64,
+    truncated: &mut bool,
+) -> SearchOutcome {
+    if *budget == 0 {
+        return SearchOutcome::GaveUp;
+    }
+    *budget -= 1;
+    let mut state = state;
+    if !propagate(problem, &mut state) {
+        return SearchOutcome::NoModel;
+    }
+    match pick_branch_var(problem, &state) {
+        None => {
+            if problem.satisfied_by(&state.assignment) {
+                SearchOutcome::Model(state.assignment)
+            } else {
+                SearchOutcome::NoModel
+            }
+        }
+        Some(var) => {
+            let (values, was_truncated) = candidate_values(&state, var, config);
+            if was_truncated {
+                *truncated = true;
+            }
+            let mut gave_up = false;
+            for value in values {
+                let mut child = state.clone();
+                child.assignment.insert(var, value);
+                child.bounds.insert(var, (Some(value), Some(value)));
+                match search(problem, child, config, budget, truncated) {
+                    SearchOutcome::Model(model) => return SearchOutcome::Model(model),
+                    SearchOutcome::NoModel => {}
+                    SearchOutcome::GaveUp => {
+                        gave_up = true;
+                        break;
+                    }
+                }
+            }
+            if gave_up {
+                SearchOutcome::GaveUp
+            } else {
+                SearchOutcome::NoModel
+            }
+        }
+    }
+}
+
+/// Decides a conjunction of atoms and produces a model when consistent.
+pub fn check_atoms(atoms: &[Atom], config: &LiaConfig) -> LiaResult {
+    let problem = match LiaProblem::from_atoms(atoms) {
+        Ok(p) => p,
+        Err(BuildError::Overflow) => return LiaResult::Unknown,
+    };
+    check_problem(&problem, config)
+}
+
+/// Decides a pre-built problem.
+pub fn check_problem(problem: &LiaProblem, config: &LiaConfig) -> LiaResult {
+    if problem.linear.is_empty() && problem.products.is_empty() {
+        return LiaResult::Sat(BTreeMap::new());
+    }
+    if equalities_infeasible(problem) {
+        return LiaResult::Unsat;
+    }
+    // Substitute away variables defined by unit-coefficient equalities. This
+    // both detects contradictions like `x = y ∧ x ≠ y` and keeps the search
+    // space small for the common equality-chain path conditions.
+    let Some(presolved) = presolve(problem) else {
+        return LiaResult::Unsat;
+    };
+    let reduced = &presolved.problem;
+
+    let state = SearchState {
+        assignment: BTreeMap::new(),
+        bounds: Bounds::new(),
+    };
+    let mut budget = config.node_budget;
+    let mut truncated = false;
+    match search(reduced, state, config, &mut budget, &mut truncated) {
+        SearchOutcome::Model(mut model) => {
+            // Recover eliminated variables in reverse elimination order: each
+            // definition refers only to variables still present at its
+            // elimination time, which by then have values.
+            for (var, definition) in presolved.eliminated.iter().rev() {
+                let value = definition
+                    .eval(&|v| model.get(&v).copied().or(Some(0)))
+                    .unwrap_or(0);
+                model.insert(*var, value);
+            }
+            // Make sure every original variable has a value, defaulting to 0
+            // for variables the search never needed to constrain.
+            for &var in &problem.original_vars {
+                model.entry(var).or_insert(0);
+            }
+            if problem.satisfied_by(&model) {
+                LiaResult::Sat(model)
+            } else {
+                // Reconstruction failed (e.g. due to an overflow during
+                // evaluation); be conservative.
+                LiaResult::Unknown
+            }
+        }
+        SearchOutcome::NoModel => {
+            if truncated {
+                LiaResult::Unknown
+            } else {
+                LiaResult::Unsat
+            }
+        }
+        SearchOutcome::GaveUp => LiaResult::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Atom, CmpOp};
+    use crate::term::{Term, Var};
+
+    fn x(i: u32) -> Term {
+        Term::var(Var::new(i))
+    }
+
+    fn eq(a: Term, b: Term) -> Atom {
+        Atom::new(a, CmpOp::Eq, b)
+    }
+
+    fn check(atoms: &[Atom]) -> LiaResult {
+        check_atoms(atoms, &LiaConfig::default())
+    }
+
+    #[test]
+    fn empty_conjunction_is_sat() {
+        assert!(matches!(check(&[]), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn paper_worked_example_model() {
+        // L5 = 100 - L4  ∧  L5 = 0   ⇒   L4 = 100
+        let atoms = vec![
+            eq(x(5), Term::sub(Term::int(100), x(4))),
+            eq(x(5), Term::int(0)),
+        ];
+        match check(&atoms) {
+            LiaResult::Sat(model) => {
+                assert_eq!(model.get(&Var::new(4)), Some(&100));
+                assert_eq!(model.get(&Var::new(5)), Some(&0));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_equalities_are_unsat() {
+        // x = y + 1 ∧ x = y
+        let atoms = vec![
+            eq(x(0), Term::add(x(1), Term::int(1))),
+            eq(x(0), x(1)),
+        ];
+        assert_eq!(check(&atoms), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn divisibility_conflict_is_unsat() {
+        // 2x = 1
+        let atoms = vec![eq(Term::mul(Term::int(2), x(0)), Term::int(1))];
+        assert_eq!(check(&atoms), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn bounds_conflict_is_unsat() {
+        // x ≤ 0 ∧ x ≥ 1
+        let atoms = vec![
+            Atom::new(x(0), CmpOp::Le, Term::int(0)),
+            Atom::new(x(0), CmpOp::Ge, Term::int(1)),
+        ];
+        assert_eq!(check(&atoms), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn disequality_forces_other_value() {
+        // 0 ≤ x ≤ 1 ∧ x ≠ 0  ⇒  x = 1
+        let atoms = vec![
+            Atom::new(x(0), CmpOp::Ge, Term::int(0)),
+            Atom::new(x(0), CmpOp::Le, Term::int(1)),
+            Atom::new(x(0), CmpOp::Ne, Term::int(0)),
+        ];
+        match check(&atoms) {
+            LiaResult::Sat(model) => assert_eq!(model.get(&Var::new(0)), Some(&1)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_values_excluded_is_unsat() {
+        // 0 ≤ x ≤ 1 ∧ x ≠ 0 ∧ x ≠ 1
+        let atoms = vec![
+            Atom::new(x(0), CmpOp::Ge, Term::int(0)),
+            Atom::new(x(0), CmpOp::Le, Term::int(1)),
+            Atom::new(x(0), CmpOp::Ne, Term::int(0)),
+            Atom::new(x(0), CmpOp::Ne, Term::int(1)),
+        ];
+        assert_eq!(check(&atoms), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn products_of_unknowns_are_solved() {
+        // x·y = 6 ∧ x ≥ 2 ∧ y ≥ 2
+        let atoms = vec![
+            eq(Term::mul(x(0), x(1)), Term::int(6)),
+            Atom::new(x(0), CmpOp::Ge, Term::int(2)),
+            Atom::new(x(1), CmpOp::Ge, Term::int(2)),
+        ];
+        match check(&atoms) {
+            LiaResult::Sat(model) => {
+                let a = model[&Var::new(0)];
+                let b = model[&Var::new(1)];
+                assert_eq!(a * b, 6);
+                assert!(a >= 2 && b >= 2);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn square_equation_is_satisfied() {
+        // x·x = 49 ∧ x ≥ 0  ⇒  x = 7
+        let atoms = vec![
+            eq(Term::mul(x(0), x(0)), Term::int(49)),
+            Atom::new(x(0), CmpOp::Ge, Term::int(0)),
+        ];
+        match check(&atoms) {
+            LiaResult::Sat(model) => assert_eq!(model.get(&Var::new(0)), Some(&7)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_equalities_propagate() {
+        // a = b ∧ b = c ∧ c = 42
+        let atoms = vec![eq(x(0), x(1)), eq(x(1), x(2)), eq(x(2), Term::int(42))];
+        match check(&atoms) {
+            LiaResult::Sat(model) => {
+                assert_eq!(model[&Var::new(0)], 42);
+                assert_eq!(model[&Var::new(1)], 42);
+                assert_eq!(model[&Var::new(2)], 42);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_inequalities_shift_correctly() {
+        // x < 5 ∧ x > 3  ⇒  x = 4
+        let atoms = vec![
+            Atom::new(x(0), CmpOp::Lt, Term::int(5)),
+            Atom::new(x(0), CmpOp::Gt, Term::int(3)),
+        ];
+        match check(&atoms) {
+            LiaResult::Sat(model) => assert_eq!(model[&Var::new(0)], 4),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_problem() {
+        let atoms = vec![
+            eq(Term::add(x(0), x(1)), Term::int(10)),
+            Atom::new(x(0), CmpOp::Ge, Term::int(3)),
+            Atom::new(x(1), CmpOp::Ge, Term::int(3)),
+            Atom::new(x(0), CmpOp::Ne, x(1)),
+        ];
+        let problem = LiaProblem::from_atoms(&atoms).expect("builds");
+        match check_problem(&problem, &LiaConfig::default()) {
+            LiaResult::Sat(model) => assert!(problem.satisfied_by(&model)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

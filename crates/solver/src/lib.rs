@@ -1,0 +1,72 @@
+//! # folic — a first-order linear integer constraint solver
+//!
+//! `folic` ("first-order linear integer constraints") is the base-type
+//! solver used by the symbolic executors in this workspace. It plays the
+//! role Z3 plays in *“Relatively Complete Counterexamples for Higher-Order
+//! Programs”* (Nguyễn & Van Horn, PLDI 2015): the symbolic heap accumulated
+//! during execution is translated into quantifier-free, integer-sorted
+//! formulas; the solver answers the proof relation's validity questions and,
+//! at an error state, produces the **model** that is plugged back into the
+//! heap to reconstruct a concrete (possibly higher-order) counterexample.
+//!
+//! ## Architecture
+//!
+//! * [`term`] / [`formula`] — the AST of integer terms and quantifier-free
+//!   formulas, with NNF conversion and evaluation.
+//! * [`sat`] — a CDCL propositional solver (watched literals, first-UIP
+//!   learning, restarts).
+//! * [`cnf`] — Tseitin encoding of formulas into clauses over theory atoms.
+//! * [`lia`] — the linear-integer-arithmetic theory solver: Gaussian
+//!   elimination over equalities, interval propagation, and a
+//!   small-values-first branch-and-bound model search (which also handles the
+//!   product constraints introduced by multiplying two unknowns).
+//! * [`theory`] — the lazy SMT loop combining the SAT core with the theory.
+//! * [`solver`] — the user-facing [`Solver`] with `push`/`pop`, validity
+//!   queries and the three-valued [`Proof`] relation used by symbolic
+//!   execution.
+//!
+//! ## Example
+//!
+//! The constraint set from the paper's §2 worked example:
+//!
+//! ```
+//! use folic::{Formula, Solver, Term, Var};
+//!
+//! let l4 = Term::var(Var::new(4));
+//! let l5 = Term::var(Var::new(5));
+//!
+//! let mut solver = Solver::new();
+//! solver.assert(Formula::eq(l5.clone(), Term::sub(Term::int(100), l4.clone())));
+//! solver.assert(Formula::eq(Term::int(0), l5));
+//!
+//! let model = solver.check().model().cloned().expect("satisfiable");
+//! assert_eq!(model.value(Var::new(4)), Some(100)); // the input that crashes `f`
+//! ```
+//!
+//! ## Completeness
+//!
+//! The solver is complete for conjunctions of linear equalities and
+//! inequalities whose models fit within its configured search bound, and
+//! reports [`SmtResult::Unknown`] (never a wrong answer) otherwise. This is
+//! precisely the "relative" in the paper's relative-completeness theorem:
+//! counterexample generation is complete *relative to* the power of this
+//! solver on first-order data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod formula;
+pub mod lia;
+pub mod linear;
+pub mod model;
+pub mod sat;
+pub mod solver;
+pub mod term;
+pub mod theory;
+
+pub use formula::{Atom, CmpOp, Formula};
+pub use model::Model;
+pub use solver::{Proof, Solver, SolverConfig, Validity};
+pub use term::{Term, Var};
+pub use theory::{SmtResult, TheoryConfig};

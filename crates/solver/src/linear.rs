@@ -1,0 +1,288 @@
+//! Normalisation of terms into linear expressions.
+//!
+//! The theory solver works on linear integer expressions `Σ aᵢ·xᵢ + c`.
+//! Products of two non-constant subterms cannot be represented linearly;
+//! they are reported back to the caller (the LIA solver handles them with a
+//! dedicated product constraint).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::term::{Term, Var};
+
+/// A linear integer expression `Σ aᵢ·xᵢ + constant` with `i64` coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Non-zero coefficients per variable.
+    coeffs: BTreeMap<Var, i64>,
+    /// The constant offset.
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1·v`.
+    pub fn variable(v: Var) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1);
+        LinExpr { coeffs, constant: 0 }
+    }
+
+    /// The constant part of the expression.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with non-zero coefficients.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.coeffs.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// The coefficient of `v` (0 if absent).
+    pub fn coeff(&self, v: Var) -> i64 {
+        self.coeffs.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True if the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// If the expression is constant, its value.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.is_constant() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Adds `coeff·v` to the expression in place. Returns `None` on overflow.
+    pub fn add_term(&mut self, v: Var, coeff: i64) -> Option<()> {
+        let entry = self.coeffs.entry(v).or_insert(0);
+        *entry = entry.checked_add(coeff)?;
+        if *entry == 0 {
+            self.coeffs.remove(&v);
+        }
+        Some(())
+    }
+
+    /// Adds a constant in place. Returns `None` on overflow.
+    pub fn add_constant(&mut self, c: i64) -> Option<()> {
+        self.constant = self.constant.checked_add(c)?;
+        Some(())
+    }
+
+    /// `self + other`, or `None` on overflow.
+    pub fn checked_add(&self, other: &LinExpr) -> Option<LinExpr> {
+        let mut out = self.clone();
+        for (v, c) in other.iter() {
+            out.add_term(v, c)?;
+        }
+        out.add_constant(other.constant)?;
+        Some(out)
+    }
+
+    /// `self - other`, or `None` on overflow.
+    pub fn checked_sub(&self, other: &LinExpr) -> Option<LinExpr> {
+        self.checked_add(&other.checked_scale(-1)?)
+    }
+
+    /// `k·self`, or `None` on overflow.
+    pub fn checked_scale(&self, k: i64) -> Option<LinExpr> {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in self.iter() {
+            let scaled = c.checked_mul(k)?;
+            if scaled != 0 {
+                coeffs.insert(v, scaled);
+            }
+        }
+        Some(LinExpr {
+            coeffs,
+            constant: self.constant.checked_mul(k)?,
+        })
+    }
+
+    /// Evaluates the expression under an assignment; `None` if a variable is
+    /// missing or the arithmetic overflows.
+    pub fn eval<F>(&self, assignment: &F) -> Option<i64>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let mut total = self.constant;
+        for (v, c) in self.iter() {
+            let value = assignment(v)?;
+            total = total.checked_add(c.checked_mul(value)?)?;
+        }
+        Some(total)
+    }
+
+    /// The set of variables mentioned by the expression.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.coeffs.keys().copied()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.iter() {
+            if first {
+                write!(f, "{c}*{v}")?;
+                first = false;
+            } else if c >= 0 {
+                write!(f, " + {c}*{v}")?;
+            } else {
+                write!(f, " - {}*{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The result of linearising a term: either a linear expression, or a linear
+/// expression plus product sub-terms `target = a·b` that could not be folded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Linearised {
+    /// The term is linear.
+    Linear(LinExpr),
+    /// The term contains a genuine (non-constant × non-constant) product.
+    NonLinear,
+}
+
+/// Attempts to normalise a [`Term`] into a [`LinExpr`].
+///
+/// Products are folded when at least one side reduces to a constant;
+/// otherwise `Linearised::NonLinear` is returned and the caller must
+/// introduce a product constraint.
+pub fn linearise(term: &Term) -> Linearised {
+    match linearise_inner(term) {
+        Some(Some(e)) => Linearised::Linear(e),
+        _ => Linearised::NonLinear,
+    }
+}
+
+/// `None` = overflow, `Some(None)` = non-linear, `Some(Some(e))` = linear.
+fn linearise_inner(term: &Term) -> Option<Option<LinExpr>> {
+    match term {
+        Term::Int(n) => Some(Some(LinExpr::constant(*n))),
+        Term::Var(v) => Some(Some(LinExpr::variable(*v))),
+        Term::Add(a, b) => match (linearise_inner(a)?, linearise_inner(b)?) {
+            (Some(a), Some(b)) => a.checked_add(&b).map(|e| Some(e)),
+            _ => Some(None),
+        },
+        Term::Sub(a, b) => match (linearise_inner(a)?, linearise_inner(b)?) {
+            (Some(a), Some(b)) => a.checked_sub(&b).map(|e| Some(e)),
+            _ => Some(None),
+        },
+        Term::Neg(a) => match linearise_inner(a)? {
+            Some(a) => a.checked_scale(-1).map(|e| Some(e)),
+            None => Some(None),
+        },
+        Term::Mul(a, b) => match (linearise_inner(a)?, linearise_inner(b)?) {
+            (Some(a), Some(b)) => {
+                if let Some(k) = a.as_constant() {
+                    b.checked_scale(k).map(|e| Some(e))
+                } else if let Some(k) = b.as_constant() {
+                    a.checked_scale(k).map(|e| Some(e))
+                } else {
+                    Some(None)
+                }
+            }
+            _ => Some(None),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn linearise_simple_sum() {
+        // 100 - x0
+        let t = Term::sub(Term::int(100), Term::var(v(0)));
+        match linearise(&t) {
+            Linearised::Linear(e) => {
+                assert_eq!(e.coeff(v(0)), -1);
+                assert_eq!(e.constant_part(), 100);
+            }
+            other => panic!("expected linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linearise_scales_constant_products() {
+        // 3 * (x1 + 2)
+        let t = Term::mul(Term::int(3), Term::add(Term::var(v(1)), Term::int(2)));
+        match linearise(&t) {
+            Linearised::Linear(e) => {
+                assert_eq!(e.coeff(v(1)), 3);
+                assert_eq!(e.constant_part(), 6);
+            }
+            other => panic!("expected linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linearise_rejects_var_products() {
+        let t = Term::mul(Term::var(v(0)), Term::var(v(1)));
+        assert_eq!(linearise(&t), Linearised::NonLinear);
+    }
+
+    #[test]
+    fn cancelling_coefficients_are_removed() {
+        // x0 - x0 is the constant 0
+        let t = Term::sub(Term::var(v(0)), Term::var(v(0)));
+        match linearise(&t) {
+            Linearised::Linear(e) => {
+                assert!(e.is_constant());
+                assert_eq!(e.as_constant(), Some(0));
+            }
+            other => panic!("expected linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_matches_term_eval() {
+        let t = Term::add(
+            Term::mul(Term::int(2), Term::var(v(0))),
+            Term::sub(Term::var(v(1)), Term::int(5)),
+        );
+        let assignment = |var: Var| Some(if var.index() == 0 { 7 } else { 3 });
+        let lin = match linearise(&t) {
+            Linearised::Linear(e) => e,
+            other => panic!("expected linear, got {other:?}"),
+        };
+        assert_eq!(lin.eval(&assignment), t.eval(&assignment));
+    }
+}

@@ -1,0 +1,593 @@
+//! The CDCL search loop.
+
+use super::types::{BVar, Lit, SatResult};
+
+/// Statistics gathered during a solver run, useful for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// ```
+/// use folic::sat::{SatSolver, SatResult};
+///
+/// let mut solver = SatSolver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause(vec![a.positive(), b.positive()]);
+/// solver.add_clause(vec![a.negative()]);
+/// match solver.solve() {
+///     SatResult::Sat(model) => {
+///         assert!(!model[a.index() as usize]);
+///         assert!(model[b.index() as usize]);
+///     }
+///     SatResult::Unsat => panic!("should be satisfiable"),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by literal code: clause indices watching that literal.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable: 0 = false, 1 = true, 2 = unassigned.
+    assign: Vec<u8>,
+    /// Saved phase per variable for phase saving.
+    phase: Vec<bool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause index for each propagated variable.
+    reason: Vec<Option<usize>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Indices into the trail marking decision levels.
+    trail_lim: Vec<usize>,
+    /// Head of the propagation queue within the trail.
+    qhead: usize,
+    /// VSIDS-style activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Set when an empty clause has been added.
+    trivially_unsat: bool,
+    /// Unit clauses queued before solving (asserted at level 0).
+    pending_units: Vec<Lit>,
+    stats: SatStats,
+}
+
+impl SatSolver {
+    /// Creates an empty solver with no variables and no clauses.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Statistics for the most recent [`SatSolver::solve`] call.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Allocates a fresh boolean variable.
+    pub fn new_var(&mut self) -> BVar {
+        let index = self.assign.len() as u32;
+        self.assign.push(UNASSIGNED);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        BVar::new(index)
+    }
+
+    /// Ensures variables up to `var` exist.
+    pub fn ensure_var(&mut self, var: BVar) {
+        while self.num_vars() <= var.index() as usize {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Tautological clauses are dropped; duplicate literals are removed; the
+    /// empty clause marks the instance trivially unsatisfiable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        for lit in &lits {
+            self.ensure_var(lit.var());
+        }
+        lits.sort_by_key(|l| l.code());
+        lits.dedup();
+        // Drop tautologies (contains both l and ¬l).
+        for window in lits.windows(2) {
+            if window[0].var() == window[1].var() {
+                return;
+            }
+        }
+        match lits.len() {
+            0 => self.trivially_unsat = true,
+            1 => self.pending_units.push(lits[0]),
+            _ => {
+                let index = self.clauses.len();
+                self.watches[lits[0].code()].push(index);
+                self.watches[lits[1].code()].push(index);
+                self.clauses.push(Clause { lits });
+            }
+        }
+    }
+
+    fn value_lit(&self, lit: Lit) -> u8 {
+        let v = self.assign[lit.var().index() as usize];
+        if v == UNASSIGNED {
+            UNASSIGNED
+        } else if lit.is_positive() {
+            v
+        } else {
+            1 - v
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.value_lit(lit) {
+            0 => false,
+            1 => true,
+            _ => {
+                let var = lit.var().index() as usize;
+                self.assign[var] = u8::from(lit.is_positive());
+                self.phase[var] = lit.is_positive();
+                self.level[var] = self.decision_level();
+                self.reason[var] = reason;
+                self.trail.push(lit);
+                self.stats.propagations += 1;
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = lit.negate();
+            // Clauses watching ¬lit must be inspected.
+            let watching = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut kept = Vec::with_capacity(watching.len());
+            let mut conflict = None;
+            let mut iter = watching.into_iter();
+            while let Some(clause_index) = iter.next() {
+                if conflict.is_some() {
+                    kept.push(clause_index);
+                    continue;
+                }
+                // Ensure the false literal is at position 1.
+                {
+                    let clause = &mut self.clauses[clause_index];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[clause_index].lits[0];
+                if self.value_lit(first) == 1 {
+                    kept.push(clause_index);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut new_watch = None;
+                for (position, &candidate) in
+                    self.clauses[clause_index].lits.iter().enumerate().skip(2)
+                {
+                    if self.value_lit(candidate) != 0 {
+                        new_watch = Some((position, candidate));
+                        break;
+                    }
+                }
+                match new_watch {
+                    Some((position, candidate)) => {
+                        self.clauses[clause_index].lits.swap(1, position);
+                        self.watches[candidate.code()].push(clause_index);
+                    }
+                    None => {
+                        kept.push(clause_index);
+                        // Clause is unit (or conflicting) on `first`.
+                        if !self.enqueue(first, Some(clause_index)) {
+                            conflict = Some(clause_index);
+                        }
+                    }
+                }
+            }
+            self.watches[false_lit.code()] = kept;
+            if let Some(conflicting) = conflict {
+                return Some(conflicting);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for activity in &mut self.activity {
+                *activity *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause and the level
+    /// to backtrack to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![];
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut lit: Option<Lit> = None;
+        let mut clause_index = conflict;
+        let mut trail_index = self.trail.len();
+        let current_level = self.decision_level();
+
+        loop {
+            let clause_lits = self.clauses[clause_index].lits.clone();
+            let skip_first = lit.is_some();
+            for (position, &q) in clause_lits.iter().enumerate() {
+                if skip_first && position == 0 {
+                    continue;
+                }
+                let var = q.var().index() as usize;
+                if !seen[var] && self.level[var] > 0 {
+                    seen[var] = true;
+                    self.bump_var(var);
+                    if self.level[var] >= current_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on: last assigned seen literal.
+            loop {
+                trail_index -= 1;
+                let candidate = self.trail[trail_index];
+                if seen[candidate.var().index() as usize] {
+                    lit = Some(candidate);
+                    break;
+                }
+            }
+            let p = lit.expect("resolution literal");
+            counter -= 1;
+            if counter == 0 {
+                // p is the first UIP.
+                learned.insert(0, p.negate());
+                break;
+            }
+            clause_index = self.reason[p.var().index() as usize]
+                .expect("propagated literal must have a reason");
+            seen[p.var().index() as usize] = true;
+        }
+
+        // Backtrack level: second-highest level in the learned clause.
+        let backtrack_level = if learned.len() == 1 {
+            0
+        } else {
+            let mut max_index = 1;
+            for index in 2..learned.len() {
+                if self.level[learned[index].var().index() as usize]
+                    > self.level[learned[max_index].var().index() as usize]
+                {
+                    max_index = index;
+                }
+            }
+            learned.swap(1, max_index);
+            self.level[learned[1].var().index() as usize]
+        };
+        (learned, backtrack_level)
+    }
+
+    fn backtrack_to(&mut self, target_level: u32) {
+        while self.decision_level() > target_level {
+            let boundary = self.trail_lim.pop().expect("decision level exists");
+            while self.trail.len() > boundary {
+                let lit = self.trail.pop().expect("trail non-empty");
+                let var = lit.var().index() as usize;
+                self.assign[var] = UNASSIGNED;
+                self.reason[var] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<BVar> {
+        let mut best: Option<(usize, f64)> = None;
+        for (var, &value) in self.assign.iter().enumerate() {
+            if value == UNASSIGNED {
+                let activity = self.activity[var];
+                match best {
+                    Some((_, best_activity)) if best_activity >= activity => {}
+                    _ => best = Some((var, activity)),
+                }
+            }
+        }
+        best.map(|(var, _)| BVar::new(var as u32))
+    }
+
+    /// Resets the solver to decision level 0, keeping clauses.
+    fn reset_search(&mut self) {
+        self.backtrack_to(0);
+    }
+
+    /// Decides the satisfiability of the clause set.
+    pub fn solve(&mut self) -> SatResult {
+        self.stats = SatStats::default();
+        if self.trivially_unsat {
+            return SatResult::Unsat;
+        }
+        self.reset_search();
+        // Assert pending unit clauses at level 0.
+        let units = std::mem::take(&mut self.pending_units);
+        for lit in &units {
+            if !self.enqueue(*lit, None) {
+                self.pending_units = units;
+                return SatResult::Unsat;
+            }
+        }
+        self.pending_units = units;
+        // Re-propagate the entire level-0 trail: clauses may have been added
+        // since the previous solve call and must see existing assignments.
+        self.qhead = 0;
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+
+        let mut conflicts_until_restart = 100u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.decision_level() == 0 {
+                        return SatResult::Unsat;
+                    }
+                    let (learned, backtrack_level) = self.analyze(conflict);
+                    self.backtrack_to(backtrack_level);
+                    self.stats.learned += 1;
+                    let asserting = learned[0];
+                    if learned.len() == 1 {
+                        if !self.enqueue(asserting, None) {
+                            return SatResult::Unsat;
+                        }
+                    } else {
+                        let index = self.clauses.len();
+                        self.watches[learned[0].code()].push(index);
+                        self.watches[learned[1].code()].push(index);
+                        self.clauses.push(Clause { lits: learned });
+                        if !self.enqueue(asserting, Some(index)) {
+                            return SatResult::Unsat;
+                        }
+                    }
+                    self.var_inc *= 1.05;
+                }
+                None => {
+                    if conflicts_since_restart >= conflicts_until_restart {
+                        conflicts_since_restart = 0;
+                        conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                        self.stats.restarts += 1;
+                        self.backtrack_to(0);
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            let model = self
+                                .assign
+                                .iter()
+                                .map(|&value| value == 1)
+                                .collect::<Vec<bool>>();
+                            return SatResult::Sat(model);
+                        }
+                        Some(var) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let phase = self.phase[var.index() as usize];
+                            let lit = Lit::new(var, phase);
+                            let enqueued = self.enqueue(lit, None);
+                            debug_assert!(enqueued, "decision variable was unassigned");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut SatSolver, count: usize) -> Vec<BVar> {
+        (0..count).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_instance_is_sat() {
+        let mut solver = SatSolver::new();
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut solver = SatSolver::new();
+        solver.add_clause(vec![]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut solver = SatSolver::new();
+        let vars = lits(&mut solver, 2);
+        solver.add_clause(vec![vars[0].positive()]);
+        solver.add_clause(vec![vars[0].negative(), vars[1].positive()]);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!(model[0]);
+                assert!(model[1]);
+            }
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut solver = SatSolver::new();
+        let vars = lits(&mut solver, 1);
+        solver.add_clause(vec![vars[0].positive()]);
+        solver.add_clause(vec![vars[0].negative()]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_3sat_instance() {
+        // (a ∨ b ∨ c) ∧ (¬a ∨ b) ∧ (¬b ∨ c) ∧ (¬c ∨ ¬a)
+        let mut solver = SatSolver::new();
+        let v = lits(&mut solver, 3);
+        solver.add_clause(vec![v[0].positive(), v[1].positive(), v[2].positive()]);
+        solver.add_clause(vec![v[0].negative(), v[1].positive()]);
+        solver.add_clause(vec![v[1].negative(), v[2].positive()]);
+        solver.add_clause(vec![v[2].negative(), v[0].negative()]);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let (a, b, c) = (model[0], model[1], model[2]);
+                assert!(a || b || c);
+                assert!(!a || b);
+                assert!(!b || c);
+                assert!(!c || !a);
+            }
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole_is_unsat() {
+        // Variables: p1h1, p2h1. Each pigeon in the hole, not both.
+        let mut solver = SatSolver::new();
+        let v = lits(&mut solver, 2);
+        solver.add_clause(vec![v[0].positive()]);
+        solver.add_clause(vec![v[1].positive()]);
+        solver.add_clause(vec![v[0].negative(), v[1].negative()]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // p_{i,j}: pigeon i sits in hole j, i in 0..3, j in 0..2.
+        let mut solver = SatSolver::new();
+        let mut var = vec![vec![BVar::new(0); 2]; 3];
+        for row in var.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = solver.new_var();
+            }
+        }
+        // Every pigeon is in some hole.
+        for row in &var {
+            solver.add_clause(vec![row[0].positive(), row[1].positive()]);
+        }
+        // No two pigeons share a hole.
+        for hole in 0..2 {
+            for first in 0..3 {
+                for second in (first + 1)..3 {
+                    solver.add_clause(vec![
+                        var[first][hole].negative(),
+                        var[second][hole].negative(),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_instances_agree_with_brute_force() {
+        // Deterministic pseudo-random 3-SAT instances on 8 variables; compare
+        // against exhaustive enumeration.
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _instance in 0..25 {
+            let num_vars = 8usize;
+            let num_clauses = 28usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % num_vars as u64) as usize;
+                    let positive = next() % 2 == 0;
+                    clause.push((var, positive));
+                }
+                clauses.push(clause);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0..(1u32 << num_vars) {
+                for clause in &clauses {
+                    let ok = clause
+                        .iter()
+                        .any(|&(var, positive)| ((bits >> var) & 1 == 1) == positive);
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut solver = SatSolver::new();
+            let vars = lits(&mut solver, num_vars);
+            for clause in &clauses {
+                let cl = clause
+                    .iter()
+                    .map(|&(var, positive)| Lit::new(vars[var], positive))
+                    .collect();
+                solver.add_clause(cl);
+            }
+            let result = solver.solve();
+            assert_eq!(result.is_sat(), brute_sat, "solver disagrees with brute force");
+            if let SatResult::Sat(model) = result {
+                for clause in &clauses {
+                    assert!(
+                        clause.iter().any(|&(var, positive)| model[var] == positive),
+                        "model does not satisfy clause"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Core types of the SAT solver: boolean variables, literals and results.
+
+use std::fmt;
+
+/// A propositional (boolean) variable, identified by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BVar(u32);
+
+impl BVar {
+    /// Creates a boolean variable from its index.
+    pub fn new(index: u32) -> Self {
+        BVar(index)
+    }
+
+    /// The index of the variable.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for BVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A literal: a boolean variable or its negation.
+///
+/// Encoded as `2·var + sign` where `sign = 0` means positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and a polarity (`true` = positive).
+    pub fn new(var: BVar, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> BVar {
+        BVar(self.0 >> 1)
+    }
+
+    /// True if the literal is the positive occurrence of its variable.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The dense integer code of the literal (useful for indexing).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "~{}", self.var())
+        }
+    }
+}
+
+/// The outcome of a propositional satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a total assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// True if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = BVar::new(5);
+        let pos = v.positive();
+        let neg = v.negative();
+        assert_eq!(pos.var(), v);
+        assert_eq!(neg.var(), v);
+        assert!(pos.is_positive());
+        assert!(!neg.is_positive());
+        assert_eq!(pos.negate(), neg);
+        assert_eq!(neg.negate(), pos);
+        assert_ne!(pos.code(), neg.code());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = BVar::new(2);
+        assert_eq!(v.positive().to_string(), "b2");
+        assert_eq!(v.negative().to_string(), "~b2");
+    }
+}

@@ -1,0 +1,231 @@
+//! The public solver façade: an assertion stack with `push`/`pop`, variable
+//! allocation, satisfiability checks and validity queries.
+
+use crate::formula::Formula;
+use crate::term::Var;
+use crate::theory::{check_conjunction, SmtResult, TheoryConfig};
+
+pub use crate::theory::SmtResult as CheckResult;
+
+/// Outcome of a validity query ([`Solver::check_valid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validity {
+    /// The formula holds under every assignment consistent with the
+    /// assertions.
+    Valid,
+    /// There is an assignment consistent with the assertions that falsifies
+    /// the formula.
+    Invalid,
+    /// The solver could not decide.
+    Unknown,
+}
+
+/// Configuration for [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverConfig {
+    /// Theory-level configuration (iteration limits, value bounds).
+    pub theory: TheoryConfig,
+}
+
+/// An incremental first-order solver over integer base values.
+///
+/// This plays the role Z3 plays in the paper: the symbolic executor asserts
+/// the translation of the heap, then asks validity questions (for the proof
+/// relation) or requests a model (to build a counterexample).
+///
+/// ```
+/// use folic::{Formula, Solver, Term, Var};
+///
+/// let mut solver = Solver::new();
+/// let l4 = Term::var(Var::new(4));
+/// let l5 = Term::var(Var::new(5));
+/// solver.assert(Formula::eq(l5.clone(), Term::sub(Term::int(100), l4)));
+/// solver.assert(Formula::eq(Term::int(0), l5));
+/// let model = solver.check().model().cloned().expect("satisfiable");
+/// assert_eq!(model.value(Var::new(4)), Some(100));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    assertions: Vec<Formula>,
+    scopes: Vec<usize>,
+    next_var: u32,
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh first-order variable (one never returned before by
+    /// this solver).
+    pub fn fresh_var(&mut self) -> Var {
+        let var = Var::new(self.next_var);
+        self.next_var += 1;
+        var
+    }
+
+    /// Informs the solver that variables up to and including `var` are in
+    /// use, so [`Solver::fresh_var`] never collides with them.
+    pub fn reserve_through(&mut self, var: Var) {
+        self.next_var = self.next_var.max(var.index() + 1);
+    }
+
+    /// Adds an assertion to the current scope.
+    pub fn assert(&mut self, formula: Formula) {
+        self.assertions.push(formula);
+    }
+
+    /// The asserted formulas, oldest first.
+    pub fn assertions(&self) -> &[Formula] {
+        &self.assertions
+    }
+
+    /// Pushes a new assertion scope.
+    pub fn push(&mut self) {
+        self.scopes.push(self.assertions.len());
+    }
+
+    /// Pops the most recent assertion scope, discarding its assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no scope to pop.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without matching push");
+        self.assertions.truncate(mark);
+    }
+
+    /// Checks satisfiability of the current assertions.
+    pub fn check(&self) -> SmtResult {
+        check_conjunction(&self.assertions, &self.config.theory)
+    }
+
+    /// Checks satisfiability of the current assertions together with
+    /// `extra` formulas (without changing the assertion stack).
+    pub fn check_with(&self, extra: &[Formula]) -> SmtResult {
+        let mut combined = self.assertions.clone();
+        combined.extend_from_slice(extra);
+        check_conjunction(&combined, &self.config.theory)
+    }
+
+    /// Determines whether `formula` is valid under the current assertions:
+    /// valid iff `assertions ∧ ¬formula` is unsatisfiable.
+    pub fn check_valid(&self, formula: &Formula) -> Validity {
+        match self.check_with(&[Formula::not(formula.clone())]) {
+            SmtResult::Unsat => Validity::Valid,
+            SmtResult::Sat(_) => Validity::Invalid,
+            SmtResult::Unknown => Validity::Unknown,
+        }
+    }
+
+    /// Convenience three-valued query used by the paper's proof relation
+    /// (Fig. 5): does the heap prove, refute, or leave ambiguous the goal?
+    pub fn prove(&self, goal: &Formula) -> Proof {
+        match self.check_valid(goal) {
+            Validity::Valid => Proof::Proved,
+            Validity::Unknown => Proof::Ambiguous,
+            Validity::Invalid => match self.check_with(std::slice::from_ref(goal)) {
+                SmtResult::Unsat => Proof::Refuted,
+                SmtResult::Sat(_) => Proof::Ambiguous,
+                SmtResult::Unknown => Proof::Ambiguous,
+            },
+        }
+    }
+}
+
+/// The three-valued answer of the proof relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proof {
+    /// The assertions entail the goal (`Σ ⊢ L : P ✓`).
+    Proved,
+    /// The assertions entail the negation of the goal (`Σ ⊢ L : P ✗`).
+    Refuted,
+    /// Neither could be established (`Σ ⊢ L : P ?`).
+    Ambiguous,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn x(i: u32) -> Term {
+        Term::var(Var::new(i))
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut solver = Solver::new();
+        let a = solver.fresh_var();
+        let b = solver.fresh_var();
+        assert_ne!(a, b);
+        solver.reserve_through(Var::new(10));
+        let c = solver.fresh_var();
+        assert!(c.index() > 10);
+    }
+
+    #[test]
+    fn push_pop_restores_assertions() {
+        let mut solver = Solver::new();
+        solver.assert(Formula::ge(x(0), Term::int(0)));
+        solver.push();
+        solver.assert(Formula::eq(x(0), Term::int(5)));
+        assert_eq!(solver.assertions().len(), 2);
+        solver.pop();
+        assert_eq!(solver.assertions().len(), 1);
+        assert!(solver.check().is_sat());
+    }
+
+    #[test]
+    fn validity_of_entailed_formula() {
+        let mut solver = Solver::new();
+        solver.assert(Formula::eq(x(0), Term::int(3)));
+        assert_eq!(
+            solver.check_valid(&Formula::gt(x(0), Term::int(0))),
+            Validity::Valid
+        );
+        assert_eq!(
+            solver.check_valid(&Formula::gt(x(0), Term::int(5))),
+            Validity::Invalid
+        );
+    }
+
+    #[test]
+    fn proof_relation_three_values() {
+        let mut solver = Solver::new();
+        solver.assert(Formula::ge(x(0), Term::int(1)));
+        // x ≥ 1 proves x ≠ 0 ...
+        assert_eq!(solver.prove(&Formula::ne(x(0), Term::int(0))), Proof::Proved);
+        // ... refutes x = 0 ...
+        assert_eq!(solver.prove(&Formula::eq(x(0), Term::int(0))), Proof::Refuted);
+        // ... and says nothing about x = 5.
+        assert_eq!(solver.prove(&Formula::eq(x(0), Term::int(5))), Proof::Ambiguous);
+    }
+
+    #[test]
+    fn unconstrained_solver_is_sat() {
+        let solver = Solver::new();
+        assert!(solver.check().is_sat());
+    }
+
+    #[test]
+    fn check_with_does_not_mutate() {
+        let mut solver = Solver::new();
+        solver.assert(Formula::ge(x(0), Term::int(0)));
+        let result = solver.check_with(&[Formula::lt(x(0), Term::int(0))]);
+        assert!(result.is_unsat());
+        // The contradictory extra assertion was not retained.
+        assert!(solver.check().is_sat());
+        assert_eq!(solver.assertions().len(), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Integer-sorted terms of the first-order constraint language.
+//!
+//! Terms are the arithmetic layer underneath [`crate::formula::Formula`]:
+//! integer constants, variables, and the operations `+`, `-`, `*` and unary
+//! negation. This is exactly the fragment produced by the heap-to-formula
+//! translation of the paper (Fig. 4): refinements on base values only ever
+//! mention arithmetic over heap locations and literals.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order integer variable.
+///
+/// Clients (the symbolic executors) allocate variables through
+/// [`crate::solver::Solver::fresh_var`] or construct them directly from a
+/// `u32` index when they manage their own numbering (e.g. one variable per
+/// heap location).
+///
+/// ```
+/// use folic::term::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given index.
+    pub fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// The numeric index of this variable.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(index: u32) -> Self {
+        Var(index)
+    }
+}
+
+/// An integer-sorted term.
+///
+/// ```
+/// use folic::term::{Term, Var};
+/// // 100 - x0
+/// let t = Term::sub(Term::int(100), Term::var(Var::new(0)));
+/// assert_eq!(t.to_string(), "(- 100 x0)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An integer literal.
+    Int(i64),
+    /// A variable.
+    Var(Var),
+    /// Addition.
+    Add(Box<Term>, Box<Term>),
+    /// Subtraction.
+    Sub(Box<Term>, Box<Term>),
+    /// Multiplication.
+    Mul(Box<Term>, Box<Term>),
+    /// Unary negation.
+    Neg(Box<Term>),
+}
+
+impl Term {
+    /// An integer literal term.
+    pub fn int(n: i64) -> Self {
+        Term::Int(n)
+    }
+
+    /// A variable term.
+    pub fn var(v: Var) -> Self {
+        Term::Var(v)
+    }
+
+    /// `a + b`.
+    pub fn add(a: Term, b: Term) -> Self {
+        Term::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Term, b: Term) -> Self {
+        Term::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Term, b: Term) -> Self {
+        Term::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `-a`.
+    pub fn neg(a: Term) -> Self {
+        Term::Neg(Box::new(a))
+    }
+
+    /// Collects the free variables of the term into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Term::Int(_) => {}
+            Term::Var(v) => {
+                out.insert(*v);
+            }
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Neg(a) => a.collect_vars(out),
+        }
+    }
+
+    /// The set of free variables of the term.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Evaluates the term under an assignment of variables to integers.
+    ///
+    /// Returns `None` if a variable is unassigned or the arithmetic
+    /// overflows `i64`.
+    pub fn eval<F>(&self, assignment: &F) -> Option<i64>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        match self {
+            Term::Int(n) => Some(*n),
+            Term::Var(v) => assignment(*v),
+            Term::Add(a, b) => a.eval(assignment)?.checked_add(b.eval(assignment)?),
+            Term::Sub(a, b) => a.eval(assignment)?.checked_sub(b.eval(assignment)?),
+            Term::Mul(a, b) => a.eval(assignment)?.checked_mul(b.eval(assignment)?),
+            Term::Neg(a) => a.eval(assignment)?.checked_neg(),
+        }
+    }
+
+    /// Structurally simplifies the term by constant folding.
+    pub fn simplify(&self) -> Term {
+        match self {
+            Term::Int(_) | Term::Var(_) => self.clone(),
+            Term::Add(a, b) => match (a.simplify(), b.simplify()) {
+                (Term::Int(x), Term::Int(y)) => match x.checked_add(y) {
+                    Some(z) => Term::Int(z),
+                    None => Term::add(Term::Int(x), Term::Int(y)),
+                },
+                (Term::Int(0), t) | (t, Term::Int(0)) => t,
+                (x, y) => Term::add(x, y),
+            },
+            Term::Sub(a, b) => match (a.simplify(), b.simplify()) {
+                (Term::Int(x), Term::Int(y)) => match x.checked_sub(y) {
+                    Some(z) => Term::Int(z),
+                    None => Term::sub(Term::Int(x), Term::Int(y)),
+                },
+                (t, Term::Int(0)) => t,
+                (x, y) => Term::sub(x, y),
+            },
+            Term::Mul(a, b) => match (a.simplify(), b.simplify()) {
+                (Term::Int(x), Term::Int(y)) => match x.checked_mul(y) {
+                    Some(z) => Term::Int(z),
+                    None => Term::mul(Term::Int(x), Term::Int(y)),
+                },
+                (Term::Int(0), _) | (_, Term::Int(0)) => Term::Int(0),
+                (Term::Int(1), t) | (t, Term::Int(1)) => t,
+                (x, y) => Term::mul(x, y),
+            },
+            Term::Neg(a) => match a.simplify() {
+                Term::Int(x) => match x.checked_neg() {
+                    Some(z) => Term::Int(z),
+                    None => Term::neg(Term::Int(x)),
+                },
+                t => Term::neg(t),
+            },
+        }
+    }
+
+    /// True if the term is an integer literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Term::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Add(a, b) => write!(f, "(+ {a} {b})"),
+            Term::Sub(a, b) => write!(f, "(- {a} {b})"),
+            Term::Mul(a, b) => write!(f, "(* {a} {b})"),
+            Term::Neg(a) => write!(f, "(- {a})"),
+        }
+    }
+}
+
+impl From<i64> for Term {
+    fn from(n: i64) -> Self {
+        Term::Int(n)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let t = Term::add(Term::var(Var::new(1)), Term::int(2));
+        assert_eq!(t.to_string(), "(+ x1 2)");
+        let t = Term::neg(Term::var(Var::new(0)));
+        assert_eq!(t.to_string(), "(- x0)");
+    }
+
+    #[test]
+    fn vars_collects_all_variables() {
+        let t = Term::mul(
+            Term::add(Term::var(Var::new(1)), Term::var(Var::new(2))),
+            Term::sub(Term::var(Var::new(3)), Term::int(4)),
+        );
+        let vs = t.vars();
+        assert_eq!(
+            vs.into_iter().map(Var::index).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn eval_computes_arithmetic() {
+        let t = Term::sub(Term::int(100), Term::var(Var::new(0)));
+        let value = t.eval(&|v| if v.index() == 0 { Some(58) } else { None });
+        assert_eq!(value, Some(42));
+    }
+
+    #[test]
+    fn eval_unassigned_is_none() {
+        let t = Term::var(Var::new(7));
+        assert_eq!(t.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn eval_detects_overflow() {
+        let t = Term::mul(Term::int(i64::MAX), Term::int(2));
+        assert_eq!(t.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let t = Term::add(Term::int(1), Term::mul(Term::int(2), Term::int(3)));
+        assert_eq!(t.simplify(), Term::Int(7));
+    }
+
+    #[test]
+    fn simplify_identities() {
+        let x = Term::var(Var::new(0));
+        assert_eq!(Term::add(x.clone(), Term::int(0)).simplify(), x);
+        assert_eq!(Term::mul(x.clone(), Term::int(1)).simplify(), x);
+        assert_eq!(Term::mul(x.clone(), Term::int(0)).simplify(), Term::Int(0));
+    }
+}

@@ -1,0 +1,296 @@
+//! The lazy SMT loop: CDCL over the boolean abstraction, with the LIA theory
+//! solver checking each propositional model and contributing blocking
+//! clauses for theory conflicts.
+
+use crate::cnf::{assert_formula, AtomMap};
+use crate::formula::{Atom, Formula};
+use crate::lia::{check_atoms, LiaConfig, LiaResult};
+use crate::model::Model;
+use crate::sat::{Lit, SatResult as PropResult, SatSolver};
+use crate::term::Var;
+
+/// The outcome of an SMT satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmtResult {
+    /// Satisfiable, with a model over the integer variables.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Could not be decided within the configured budget.
+    Unknown,
+}
+
+impl SmtResult {
+    /// True when the result is [`SmtResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// True when the result is [`SmtResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SmtResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the SMT loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TheoryConfig {
+    /// Theory-check iterations before giving up.
+    pub max_iterations: u32,
+    /// Configuration of the LIA model search.
+    pub lia: LiaConfig,
+}
+
+impl Default for TheoryConfig {
+    fn default() -> Self {
+        TheoryConfig {
+            max_iterations: 256,
+            lia: LiaConfig::default(),
+        }
+    }
+}
+
+/// Checks the conjunction of `formulas` for satisfiability.
+pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResult {
+    // Fast path: a pure conjunction of atoms needs no SAT solving at all.
+    if let Some(atoms) = as_atom_conjunction(formulas) {
+        return lia_to_smt(&atoms, formulas, config);
+    }
+
+    let mut sat = SatSolver::new();
+    let mut atom_map = AtomMap::new();
+    for formula in formulas {
+        assert_formula(&mut sat, &mut atom_map, formula);
+    }
+
+    let mut saw_unknown = false;
+    for _iteration in 0..config.max_iterations {
+        match sat.solve() {
+            PropResult::Unsat => {
+                return if saw_unknown { SmtResult::Unknown } else { SmtResult::Unsat };
+            }
+            PropResult::Sat(assignment) => {
+                // Collect the theory literals chosen by the boolean model.
+                let mut theory_atoms: Vec<Atom> = Vec::new();
+                let mut blocking: Vec<Lit> = Vec::new();
+                for (atom, var) in atom_map.iter() {
+                    let value = assignment[var.index() as usize];
+                    theory_atoms.push(if value { atom.clone() } else { atom.negate() });
+                    blocking.push(if value { var.negative() } else { var.positive() });
+                }
+                match check_atoms(&theory_atoms, &config.lia) {
+                    LiaResult::Sat(values) => {
+                        let mut model = Model::new();
+                        for (var, value) in values {
+                            model.assign(var, value);
+                        }
+                        complete_model(&mut model, formulas);
+                        if model.satisfies_all(formulas) {
+                            return SmtResult::Sat(model);
+                        }
+                        // The theory model does not extend to the boolean
+                        // structure (should not happen); treat as a blocked
+                        // candidate and move on.
+                        saw_unknown = true;
+                        sat.add_clause(blocking);
+                    }
+                    LiaResult::Unsat => {
+                        if blocking.is_empty() {
+                            // No theory atoms at all, yet the theory says
+                            // inconsistent: impossible, but guard anyway.
+                            return SmtResult::Unsat;
+                        }
+                        sat.add_clause(blocking);
+                    }
+                    LiaResult::Unknown => {
+                        saw_unknown = true;
+                        if blocking.is_empty() {
+                            return SmtResult::Unknown;
+                        }
+                        sat.add_clause(blocking);
+                    }
+                }
+            }
+        }
+    }
+    SmtResult::Unknown
+}
+
+/// Checks whether `formula` is entailed by `background` (i.e. `background ∧
+/// ¬formula` is unsatisfiable).
+pub fn check_entailed(background: &[Formula], formula: &Formula, config: &TheoryConfig) -> SmtResult {
+    let mut combined: Vec<Formula> = background.to_vec();
+    combined.push(Formula::not(formula.clone()));
+    check_conjunction(&combined, config)
+}
+
+/// If every formula is a conjunction of atoms, return them flattened.
+fn as_atom_conjunction(formulas: &[Formula]) -> Option<Vec<Atom>> {
+    let mut atoms = Vec::new();
+    for formula in formulas {
+        collect_atoms(formula, &mut atoms)?;
+    }
+    Some(atoms)
+}
+
+fn collect_atoms(formula: &Formula, out: &mut Vec<Atom>) -> Option<()> {
+    match formula {
+        Formula::True => Some(()),
+        Formula::Atom(a) => {
+            out.push(a.clone());
+            Some(())
+        }
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Atom(a) => {
+                out.push(a.negate());
+                Some(())
+            }
+            _ => None,
+        },
+        Formula::And(parts) => {
+            for part in parts {
+                collect_atoms(part, out)?;
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn lia_to_smt(atoms: &[Atom], formulas: &[Formula], config: &TheoryConfig) -> SmtResult {
+    match check_atoms(atoms, &config.lia) {
+        LiaResult::Sat(values) => {
+            let mut model = Model::new();
+            for (var, value) in values {
+                model.assign(var, value);
+            }
+            complete_model(&mut model, formulas);
+            if model.satisfies_all(formulas) {
+                SmtResult::Sat(model)
+            } else {
+                SmtResult::Unknown
+            }
+        }
+        LiaResult::Unsat => SmtResult::Unsat,
+        LiaResult::Unknown => SmtResult::Unknown,
+    }
+}
+
+/// Assigns zero to any variable that occurs in the formulas but not in the
+/// model, so that callers always receive total models.
+fn complete_model(model: &mut Model, formulas: &[Formula]) {
+    let mut vars = std::collections::BTreeSet::<Var>::new();
+    for formula in formulas {
+        formula.collect_vars(&mut vars);
+    }
+    for var in vars {
+        if model.value(var).is_none() {
+            model.assign(var, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Term, Var};
+
+    fn x(i: u32) -> Term {
+        Term::var(Var::new(i))
+    }
+
+    fn check(formulas: &[Formula]) -> SmtResult {
+        check_conjunction(formulas, &TheoryConfig::default())
+    }
+
+    #[test]
+    fn conjunction_of_equalities_has_model() {
+        let formulas = vec![
+            Formula::eq(x(5), Term::sub(Term::int(100), x(4))),
+            Formula::eq(Term::int(0), x(5)),
+        ];
+        match check(&formulas) {
+            SmtResult::Sat(model) => {
+                assert_eq!(model.value(Var::new(4)), Some(100));
+                assert_eq!(model.value(Var::new(5)), Some(0));
+                assert!(model.satisfies_all(&formulas));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_structure_with_theory_conflicts() {
+        // (x = 0 ∨ x = 1) ∧ x ≥ 5 is unsat; both disjuncts conflict with the bound.
+        let formulas = vec![
+            Formula::or(vec![
+                Formula::eq(x(0), Term::int(0)),
+                Formula::eq(x(0), Term::int(1)),
+            ]),
+            Formula::ge(x(0), Term::int(5)),
+        ];
+        assert_eq!(check(&formulas), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_picks_consistent_branch() {
+        // (x = 0 ∨ x = 7) ∧ x ≥ 5  ⇒  x = 7
+        let formulas = vec![
+            Formula::or(vec![
+                Formula::eq(x(0), Term::int(0)),
+                Formula::eq(x(0), Term::int(7)),
+            ]),
+            Formula::ge(x(0), Term::int(5)),
+        ];
+        match check(&formulas) {
+            SmtResult::Sat(model) => assert_eq!(model.value(Var::new(0)), Some(7)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_from_case_maps() {
+        // (x1 = x3 ⇒ x2 = x4) ∧ x1 = x3 ∧ x2 = 1 ∧ x4 = 0 is unsat.
+        let formulas = vec![
+            Formula::implies(Formula::eq(x(1), x(3)), Formula::eq(x(2), x(4))),
+            Formula::eq(x(1), x(3)),
+            Formula::eq(x(2), Term::int(1)),
+            Formula::eq(x(4), Term::int(0)),
+        ];
+        assert_eq!(check(&formulas), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn entailment_check_works() {
+        // x = 3 entails x > 0.
+        let background = vec![Formula::eq(x(0), Term::int(3))];
+        let goal = Formula::gt(x(0), Term::int(0));
+        assert_eq!(
+            check_entailed(&background, &goal, &TheoryConfig::default()),
+            SmtResult::Unsat,
+            "negation of an entailed formula must be unsat"
+        );
+        // x = 3 does not entail x > 5.
+        let goal = Formula::gt(x(0), Term::int(5));
+        assert!(check_entailed(&background, &goal, &TheoryConfig::default()).is_sat());
+    }
+
+    #[test]
+    fn trivially_true_assertions_are_sat() {
+        assert!(check(&[Formula::True]).is_sat());
+        assert!(check(&[]).is_sat());
+    }
+
+    #[test]
+    fn trivially_false_assertions_are_unsat() {
+        assert_eq!(check(&[Formula::False]), SmtResult::Unsat);
+    }
+}

@@ -1,0 +1,305 @@
+//! Counterexample construction (§3.5).
+//!
+//! At an error state the heap's refinements describe the condition under
+//! which the program goes wrong, and — because applications of opaque
+//! functions have been decomposed into λ-shapes and `case` maps — only
+//! first-order unknowns remain. A model of the translated heap therefore
+//! determines a concrete value for every base-typed unknown, and plugging
+//! those back into the heap's function shapes reconstructs concrete,
+//! possibly higher-order inputs: the counterexample.
+
+use std::collections::BTreeSet;
+
+use folic::Model;
+
+use crate::concrete::eval;
+use crate::heap::{Heap, Loc, Storeable};
+use crate::prove::Prover;
+use crate::syntax::{Blame, Expr, Label, Op};
+use crate::types::Type;
+
+/// A concrete counterexample: one concrete expression per opaque source
+/// label of the original program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The error the counterexample triggers.
+    pub blame: Blame,
+    /// For each opaque label of the program, the concrete value to plug in.
+    pub bindings: Vec<(Label, Expr)>,
+    /// Whether the counterexample was re-executed concretely and confirmed
+    /// to trigger `blame`.
+    pub validated: bool,
+}
+
+impl Counterexample {
+    /// The binding for a particular opaque label, if present.
+    pub fn binding(&self, label: Label) -> Option<&Expr> {
+        self.bindings
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, e)| e)
+    }
+
+    /// Instantiates `program` with this counterexample's bindings.
+    pub fn instantiate(&self, program: &Expr) -> Expr {
+        program.instantiate_opaques(&|label| self.binding(label).cloned())
+    }
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.blame)?;
+        writeln!(f, "breaking context:")?;
+        for (label, expr) in &self.bindings {
+            writeln!(f, "  {label} = {expr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Options for counterexample construction.
+#[derive(Debug, Clone, Copy)]
+pub struct CexOptions {
+    /// Re-run the instantiated program concretely and only report the
+    /// counterexample if the same blame is reproduced (Theorem 1 made
+    /// operational). Strongly recommended.
+    pub validate: bool,
+    /// Fuel for the validation run.
+    pub validation_fuel: u64,
+}
+
+impl Default for CexOptions {
+    fn default() -> Self {
+        CexOptions {
+            validate: true,
+            validation_fuel: 200_000,
+        }
+    }
+}
+
+/// Attempts to construct (and validate) a counterexample from an error
+/// state's heap.
+///
+/// Returns `None` when the path condition has no model (the path is
+/// spurious) or when validation is requested and fails.
+pub fn build_counterexample(
+    prover: &Prover,
+    program: &Expr,
+    heap: &Heap,
+    blame: Blame,
+    options: &CexOptions,
+) -> Option<Counterexample> {
+    let model = prover.heap_model_opt(heap)?;
+    let opaques = program.opaque_labels();
+    let bindings: Vec<(Label, Expr)> = opaques
+        .iter()
+        .map(|(label, ty)| {
+            let expr = match heap.opaque_loc(*label) {
+                Some(loc) => reconstruct(heap, &model, loc, Some(ty), &mut BTreeSet::new()),
+                None => default_value(ty),
+            };
+            (*label, expr)
+        })
+        .collect();
+    let mut counterexample = Counterexample {
+        blame,
+        bindings,
+        validated: false,
+    };
+    if options.validate {
+        let instantiated = counterexample.instantiate(program);
+        let outcome = eval(&instantiated, options.validation_fuel);
+        if outcome.is_error_with(&blame) {
+            counterexample.validated = true;
+        } else {
+            return None;
+        }
+    }
+    Some(counterexample)
+}
+
+/// Builds a closed expression denoting the value stored at `loc`, using the
+/// model for base values.
+pub fn reconstruct(
+    heap: &Heap,
+    model: &Model,
+    loc: Loc,
+    expected: Option<&Type>,
+    visiting: &mut BTreeSet<Loc>,
+) -> Expr {
+    if visiting.contains(&loc) {
+        // A cycle in the reconstructed shapes: fall back to a default value.
+        return expected.map(default_value).unwrap_or(Expr::Num(0));
+    }
+    visiting.insert(loc);
+    let result = match heap.try_get(loc) {
+        None => expected.map(default_value).unwrap_or(Expr::Num(0)),
+        Some(Storeable::Num(n)) => Expr::Num(*n),
+        Some(Storeable::Opaque { ty, .. }) => match ty {
+            Type::Int => Expr::Num(model.value_or_zero(loc.solver_var())),
+            arrow => default_value(arrow),
+        },
+        Some(Storeable::Lam { param, param_ty, body }) => Expr::Lam {
+            param: param.clone(),
+            param_ty: param_ty.clone(),
+            body: Box::new(reconstruct_body(heap, model, body, visiting)),
+        },
+        Some(Storeable::Case { result_ty, entries }) => {
+            // λx. if (= x k₁) v₁ (if (= x k₂) v₂ … default)
+            let mut body = default_value(result_ty);
+            for (argument, result) in entries.iter().rev() {
+                let key = model.value_or_zero(argument.solver_var());
+                let value = reconstruct(heap, model, *result, Some(result_ty), visiting);
+                body = Expr::ite(
+                    Expr::Prim(
+                        Op::Eq,
+                        vec![Expr::var("x"), Expr::Num(key)],
+                        Label(u32::MAX),
+                    ),
+                    value,
+                    body,
+                );
+            }
+            Expr::lam("x", Type::Int, body)
+        }
+    };
+    visiting.remove(&loc);
+    result
+}
+
+/// Rewrites a stored λ-body, replacing location references with their
+/// reconstructed values.
+fn reconstruct_body(heap: &Heap, model: &Model, body: &Expr, visiting: &mut BTreeSet<Loc>) -> Expr {
+    match body {
+        Expr::Loc(l) => reconstruct(heap, model, *l, None, visiting),
+        Expr::Var(_) | Expr::Num(_) | Expr::Opaque(_, _) | Expr::Err(_) => body.clone(),
+        Expr::Lam { param, param_ty, body } => Expr::Lam {
+            param: param.clone(),
+            param_ty: param_ty.clone(),
+            body: Box::new(reconstruct_body(heap, model, body, visiting)),
+        },
+        Expr::App(f, a) => Expr::App(
+            Box::new(reconstruct_body(heap, model, f, visiting)),
+            Box::new(reconstruct_body(heap, model, a, visiting)),
+        ),
+        Expr::If(c, t, e) => Expr::If(
+            Box::new(reconstruct_body(heap, model, c, visiting)),
+            Box::new(reconstruct_body(heap, model, t, visiting)),
+            Box::new(reconstruct_body(heap, model, e, visiting)),
+        ),
+        Expr::Prim(op, args, label) => Expr::Prim(
+            *op,
+            args.iter()
+                .map(|a| reconstruct_body(heap, model, a, visiting))
+                .collect(),
+            *label,
+        ),
+        Expr::Fix { name, ty, body } => Expr::Fix {
+            name: name.clone(),
+            ty: ty.clone(),
+            body: Box::new(reconstruct_body(heap, model, body, visiting)),
+        },
+    }
+}
+
+/// A canonical inhabitant of a type: 0 for integers, constant functions for
+/// arrows.
+pub fn default_value(ty: &Type) -> Expr {
+    match ty {
+        Type::Int => Expr::Num(0),
+        Type::Arrow(domain, codomain) => {
+            Expr::lam("_", (**domain).clone(), default_value(codomain))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::EvalOutcome;
+    use crate::heap::{Refinement, SymExpr};
+    use folic::CmpOp;
+
+    #[test]
+    fn default_values_inhabit_their_types() {
+        assert_eq!(default_value(&Type::Int), Expr::Num(0));
+        let f = default_value(&Type::arrow(Type::Int, Type::Int));
+        assert!(matches!(f, Expr::Lam { .. }));
+    }
+
+    #[test]
+    fn reconstruct_concrete_number() {
+        let mut heap = Heap::new();
+        let loc = heap.alloc(Storeable::Num(5));
+        let model = Model::new();
+        let expr = reconstruct(&heap, &model, loc, Some(&Type::Int), &mut BTreeSet::new());
+        assert_eq!(expr, Expr::Num(5));
+    }
+
+    #[test]
+    fn reconstruct_opaque_uses_model() {
+        let mut heap = Heap::new();
+        let loc = heap.alloc_fresh_opaque(Type::Int);
+        let mut model = Model::new();
+        model.assign(loc.solver_var(), 100);
+        let expr = reconstruct(&heap, &model, loc, Some(&Type::Int), &mut BTreeSet::new());
+        assert_eq!(expr, Expr::Num(100));
+    }
+
+    #[test]
+    fn reconstruct_case_map_builds_conditional_function() {
+        let mut heap = Heap::new();
+        let key = heap.alloc_fresh_opaque(Type::Int);
+        let value = heap.alloc(Storeable::Num(42));
+        let function = heap.alloc(Storeable::Case {
+            result_ty: Type::Int,
+            entries: vec![(key, value)],
+        });
+        let mut model = Model::new();
+        model.assign(key.solver_var(), 7);
+        let expr = reconstruct(&heap, &model, function, None, &mut BTreeSet::new());
+        // λx. if (= x 7) 42 0 — and indeed it maps 7 to 42.
+        let applied = Expr::app(expr, Expr::Num(7));
+        match eval(&applied, 10_000) {
+            EvalOutcome::Value(v) => assert_eq!(v.as_int(), Some(42)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worked_example_style_heap_produces_bindings() {
+        // Program: ((• : (int→int)) applied inside 1/(100 - (g n))) — here we
+        // only exercise the binding construction, not the full engine.
+        let opaque_ty = Type::arrow(Type::Int, Type::Int);
+        let program = Expr::app(
+            Expr::Opaque(opaque_ty.clone(), Label(1)),
+            Expr::Num(0),
+        );
+
+        let mut heap = Heap::new();
+        let g = heap.alloc_opaque(opaque_ty, Label(1));
+        let n = heap.alloc(Storeable::Num(0));
+        let result = heap.alloc_fresh_opaque(Type::Int);
+        heap.set(
+            g,
+            Storeable::Case {
+                result_ty: Type::Int,
+                entries: vec![(n, result)],
+            },
+        );
+        heap.refine(result, Refinement::new(CmpOp::Eq, SymExpr::int(100)));
+
+        let prover = Prover::new();
+        let blame = Blame { label: Label(9), op: Op::Div };
+        let options = CexOptions { validate: false, ..CexOptions::default() };
+        let cex = build_counterexample(&prover, &program, &heap, blame, &options)
+            .expect("counterexample");
+        let g_binding = cex.binding(Label(1)).expect("binding for g");
+        // The reconstructed g maps 0 to 100.
+        let applied = Expr::app(g_binding.clone(), Expr::Num(0));
+        match eval(&applied, 10_000) {
+            EvalOutcome::Value(v) => assert_eq!(v.as_int(), Some(100)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

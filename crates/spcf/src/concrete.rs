@@ -1,0 +1,296 @@
+//! A concrete (non-symbolic) evaluator for closed SPCF programs.
+//!
+//! Counterexample soundness (Theorem 1) is witnessed operationally: after
+//! reconstructing concrete inputs from the solver model, the engine re-runs
+//! the instantiated program with this evaluator and checks that the very
+//! same blame is reproduced. A counterexample is only ever reported to the
+//! user once this check passes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::syntax::{Blame, Expr, Op};
+
+/// A runtime value of the concrete evaluator.
+#[derive(Debug, Clone)]
+pub enum CValue {
+    /// An integer.
+    Int(i64),
+    /// A closure.
+    Closure {
+        /// Parameter name.
+        param: String,
+        /// Body expression.
+        body: Expr,
+        /// Captured environment.
+        env: Env,
+    },
+}
+
+impl CValue {
+    /// The integer, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CValue::Int(n) => Some(*n),
+            CValue::Closure { .. } => None,
+        }
+    }
+}
+
+/// Environments map variable names to values; shared via `Rc` so closures
+/// are cheap.
+pub type Env = Rc<HashMap<String, CValue>>;
+
+/// The outcome of concrete evaluation.
+#[derive(Debug, Clone)]
+pub enum EvalOutcome {
+    /// Evaluation finished with a value.
+    Value(CValue),
+    /// Evaluation raised an error (blame).
+    Error(Blame),
+    /// The step budget was exhausted (the program may diverge).
+    OutOfFuel,
+    /// Evaluation got stuck (unbound variable, opaque value, type confusion).
+    Stuck(String),
+}
+
+impl EvalOutcome {
+    /// True if the outcome is an error with exactly this blame.
+    pub fn is_error_with(&self, blame: &Blame) -> bool {
+        matches!(self, EvalOutcome::Error(b) if b == blame)
+    }
+
+    /// True if the outcome is any error.
+    pub fn is_error(&self) -> bool {
+        matches!(self, EvalOutcome::Error(_))
+    }
+}
+
+/// Evaluates a closed, concrete expression with the given step budget.
+pub fn eval(expr: &Expr, fuel: u64) -> EvalOutcome {
+    let mut fuel = fuel;
+    let env: Env = Rc::new(HashMap::new());
+    match eval_in(expr, &env, &mut fuel) {
+        Ok(value) => EvalOutcome::Value(value),
+        Err(Stop::Blame(blame)) => EvalOutcome::Error(blame),
+        Err(Stop::OutOfFuel) => EvalOutcome::OutOfFuel,
+        Err(Stop::Stuck(reason)) => EvalOutcome::Stuck(reason),
+    }
+}
+
+enum Stop {
+    Blame(Blame),
+    OutOfFuel,
+    Stuck(String),
+}
+
+fn eval_in(expr: &Expr, env: &Env, fuel: &mut u64) -> Result<CValue, Stop> {
+    if *fuel == 0 {
+        return Err(Stop::OutOfFuel);
+    }
+    *fuel -= 1;
+    match expr {
+        Expr::Num(n) => Ok(CValue::Int(*n)),
+        Expr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| Stop::Stuck(format!("unbound variable `{x}`"))),
+        Expr::Lam { param, body, .. } => Ok(CValue::Closure {
+            param: param.clone(),
+            body: (**body).clone(),
+            env: env.clone(),
+        }),
+        Expr::Opaque(_, label) => Err(Stop::Stuck(format!(
+            "opaque value {label} reached by the concrete evaluator"
+        ))),
+        Expr::Loc(_) | Expr::Err(_) => Err(Stop::Stuck("internal form".to_string())),
+        Expr::Fix { name, body, .. } => {
+            let unrolled = body.subst_expr(name, expr);
+            eval_in(&unrolled, env, fuel)
+        }
+        Expr::If(condition, then_branch, else_branch) => {
+            let scrutinee = eval_in(condition, env, fuel)?;
+            match scrutinee {
+                CValue::Int(0) => eval_in(else_branch, env, fuel),
+                CValue::Int(_) => eval_in(then_branch, env, fuel),
+                CValue::Closure { .. } => {
+                    Err(Stop::Stuck("if on a function value".to_string()))
+                }
+            }
+        }
+        Expr::App(function, argument) => {
+            let function_value = eval_in(function, env, fuel)?;
+            let argument_value = eval_in(argument, env, fuel)?;
+            match function_value {
+                CValue::Closure { param, body, env: closure_env } => {
+                    let mut extended = (*closure_env).clone();
+                    extended.insert(param, argument_value);
+                    eval_in(&body, &Rc::new(extended), fuel)
+                }
+                CValue::Int(_) => Err(Stop::Stuck("applied a number".to_string())),
+            }
+        }
+        Expr::Prim(op, args, label) => {
+            let mut values = Vec::with_capacity(args.len());
+            for arg in args {
+                match eval_in(arg, env, fuel)? {
+                    CValue::Int(n) => values.push(n),
+                    CValue::Closure { .. } => {
+                        return Err(Stop::Stuck(format!("{op} applied to a function")));
+                    }
+                }
+            }
+            apply_prim(*op, &values, *label).map(CValue::Int)
+        }
+    }
+}
+
+fn apply_prim(op: Op, values: &[i64], label: crate::syntax::Label) -> Result<i64, Stop> {
+    let blame = Blame { label, op };
+    Ok(match op {
+        Op::IsZero | Op::Not => i64::from(values[0] == 0),
+        Op::Add1 => values[0].wrapping_add(1),
+        Op::Sub1 => values[0].wrapping_sub(1),
+        Op::Add => values[0].wrapping_add(values[1]),
+        Op::Sub => values[0].wrapping_sub(values[1]),
+        Op::Mul => values[0].wrapping_mul(values[1]),
+        Op::Div => {
+            if values[1] == 0 {
+                return Err(Stop::Blame(blame));
+            }
+            values[0].wrapping_div(values[1])
+        }
+        Op::Mod => {
+            if values[1] == 0 {
+                return Err(Stop::Blame(blame));
+            }
+            values[0].wrapping_rem(values[1])
+        }
+        Op::Eq => i64::from(values[0] == values[1]),
+        Op::Lt => i64::from(values[0] < values[1]),
+        Op::Le => i64::from(values[0] <= values[1]),
+        Op::Gt => i64::from(values[0] > values[1]),
+        Op::Ge => i64::from(values[0] >= values[1]),
+        Op::Assert => {
+            if values[0] == 0 {
+                return Err(Stop::Blame(blame));
+            }
+            values[0]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Label;
+    use crate::types::Type;
+
+    const FUEL: u64 = 100_000;
+
+    fn eval_int(expr: &Expr) -> i64 {
+        match eval(expr, FUEL) {
+            EvalOutcome::Value(CValue::Int(n)) => n,
+            other => panic!("expected an integer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_application() {
+        let program = Expr::app(
+            Expr::lam(
+                "x",
+                Type::Int,
+                Expr::Prim(Op::Mul, vec![Expr::var("x"), Expr::var("x")], Label(0)),
+            ),
+            Expr::Num(9),
+        );
+        assert_eq!(eval_int(&program), 81);
+    }
+
+    #[test]
+    fn division_by_zero_blames_the_site() {
+        let program = Expr::Prim(Op::Div, vec![Expr::Num(1), Expr::Num(0)], Label(7));
+        match eval(&program, FUEL) {
+            EvalOutcome::Error(blame) => {
+                assert_eq!(blame.label, Label(7));
+                assert_eq!(blame.op, Op::Div);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factorial_via_fix() {
+        // fix f. λn. if (zero? n) 1 (* n (f (sub1 n)))
+        let body = Expr::lam(
+            "n",
+            Type::Int,
+            Expr::ite(
+                Expr::Prim(Op::IsZero, vec![Expr::var("n")], Label(0)),
+                Expr::Num(1),
+                Expr::Prim(
+                    Op::Mul,
+                    vec![
+                        Expr::var("n"),
+                        Expr::app(
+                            Expr::var("f"),
+                            Expr::Prim(Op::Sub1, vec![Expr::var("n")], Label(1)),
+                        ),
+                    ],
+                    Label(2),
+                ),
+            ),
+        );
+        let factorial = Expr::fix("f", Type::arrow(Type::Int, Type::Int), body);
+        let program = Expr::app(factorial, Expr::Num(6));
+        assert_eq!(eval_int(&program), 720);
+    }
+
+    #[test]
+    fn divergence_runs_out_of_fuel() {
+        // fix f. λx. f x, applied to 0.
+        let body = Expr::lam("x", Type::Int, Expr::app(Expr::var("f"), Expr::var("x")));
+        let program = Expr::app(
+            Expr::fix("f", Type::arrow(Type::Int, Type::Int), body),
+            Expr::Num(0),
+        );
+        assert!(matches!(eval(&program, 1_000), EvalOutcome::OutOfFuel));
+    }
+
+    #[test]
+    fn opaque_values_are_stuck() {
+        let program = Expr::Opaque(Type::Int, Label(1));
+        assert!(matches!(eval(&program, FUEL), EvalOutcome::Stuck(_)));
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        // (λx. λy. (- x y)) 10 3 = 7
+        let program = Expr::app(
+            Expr::app(
+                Expr::lam(
+                    "x",
+                    Type::Int,
+                    Expr::lam(
+                        "y",
+                        Type::Int,
+                        Expr::Prim(Op::Sub, vec![Expr::var("x"), Expr::var("y")], Label(0)),
+                    ),
+                ),
+                Expr::Num(10),
+            ),
+            Expr::Num(3),
+        );
+        assert_eq!(eval_int(&program), 7);
+    }
+
+    #[test]
+    fn assert_failures_blame() {
+        let program = Expr::Prim(Op::Assert, vec![Expr::Num(0)], Label(5));
+        match eval(&program, FUEL) {
+            EvalOutcome::Error(blame) => assert_eq!(blame.op, Op::Assert),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The δ relation: primitive operations over (possibly symbolic) values
+//! (Fig. 3).
+//!
+//! δ is a *relation*, not a function: applied to opaque arguments an
+//! operation may produce several outcomes, each with its own refined heap.
+//! For example `div` with an unconstrained denominator both returns a fresh
+//! symbolic result (on the heap where the denominator is refined non-zero)
+//! and raises a division error (on the heap where the denominator is
+//! refined to zero). The proof relation is consulted first so that branches
+//! already excluded by the path condition are never produced.
+
+use folic::CmpOp;
+
+use crate::heap::{Heap, Loc, Refinement, Storeable, SymExpr};
+use crate::prove::{Proof, Prover};
+use crate::syntax::{Blame, Label, Op};
+use crate::types::Type;
+
+/// One possible outcome of a primitive application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimOutcome {
+    /// A value (a location in the accompanying heap).
+    Value(Loc),
+    /// An error blaming the application site.
+    Error(Blame),
+}
+
+/// A primitive outcome together with the heap it holds in.
+pub type DeltaResult = (PrimOutcome, Heap);
+
+/// The symbolic operand for a location: its concrete number if known,
+/// otherwise the location itself.
+fn operand(heap: &Heap, loc: Loc) -> SymExpr {
+    match heap.num_at(loc) {
+        Some(n) => SymExpr::int(n),
+        None => SymExpr::loc(loc),
+    }
+}
+
+/// Truth of the value at `loc`: the list of `(is_true, heap)` branches.
+/// Mirrors the paper's use of `δ(Σ, zero?, L)` for conditionals (0 is false,
+/// anything else is true).
+pub fn branch_truth(prover: &Prover, heap: &Heap, loc: Loc) -> Vec<(bool, Heap)> {
+    match heap.num_at(loc) {
+        Some(n) => vec![(n != 0, heap.clone())],
+        None => match prover.prove(heap, loc, &Refinement::zero()) {
+            Proof::Proved => vec![(false, heap.clone())],
+            Proof::Refuted => vec![(true, heap.clone())],
+            Proof::Ambiguous => {
+                // True branch: the value is non-zero; false branch: it is 0.
+                // Both branches keep the refinements already accumulated (the
+                // worked example's final heap keeps `(= (- 100 L4))` next to
+                // the new `(= 0)`), so the constraint set stays complete.
+                let mut non_zero = heap.clone();
+                non_zero.refine(loc, Refinement::non_zero());
+                let mut zero = heap.clone();
+                zero.refine(loc, Refinement::zero());
+                vec![(true, non_zero), (false, zero)]
+            }
+        },
+    }
+}
+
+/// Applies primitive `op` to argument locations `args`, blaming `label` on
+/// failure. Returns every possible outcome with its refined heap.
+pub fn delta(
+    prover: &Prover,
+    heap: &Heap,
+    op: Op,
+    args: &[Loc],
+    label: Label,
+) -> Vec<DeltaResult> {
+    debug_assert_eq!(args.len(), op.arity(), "δ applied at wrong arity");
+    let concrete: Option<Vec<i64>> = args.iter().map(|&l| heap.num_at(l)).collect();
+    if let Some(values) = concrete {
+        return concrete_delta(heap, op, &values, label);
+    }
+    symbolic_delta(prover, heap, op, args, label)
+}
+
+/// All arguments concrete: ordinary arithmetic.
+fn concrete_delta(heap: &Heap, op: Op, values: &[i64], label: Label) -> Vec<DeltaResult> {
+    let mut heap = heap.clone();
+    let blame = Blame { label, op };
+    let result = match op {
+        Op::IsZero | Op::Not => Some(i64::from(values[0] == 0)),
+        Op::Add1 => Some(values[0].wrapping_add(1)),
+        Op::Sub1 => Some(values[0].wrapping_sub(1)),
+        Op::Add => Some(values[0].wrapping_add(values[1])),
+        Op::Sub => Some(values[0].wrapping_sub(values[1])),
+        Op::Mul => Some(values[0].wrapping_mul(values[1])),
+        Op::Div => {
+            if values[1] == 0 {
+                None
+            } else {
+                Some(values[0].wrapping_div(values[1]))
+            }
+        }
+        Op::Mod => {
+            if values[1] == 0 {
+                None
+            } else {
+                Some(values[0].wrapping_rem(values[1]))
+            }
+        }
+        Op::Eq => Some(i64::from(values[0] == values[1])),
+        Op::Lt => Some(i64::from(values[0] < values[1])),
+        Op::Le => Some(i64::from(values[0] <= values[1])),
+        Op::Gt => Some(i64::from(values[0] > values[1])),
+        Op::Ge => Some(i64::from(values[0] >= values[1])),
+        Op::Assert => {
+            if values[0] == 0 {
+                None
+            } else {
+                Some(values[0])
+            }
+        }
+    };
+    match result {
+        Some(value) => {
+            let loc = heap.alloc(Storeable::Num(value));
+            vec![(PrimOutcome::Value(loc), heap)]
+        }
+        None => vec![(PrimOutcome::Error(blame), heap)],
+    }
+}
+
+/// At least one argument symbolic.
+fn symbolic_delta(
+    prover: &Prover,
+    heap: &Heap,
+    op: Op,
+    args: &[Loc],
+    label: Label,
+) -> Vec<DeltaResult> {
+    let blame = Blame { label, op };
+    match op {
+        // Predicates on a single value: zero? / not.
+        Op::IsZero | Op::Not => {
+            let loc = args[0];
+            branch_truth(prover, heap, loc)
+                .into_iter()
+                .map(|(is_true, mut branch_heap)| {
+                    // zero? yields 1 exactly when the value is *not* true.
+                    let result = branch_heap.alloc(Storeable::Num(i64::from(!is_true)));
+                    (PrimOutcome::Value(result), branch_heap)
+                })
+                .collect()
+        }
+        // Assertions: error exactly when the value is zero.
+        Op::Assert => {
+            let loc = args[0];
+            branch_truth(prover, heap, loc)
+                .into_iter()
+                .map(|(is_true, branch_heap)| {
+                    if is_true {
+                        (PrimOutcome::Value(loc), branch_heap)
+                    } else {
+                        (PrimOutcome::Error(blame), branch_heap)
+                    }
+                })
+                .collect()
+        }
+        // Comparisons: branch on the relation, refining the symbolic side.
+        Op::Eq | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            comparison_delta(prover, heap, op, args[0], args[1])
+        }
+        // Total arithmetic: a fresh symbolic result remembering its defining
+        // equation.
+        Op::Add1 | Op::Sub1 | Op::Add | Op::Sub | Op::Mul => {
+            let mut heap = heap.clone();
+            let expr = arithmetic_expr(&heap, op, args);
+            let result = heap.alloc_fresh_opaque(Type::Int);
+            heap.refine(result, Refinement::new(CmpOp::Eq, expr));
+            vec![(PrimOutcome::Value(result), heap)]
+        }
+        // Partial arithmetic: branch on the divisor being zero.
+        Op::Div | Op::Mod => {
+            let divisor = args[1];
+            let mut outcomes = Vec::new();
+            for (divisor_non_zero, branch_heap) in branch_truth(prover, heap, divisor) {
+                if divisor_non_zero {
+                    let mut branch_heap = branch_heap;
+                    let expr = arithmetic_expr(&branch_heap, op, args);
+                    let result = branch_heap.alloc_fresh_opaque(Type::Int);
+                    branch_heap.refine(result, Refinement::new(CmpOp::Eq, expr));
+                    outcomes.push((PrimOutcome::Value(result), branch_heap));
+                } else {
+                    outcomes.push((PrimOutcome::Error(blame), branch_heap));
+                }
+            }
+            outcomes
+        }
+    }
+}
+
+/// The defining symbolic expression for an arithmetic operation.
+fn arithmetic_expr(heap: &Heap, op: Op, args: &[Loc]) -> SymExpr {
+    match op {
+        Op::Add1 => SymExpr::Add(Box::new(operand(heap, args[0])), Box::new(SymExpr::int(1))),
+        Op::Sub1 => SymExpr::Sub(Box::new(operand(heap, args[0])), Box::new(SymExpr::int(1))),
+        _ => SymExpr::binary(op, operand(heap, args[0]), operand(heap, args[1]))
+            .expect("arithmetic operation"),
+    }
+}
+
+/// Comparison on possibly-symbolic operands: decide with the prover when
+/// possible, otherwise branch and refine.
+fn comparison_delta(
+    prover: &Prover,
+    heap: &Heap,
+    op: Op,
+    left: Loc,
+    right: Loc,
+) -> Vec<DeltaResult> {
+    let cmp = match op {
+        Op::Eq => CmpOp::Eq,
+        Op::Lt => CmpOp::Lt,
+        Op::Le => CmpOp::Le,
+        Op::Gt => CmpOp::Gt,
+        Op::Ge => CmpOp::Ge,
+        _ => unreachable!("not a comparison"),
+    };
+    // Pick the symbolic side to attach refinements to.
+    let (subject, subject_cmp, other) = if heap.num_at(left).is_none() {
+        (left, cmp, right)
+    } else {
+        // left concrete, right symbolic: flip the relation.
+        let flipped = match cmp {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        };
+        (right, flipped, left)
+    };
+    let holds = Refinement::new(subject_cmp, operand(heap, other));
+    let fails = Refinement::new(subject_cmp.negate(), operand(heap, other));
+    match prover.prove(heap, subject, &holds) {
+        Proof::Proved => {
+            let mut heap = heap.clone();
+            let result = heap.alloc(Storeable::Num(1));
+            vec![(PrimOutcome::Value(result), heap)]
+        }
+        Proof::Refuted => {
+            let mut heap = heap.clone();
+            let result = heap.alloc(Storeable::Num(0));
+            vec![(PrimOutcome::Value(result), heap)]
+        }
+        Proof::Ambiguous => {
+            let mut true_heap = heap.clone();
+            true_heap.refine(subject, holds);
+            let true_result = true_heap.alloc(Storeable::Num(1));
+            let mut false_heap = heap.clone();
+            false_heap.refine(subject, fails);
+            let false_result = false_heap.alloc(Storeable::Num(0));
+            vec![
+                (PrimOutcome::Value(true_result), true_heap),
+                (PrimOutcome::Value(false_result), false_heap),
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label() -> Label {
+        Label(99)
+    }
+
+    #[test]
+    fn concrete_arithmetic() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(7));
+        let b = heap.alloc(Storeable::Num(5));
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::Add, &[a, b], label());
+        assert_eq!(results.len(), 1);
+        match &results[0] {
+            (PrimOutcome::Value(loc), heap) => assert_eq!(heap.num_at(*loc), Some(12)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concrete_division_by_zero_errors() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(1));
+        let b = heap.alloc(Storeable::Num(0));
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::Div, &[a, b], label());
+        assert_eq!(results.len(), 1);
+        assert!(matches!(results[0].0, PrimOutcome::Error(_)));
+    }
+
+    #[test]
+    fn symbolic_division_branches() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(1));
+        let b = heap.alloc_fresh_opaque(Type::Int);
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::Div, &[a, b], label());
+        assert_eq!(results.len(), 2, "both the value and the error branch");
+        let errors = results
+            .iter()
+            .filter(|(o, _)| matches!(o, PrimOutcome::Error(_)))
+            .count();
+        assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn refined_divisor_does_not_error() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(1));
+        let b = heap.alloc_fresh_opaque(Type::Int);
+        heap.refine(b, Refinement::new(CmpOp::Ge, SymExpr::int(1)));
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::Div, &[a, b], label());
+        assert_eq!(results.len(), 1);
+        assert!(matches!(results[0].0, PrimOutcome::Value(_)));
+    }
+
+    #[test]
+    fn symbolic_zero_test_branches_and_refines() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque(Type::Int);
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::IsZero, &[l], label());
+        assert_eq!(results.len(), 2);
+        // One branch refines the argument to zero, the other to non-zero.
+        let zero_branches = results
+            .iter()
+            .filter(|(_, h)| match h.get(l) {
+                Storeable::Opaque { refinements, .. } => refinements.contains(&Refinement::zero()),
+                _ => false,
+            })
+            .count();
+        let non_zero_branches = results
+            .iter()
+            .filter(|(_, h)| match h.get(l) {
+                Storeable::Opaque { refinements, .. } => {
+                    refinements.contains(&Refinement::non_zero())
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(zero_branches, 1);
+        assert_eq!(non_zero_branches, 1);
+    }
+
+    #[test]
+    fn symbolic_arithmetic_records_defining_equation() {
+        let mut heap = Heap::new();
+        let hundred = heap.alloc(Storeable::Num(100));
+        let n = heap.alloc_fresh_opaque(Type::Int);
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::Sub, &[hundred, n], label());
+        assert_eq!(results.len(), 1);
+        let (outcome, result_heap) = &results[0];
+        let PrimOutcome::Value(result) = outcome else {
+            panic!("expected a value")
+        };
+        match result_heap.get(*result) {
+            Storeable::Opaque { refinements, .. } => {
+                assert_eq!(refinements.len(), 1);
+                assert_eq!(refinements[0].op, CmpOp::Eq);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_on_constrained_value_is_decided() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque(Type::Int);
+        heap.refine(l, Refinement::new(CmpOp::Ge, SymExpr::int(10)));
+        let five = heap.alloc(Storeable::Num(5));
+        let prover = Prover::new();
+        // l > 5 is proved.
+        let results = delta(&prover, &heap, Op::Gt, &[l, five], label());
+        assert_eq!(results.len(), 1);
+        match &results[0] {
+            (PrimOutcome::Value(loc), h) => assert_eq!(h.num_at(*loc), Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assert_on_symbolic_value_branches() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque(Type::Int);
+        let prover = Prover::new();
+        let results = delta(&prover, &heap, Op::Assert, &[l], label());
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().any(|(o, _)| matches!(o, PrimOutcome::Error(_))));
+        assert!(results.iter().any(|(o, _)| matches!(o, PrimOutcome::Value(_))));
+    }
+}

@@ -1,0 +1,324 @@
+//! The search engine: breadth-first exploration of the symbolic state space
+//! with counterexample construction at error states.
+//!
+//! The paper's prototype performs a simple breadth-first search on the
+//! execution graph and stops at the first error for which a fully concrete
+//! counterexample can be produced (§5.3); this engine does the same, with
+//! explicit step/state budgets so the analysis always terminates.
+
+use std::collections::VecDeque;
+
+use crate::cex::{build_counterexample, CexOptions, Counterexample};
+use crate::prove::Prover;
+use crate::step::{step, State, StepOptions};
+use crate::syntax::{Blame, Expr};
+use crate::typecheck::{check_program, TypeError};
+
+/// Options controlling an analysis run.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Maximum number of states expanded before giving up.
+    pub max_states: u64,
+    /// Maximum size the work queue may grow to.
+    pub max_queue: usize,
+    /// Reduction-rule options (case maps on/off).
+    pub step: StepOptions,
+    /// Counterexample construction options.
+    pub cex: CexOptions,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            max_states: 20_000,
+            max_queue: 50_000,
+            step: StepOptions::default(),
+            cex: CexOptions::default(),
+        }
+    }
+}
+
+/// The verdict of an analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Analysis {
+    /// The whole (finite) state space was explored and no error in the known
+    /// program portion is reachable.
+    Verified,
+    /// A concrete counterexample was constructed (and, unless disabled,
+    /// validated by concrete re-execution).
+    Counterexample(Counterexample),
+    /// An error state was reached but no concrete counterexample could be
+    /// produced (unsatisfiable or undecided path condition) — a *probable*
+    /// violation, as the paper's tool reports in this situation.
+    ProbableError(Blame),
+    /// The analysis ran out of its state budget without finding an error.
+    Exhausted,
+    /// The program is not well-typed.
+    IllTyped(TypeError),
+}
+
+impl Analysis {
+    /// The counterexample, if one was found.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Analysis::Counterexample(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True if the analysis proved the absence of reachable errors.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Analysis::Verified)
+    }
+}
+
+/// Statistics about an analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Number of states expanded.
+    pub states_expanded: u64,
+    /// Number of error states encountered.
+    pub errors_seen: u64,
+    /// Number of answer (non-error) states encountered.
+    pub answers_seen: u64,
+}
+
+/// The analysis engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    options: AnalysisOptions,
+    prover: Prover,
+    stats: AnalysisStats,
+}
+
+impl Engine {
+    /// Creates an engine with default options.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(options: AnalysisOptions) -> Self {
+        Engine {
+            options,
+            ..Engine::default()
+        }
+    }
+
+    /// Statistics of the most recent [`Engine::analyze`] call.
+    pub fn stats(&self) -> AnalysisStats {
+        self.stats
+    }
+
+    /// Analyzes a program: searches for a reachable error in the known
+    /// program portion and constructs a concrete counterexample for it.
+    pub fn analyze(&mut self, program: &Expr) -> Analysis {
+        if let Err(error) = check_program(program) {
+            return Analysis::IllTyped(error);
+        }
+        self.stats = AnalysisStats::default();
+        let mut queue: VecDeque<State> = VecDeque::new();
+        queue.push_back(State::initial(program.clone()));
+        let mut probable: Option<Blame> = None;
+        let mut exhausted = false;
+
+        while let Some(state) = queue.pop_front() {
+            match &state.expr {
+                Expr::Err(blame) => {
+                    self.stats.errors_seen += 1;
+                    match build_counterexample(
+                        &self.prover,
+                        program,
+                        &state.heap,
+                        *blame,
+                        &self.options.cex,
+                    ) {
+                        Some(counterexample) => {
+                            return Analysis::Counterexample(counterexample);
+                        }
+                        None => {
+                            // Spurious or unconfirmed: remember and keep looking.
+                            if probable.is_none() {
+                                probable = Some(*blame);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Expr::Loc(_) => {
+                    self.stats.answers_seen += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if self.stats.states_expanded >= self.options.max_states {
+                exhausted = true;
+                break;
+            }
+            self.stats.states_expanded += 1;
+            for successor in step(&self.prover, &state, &self.options.step) {
+                if queue.len() >= self.options.max_queue {
+                    exhausted = true;
+                    break;
+                }
+                queue.push_back(successor);
+            }
+        }
+
+        if let Some(blame) = probable {
+            Analysis::ProbableError(blame)
+        } else if exhausted {
+            Analysis::Exhausted
+        } else {
+            Analysis::Verified
+        }
+    }
+}
+
+/// Convenience function: analyze with default options.
+pub fn analyze(program: &Expr) -> Analysis {
+    Engine::new().analyze(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Label, Op};
+    use crate::types::Type;
+
+    /// The paper's §2 worked example:
+    ///
+    /// ```text
+    /// let f (g : int → int) (n : int) : int = 1 / (100 - (g n)) in (• f)
+    /// ```
+    fn worked_example() -> Expr {
+        let f = Expr::lam(
+            "g",
+            Type::arrow(Type::Int, Type::Int),
+            Expr::lam(
+                "n",
+                Type::Int,
+                Expr::Prim(
+                    Op::Div,
+                    vec![
+                        Expr::Num(1),
+                        Expr::Prim(
+                            Op::Sub,
+                            vec![
+                                Expr::Num(100),
+                                Expr::app(Expr::var("g"), Expr::var("n")),
+                            ],
+                            Label(10),
+                        ),
+                    ],
+                    Label(11),
+                ),
+            ),
+        );
+        // The unknown context applied to f.
+        let unknown_ty = Type::arrow(
+            Type::arrow(Type::arrow(Type::Int, Type::Int), Type::arrow(Type::Int, Type::Int)),
+            Type::Int,
+        );
+        Expr::app(Expr::Opaque(unknown_ty, Label(1)), f)
+    }
+
+    #[test]
+    fn worked_example_has_a_higher_order_counterexample() {
+        let analysis = analyze(&worked_example());
+        match analysis {
+            Analysis::Counterexample(cex) => {
+                assert!(cex.validated, "counterexample must be re-validated");
+                assert_eq!(cex.blame.op, Op::Div);
+                assert_eq!(cex.blame.label, Label(11));
+                assert!(cex.binding(Label(1)).is_some());
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn safe_program_is_verified() {
+        // (λx. (+ x 1)) (• : int)  — no partial operations, nothing to blame.
+        let program = Expr::app(
+            Expr::lam(
+                "x",
+                Type::Int,
+                Expr::Prim(Op::Add, vec![Expr::var("x"), Expr::Num(1)], Label(0)),
+            ),
+            Expr::Opaque(Type::Int, Label(1)),
+        );
+        assert_eq!(analyze(&program), Analysis::Verified);
+    }
+
+    #[test]
+    fn guarded_division_is_verified() {
+        // λn. if (zero? n) 0 (div 100 n) applied to an unknown: no error.
+        let program = Expr::app(
+            Expr::lam(
+                "n",
+                Type::Int,
+                Expr::ite(
+                    Expr::Prim(Op::IsZero, vec![Expr::var("n")], Label(0)),
+                    Expr::Num(0),
+                    Expr::Prim(Op::Div, vec![Expr::Num(100), Expr::var("n")], Label(1)),
+                ),
+            ),
+            Expr::Opaque(Type::Int, Label(2)),
+        );
+        assert_eq!(analyze(&program), Analysis::Verified);
+    }
+
+    #[test]
+    fn unguarded_division_yields_counterexample() {
+        // λn. div 100 n applied to an unknown: n = 0 crashes.
+        let program = Expr::app(
+            Expr::lam(
+                "n",
+                Type::Int,
+                Expr::Prim(Op::Div, vec![Expr::Num(100), Expr::var("n")], Label(1)),
+            ),
+            Expr::Opaque(Type::Int, Label(2)),
+        );
+        match analyze(&program) {
+            Analysis::Counterexample(cex) => {
+                assert!(cex.validated);
+                assert_eq!(cex.binding(Label(2)), Some(&Expr::Num(0)));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quickcheck_hard_case_is_found() {
+        // f n = 1 / (100 - n): the bug needs exactly n = 100 (§5.2).
+        let program = Expr::app(
+            Expr::lam(
+                "n",
+                Type::Int,
+                Expr::Prim(
+                    Op::Div,
+                    vec![
+                        Expr::Num(1),
+                        Expr::Prim(Op::Sub, vec![Expr::Num(100), Expr::var("n")], Label(0)),
+                    ],
+                    Label(1),
+                ),
+            ),
+            Expr::Opaque(Type::Int, Label(2)),
+        );
+        match analyze(&program) {
+            Analysis::Counterexample(cex) => {
+                assert!(cex.validated);
+                assert_eq!(cex.binding(Label(2)), Some(&Expr::Num(100)));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ill_typed_programs_are_rejected() {
+        let program = Expr::app(Expr::Num(1), Expr::Num(2));
+        assert!(matches!(analyze(&program), Analysis::IllTyped(_)));
+    }
+}

@@ -1,0 +1,486 @@
+//! The symbolic heap: locations, storeables and refinements.
+//!
+//! Every value is allocated in the heap and referred to by a [`Loc`]ation
+//! (rules `Opq` and `Conc` of the paper). The heap maps each location to an
+//! upper bound on the value's run-time behaviour: a concrete number, a
+//! λ-abstraction, an opaque value together with the refinements execution
+//! has learned about it, or a `case` map memoising applications of an
+//! opaque first-order function.
+//!
+//! The heap *is* the path condition: its translation into a first-order
+//! formula (see [`crate::translate`]) is what gets sent to the solver.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use folic::CmpOp;
+
+use crate::syntax::{Expr, Label};
+use crate::types::Type;
+
+/// A heap location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(u32);
+
+impl Loc {
+    /// Creates a location from its index.
+    pub fn new(index: u32) -> Self {
+        Loc(index)
+    }
+
+    /// The index of the location.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The solver variable standing for the integer value at this location.
+    pub fn solver_var(self) -> folic::Var {
+        folic::Var::new(self.0)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A symbolic integer expression over heap locations: the right-hand sides
+/// of refinements recorded by primitive operations (`(≡ (- 100 L4))` and the
+/// like).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymExpr {
+    /// A location's integer value.
+    Loc(Loc),
+    /// A constant.
+    Const(i64),
+    /// Addition.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Subtraction.
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    /// Multiplication.
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Truncated integer division (the divisor is known non-zero on the
+    /// branch that records this refinement).
+    Div(Box<SymExpr>, Box<SymExpr>),
+    /// Remainder.
+    Mod(Box<SymExpr>, Box<SymExpr>),
+}
+
+impl SymExpr {
+    /// Shorthand for a location operand.
+    pub fn loc(l: Loc) -> Self {
+        SymExpr::Loc(l)
+    }
+
+    /// Shorthand for a constant operand.
+    pub fn int(n: i64) -> Self {
+        SymExpr::Const(n)
+    }
+
+    /// Builds the binary expression for `op` applied to `a` and `b` when the
+    /// operation is arithmetic; returns `None` for predicates.
+    pub fn binary(op: crate::syntax::Op, a: SymExpr, b: SymExpr) -> Option<SymExpr> {
+        use crate::syntax::Op;
+        Some(match op {
+            Op::Add => SymExpr::Add(Box::new(a), Box::new(b)),
+            Op::Sub => SymExpr::Sub(Box::new(a), Box::new(b)),
+            Op::Mul => SymExpr::Mul(Box::new(a), Box::new(b)),
+            Op::Div => SymExpr::Div(Box::new(a), Box::new(b)),
+            Op::Mod => SymExpr::Mod(Box::new(a), Box::new(b)),
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the expression given concrete values for locations.
+    pub fn eval<F>(&self, lookup: &F) -> Option<i64>
+    where
+        F: Fn(Loc) -> Option<i64>,
+    {
+        match self {
+            SymExpr::Loc(l) => lookup(*l),
+            SymExpr::Const(n) => Some(*n),
+            SymExpr::Add(a, b) => a.eval(lookup)?.checked_add(b.eval(lookup)?),
+            SymExpr::Sub(a, b) => a.eval(lookup)?.checked_sub(b.eval(lookup)?),
+            SymExpr::Mul(a, b) => a.eval(lookup)?.checked_mul(b.eval(lookup)?),
+            SymExpr::Div(a, b) => {
+                let d = b.eval(lookup)?;
+                if d == 0 {
+                    None
+                } else {
+                    a.eval(lookup)?.checked_div(d)
+                }
+            }
+            SymExpr::Mod(a, b) => {
+                let d = b.eval(lookup)?;
+                if d == 0 {
+                    None
+                } else {
+                    a.eval(lookup)?.checked_rem(d)
+                }
+            }
+        }
+    }
+
+    /// Collects the locations mentioned by the expression.
+    pub fn collect_locs(&self, out: &mut Vec<Loc>) {
+        match self {
+            SymExpr::Loc(l) => {
+                if !out.contains(l) {
+                    out.push(*l);
+                }
+            }
+            SymExpr::Const(_) => {}
+            SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b)
+            | SymExpr::Div(a, b)
+            | SymExpr::Mod(a, b) => {
+                a.collect_locs(out);
+                b.collect_locs(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Loc(l) => write!(f, "{l}"),
+            SymExpr::Const(n) => write!(f, "{n}"),
+            SymExpr::Add(a, b) => write!(f, "(+ {a} {b})"),
+            SymExpr::Sub(a, b) => write!(f, "(- {a} {b})"),
+            SymExpr::Mul(a, b) => write!(f, "(* {a} {b})"),
+            SymExpr::Div(a, b) => write!(f, "(div {a} {b})"),
+            SymExpr::Mod(a, b) => write!(f, "(mod {a} {b})"),
+        }
+    }
+}
+
+/// A refinement recorded on an opaque base value: the location's value
+/// stands in relation `op` to the symbolic expression `rhs`.
+///
+/// For example the paper's `•int, (λx. x = (100 - L4)), (λx. zero? x)` is the
+/// refinement list `[Cmp(Eq, 100 - L4), Cmp(Eq, 0)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refinement {
+    /// The comparison relating the location to `rhs`.
+    pub op: CmpOp,
+    /// The symbolic right-hand side.
+    pub rhs: SymExpr,
+}
+
+impl Refinement {
+    /// `L op rhs`.
+    pub fn new(op: CmpOp, rhs: SymExpr) -> Self {
+        Refinement { op, rhs }
+    }
+
+    /// `L = 0` (the result of a successful `zero?`).
+    pub fn zero() -> Self {
+        Refinement::new(CmpOp::Eq, SymExpr::int(0))
+    }
+
+    /// `L ≠ 0`.
+    pub fn non_zero() -> Self {
+        Refinement::new(CmpOp::Ne, SymExpr::int(0))
+    }
+
+    /// Checks the refinement against concrete values.
+    pub fn holds<F>(&self, value: i64, lookup: &F) -> Option<bool>
+    where
+        F: Fn(Loc) -> Option<i64>,
+    {
+        Some(self.op.eval(value, self.rhs.eval(lookup)?))
+    }
+}
+
+impl fmt::Display for Refinement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(λx. ({} x {}))", self.op, self.rhs)
+    }
+}
+
+/// What the heap stores at a location (`S` in Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Storeable {
+    /// A concrete integer.
+    Num(i64),
+    /// A λ-abstraction (closed via locations).
+    Lam {
+        /// Parameter name.
+        param: String,
+        /// Parameter type.
+        param_ty: Type,
+        /// Body expression.
+        body: Expr,
+    },
+    /// An opaque value of the given type with accumulated refinements.
+    Opaque {
+        /// The value's type.
+        ty: Type,
+        /// Refinements accumulated along the current path (base type only).
+        refinements: Vec<Refinement>,
+    },
+    /// A memoised map approximating an opaque function whose argument is of
+    /// base type: applications seen so far, as `(argument, result)` location
+    /// pairs, plus the codomain type for allocating new results.
+    Case {
+        /// Result type of the function.
+        result_ty: Type,
+        /// Memoised `(argument location, result location)` pairs.
+        entries: Vec<(Loc, Loc)>,
+    },
+}
+
+impl Storeable {
+    /// True if the storeable is (still) opaque.
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, Storeable::Opaque { .. })
+    }
+
+    /// The concrete number stored, if any.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            Storeable::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Storeable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Storeable::Num(n) => write!(f, "{n}"),
+            Storeable::Lam { param, .. } => write!(f, "(λ ({param}) …)"),
+            Storeable::Opaque { ty, refinements } => {
+                write!(f, "•{ty}")?;
+                for r in refinements {
+                    write!(f, ", {r}")?;
+                }
+                Ok(())
+            }
+            Storeable::Case { entries, .. } => {
+                write!(f, "(case")?;
+                for (a, r) in entries {
+                    write!(f, " [{a} ↦ {r}]")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// The symbolic heap `Σ`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Heap {
+    entries: BTreeMap<Loc, Storeable>,
+    /// Locations already allocated for opaque source labels, so that the
+    /// same opaque value reuses its location (rule `Opq`).
+    opaque_locs: BTreeMap<Label, Loc>,
+    next: u32,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of allocated locations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocates a fresh location holding `value`.
+    pub fn alloc(&mut self, value: Storeable) -> Loc {
+        let loc = Loc::new(self.next);
+        self.next += 1;
+        self.entries.insert(loc, value);
+        loc
+    }
+
+    /// Allocates (or returns the existing) location for the opaque value
+    /// with source label `label`.
+    pub fn alloc_opaque(&mut self, ty: Type, label: Label) -> Loc {
+        if let Some(&loc) = self.opaque_locs.get(&label) {
+            return loc;
+        }
+        let loc = self.alloc(Storeable::Opaque {
+            ty,
+            refinements: Vec::new(),
+        });
+        self.opaque_locs.insert(label, loc);
+        loc
+    }
+
+    /// Allocates a fresh anonymous opaque value of type `ty`.
+    pub fn alloc_fresh_opaque(&mut self, ty: Type) -> Loc {
+        self.alloc(Storeable::Opaque {
+            ty,
+            refinements: Vec::new(),
+        })
+    }
+
+    /// The location previously allocated for an opaque source label, if any.
+    pub fn opaque_loc(&self, label: Label) -> Option<Loc> {
+        self.opaque_locs.get(&label).copied()
+    }
+
+    /// Looks up a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location was never allocated — that would be a bug in
+    /// the reduction rules, not a user error.
+    pub fn get(&self, loc: Loc) -> &Storeable {
+        self.entries
+            .get(&loc)
+            .unwrap_or_else(|| panic!("dangling location {loc}"))
+    }
+
+    /// Looks up a location, returning `None` if it was never allocated.
+    pub fn try_get(&self, loc: Loc) -> Option<&Storeable> {
+        self.entries.get(&loc)
+    }
+
+    /// Overwrites the storeable at `loc` (used by the `AppOpq*` rules to
+    /// refine an opaque function's shape).
+    pub fn set(&mut self, loc: Loc, value: Storeable) {
+        self.entries.insert(loc, value);
+    }
+
+    /// Adds a refinement to the opaque base value at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` does not hold an opaque value (the δ rules only refine
+    /// opaque values).
+    pub fn refine(&mut self, loc: Loc, refinement: Refinement) {
+        match self.entries.get_mut(&loc) {
+            Some(Storeable::Opaque { refinements, .. }) => {
+                if !refinements.contains(&refinement) {
+                    refinements.push(refinement);
+                }
+            }
+            other => panic!("refining non-opaque location {loc}: {other:?}"),
+        }
+    }
+
+    /// Replaces an opaque base value by a concrete number (used when a
+    /// branch determines the value exactly, e.g. the true branch of
+    /// `zero?`).
+    pub fn concretise(&mut self, loc: Loc, value: i64) {
+        self.entries.insert(loc, Storeable::Num(value));
+    }
+
+    /// Iterates over `(location, storeable)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &Storeable)> + '_ {
+        self.entries.iter().map(|(l, s)| (*l, s))
+    }
+
+    /// The concrete integer at `loc`, if it holds one.
+    pub fn num_at(&self, loc: Loc) -> Option<i64> {
+        self.try_get(loc).and_then(Storeable::as_num)
+    }
+
+    /// The type of the value stored at `loc`, when it can be determined
+    /// syntactically (numbers are `Int`, opaques carry their type, λ and
+    /// case maps would need an environment so return `None`).
+    pub fn type_of(&self, loc: Loc) -> Option<Type> {
+        match self.try_get(loc)? {
+            Storeable::Num(_) => Some(Type::Int),
+            Storeable::Opaque { ty, .. } => Some(ty.clone()),
+            _ => None,
+        }
+    }
+
+    /// Index that the next allocation will use; useful for generating
+    /// solver variables that cannot clash with locations.
+    pub fn next_index(&self) -> u32 {
+        self.next
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (loc, value) in self.iter() {
+            writeln!(f, "  {loc} ↦ {value}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_sequential() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(1));
+        let b = heap.alloc(Storeable::Num(2));
+        assert_ne!(a, b);
+        assert_eq!(heap.num_at(a), Some(1));
+        assert_eq!(heap.num_at(b), Some(2));
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn opaque_locations_are_reused_per_label() {
+        let mut heap = Heap::new();
+        let first = heap.alloc_opaque(Type::Int, Label(7));
+        let second = heap.alloc_opaque(Type::Int, Label(7));
+        assert_eq!(first, second);
+        let third = heap.alloc_opaque(Type::Int, Label(8));
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn refinements_accumulate_without_duplicates() {
+        let mut heap = Heap::new();
+        let loc = heap.alloc_fresh_opaque(Type::Int);
+        heap.refine(loc, Refinement::zero());
+        heap.refine(loc, Refinement::zero());
+        heap.refine(loc, Refinement::non_zero());
+        match heap.get(loc) {
+            Storeable::Opaque { refinements, .. } => assert_eq!(refinements.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sym_expr_evaluation() {
+        let mut heap = Heap::new();
+        let l = heap.alloc(Storeable::Num(58));
+        let e = SymExpr::Sub(Box::new(SymExpr::int(100)), Box::new(SymExpr::loc(l)));
+        let lookup = |loc: Loc| heap.num_at(loc);
+        assert_eq!(e.eval(&lookup), Some(42));
+        let division = SymExpr::Div(Box::new(SymExpr::int(10)), Box::new(SymExpr::int(0)));
+        assert_eq!(division.eval(&lookup), None);
+    }
+
+    #[test]
+    fn refinement_holds_checks_relation() {
+        let heap = Heap::new();
+        let lookup = |_: Loc| None::<i64>;
+        assert_eq!(Refinement::zero().holds(0, &lookup), Some(true));
+        assert_eq!(Refinement::zero().holds(3, &lookup), Some(false));
+        assert_eq!(Refinement::non_zero().holds(3, &lookup), Some(true));
+        drop(heap);
+    }
+
+    #[test]
+    fn concretise_overwrites_opaque() {
+        let mut heap = Heap::new();
+        let loc = heap.alloc_fresh_opaque(Type::Int);
+        heap.concretise(loc, 42);
+        assert_eq!(heap.num_at(loc), Some(42));
+    }
+}

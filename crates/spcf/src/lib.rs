@@ -1,0 +1,80 @@
+//! # spcf — Symbolic PCF with relatively complete counterexamples
+//!
+//! This crate implements the core formal model of *“Relatively Complete
+//! Counterexamples for Higher-Order Programs”* (Nguyễn & Van Horn, PLDI
+//! 2015): a heap-based symbolic execution semantics for PCF extended with
+//! opaque (unknown, possibly higher-order) values, together with
+//! counterexample construction from a first-order solver model.
+//!
+//! ## How it works
+//!
+//! 1. Programs are ordinary PCF terms plus `•ᵀ` (an unknown value of type
+//!    `T`). Every value is allocated in a [`heap::Heap`]; the heap maps each
+//!    location to an upper bound on the value's behaviour and doubles as the
+//!    path condition ([`heap`]).
+//! 2. Reduction ([`step`]) follows the paper's Fig. 2. Applying an unknown
+//!    function *partially solves* for it: a base-typed argument introduces a
+//!    memoising `case` map, a behavioural argument splits into the
+//!    ignore/delay/explore shapes (`AppOpq2`/`AppOpq3`/`AppHavoc`).
+//!    Primitive operations ([`delta`]) refine opaque base values instead of
+//!    blocking on them.
+//! 3. Branch feasibility is decided by the proof relation ([`prove`]), which
+//!    translates the heap to quantifier-free integer formulas ([`translate`])
+//!    and asks the first-order solver ([`folic`]).
+//! 4. When an error state is reached, the same translation produces a model;
+//!    plugging the model back into the heap's function shapes reconstructs a
+//!    concrete, possibly higher-order counterexample ([`cex`]), which is then
+//!    re-executed concretely ([`concrete`]) to confirm the blame (soundness,
+//!    Theorem 1).
+//!
+//! The search is orchestrated by [`engine::Engine`], and programs can be
+//! written in an s-expression surface syntax ([`parse`]).
+//!
+//! ## Example: the paper's worked example (§2)
+//!
+//! ```
+//! use spcf::{analyze, parse, Analysis};
+//!
+//! // let f (g : int → int) (n : int) = 1 / (100 - (g n)) in (• f)
+//! let program = parse::parse(
+//!     "((• (-> (-> (-> int int) int int) int))
+//!       (lambda (g : (-> int int)) (lambda (n : int)
+//!         (div 1 (- 100 (g n))))))",
+//! )
+//! .expect("parses");
+//!
+//! match analyze(&program) {
+//!     Analysis::Counterexample(cex) => {
+//!         // The unknown context applies f to a function returning 100.
+//!         assert!(cex.validated);
+//!         println!("{cex}");
+//!     }
+//!     other => panic!("expected a counterexample, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cex;
+pub mod concrete;
+pub mod delta;
+pub mod engine;
+pub mod heap;
+pub mod parse;
+mod pretty;
+pub mod prove;
+pub mod step;
+pub mod syntax;
+pub mod translate;
+pub mod typecheck;
+pub mod types;
+
+pub use cex::{CexOptions, Counterexample};
+pub use engine::{analyze, Analysis, AnalysisOptions, Engine};
+pub use heap::{Heap, Loc, Refinement, Storeable, SymExpr};
+pub use prove::{Proof, Prover};
+pub use step::{State, StepOptions};
+pub use syntax::{Blame, Expr, Label, Op};
+pub use typecheck::{check_program, type_of, TypeError};
+pub use types::Type;

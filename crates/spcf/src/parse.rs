@@ -1,0 +1,387 @@
+//! An s-expression surface syntax for SPCF.
+//!
+//! The parser is what tests, examples and benchmark programs use to write
+//! SPCF terms without constructing ASTs by hand. Labels for opaque values
+//! and primitive applications are assigned automatically, in textual order.
+//!
+//! ```text
+//! expr ::= INTEGER
+//!        | IDENT
+//!        | (lambda (x : type) expr)       | (λ (x : type) expr)
+//!        | (let (x : type expr) expr)
+//!        | (if expr expr expr)
+//!        | (fix (f : type) expr)
+//!        | (• type) | (opaque type) | (hole type)
+//!        | (op expr …)                    ; op ∈ +, -, *, div, zero?, …
+//!        | (expr expr …)                  ; application, left-associative
+//! type ::= int | (-> type type …)         ; right-associative arrow
+//! ```
+
+use std::fmt;
+
+use crate::syntax::{Expr, Label, Op};
+use crate::types::Type;
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// S-expression tokens / trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sexp {
+    Atom(String),
+    List(Vec<Sexp>),
+}
+
+fn tokenize(input: &str) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ';' => {
+                // Comment to end of line.
+                while let Some(&next) = chars.peek() {
+                    chars.next();
+                    if next == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | '[' | ']' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    Ok(tokens)
+}
+
+fn parse_sexp(tokens: &[String], position: &mut usize) -> Result<Sexp, ParseError> {
+    let Some(token) = tokens.get(*position) else {
+        return Err(ParseError::new("unexpected end of input"));
+    };
+    *position += 1;
+    match token.as_str() {
+        "(" | "[" => {
+            let close = if token == "(" { ")" } else { "]" };
+            let mut items = Vec::new();
+            loop {
+                match tokens.get(*position) {
+                    None => return Err(ParseError::new("unclosed parenthesis")),
+                    Some(t) if t == close || t == ")" || t == "]" => {
+                        *position += 1;
+                        return Ok(Sexp::List(items));
+                    }
+                    Some(_) => items.push(parse_sexp(tokens, position)?),
+                }
+            }
+        }
+        ")" | "]" => Err(ParseError::new("unexpected closing parenthesis")),
+        atom => Ok(Sexp::Atom(atom.to_string())),
+    }
+}
+
+/// A parser holding the label counter so that every opaque value and
+/// primitive application gets a distinct label.
+#[derive(Debug, Default)]
+pub struct Parser {
+    next_label: u32,
+}
+
+impl Parser {
+    /// Creates a parser whose labels start at 0.
+    pub fn new() -> Self {
+        Parser::default()
+    }
+
+    /// Parses a single expression from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn parse_expr(&mut self, input: &str) -> Result<Expr, ParseError> {
+        let tokens = tokenize(input)?;
+        let mut position = 0;
+        let sexp = parse_sexp(&tokens, &mut position)?;
+        if position != tokens.len() {
+            return Err(ParseError::new("trailing tokens after expression"));
+        }
+        self.expr(&sexp)
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        let label = Label(self.next_label);
+        self.next_label += 1;
+        label
+    }
+
+    fn expr(&mut self, sexp: &Sexp) -> Result<Expr, ParseError> {
+        match sexp {
+            Sexp::Atom(atom) => {
+                if let Ok(n) = atom.parse::<i64>() {
+                    Ok(Expr::Num(n))
+                } else {
+                    Ok(Expr::var(atom.clone()))
+                }
+            }
+            Sexp::List(items) => self.list(items),
+        }
+    }
+
+    fn list(&mut self, items: &[Sexp]) -> Result<Expr, ParseError> {
+        let Some(head) = items.first() else {
+            return Err(ParseError::new("empty application"));
+        };
+        if let Sexp::Atom(keyword) = head {
+            match keyword.as_str() {
+                "lambda" | "λ" => return self.lambda(items),
+                "let" => return self.let_form(items),
+                "if" => return self.if_form(items),
+                "fix" => return self.fix_form(items),
+                "•" | "opaque" | "hole" => return self.opaque_form(items),
+                name => {
+                    if let Some(op) = Op::from_name(name) {
+                        return self.prim(op, &items[1..]);
+                    }
+                }
+            }
+        }
+        // Application, left-associative over multiple arguments.
+        let mut expr = self.expr(head)?;
+        if items.len() < 2 {
+            return Err(ParseError::new("application needs an argument"));
+        }
+        for argument in &items[1..] {
+            expr = Expr::app(expr, self.expr(argument)?);
+        }
+        Ok(expr)
+    }
+
+    fn lambda(&mut self, items: &[Sexp]) -> Result<Expr, ParseError> {
+        // (lambda (x : T) body)
+        let [_, binder, body] = items else {
+            return Err(ParseError::new("lambda expects a binder and a body"));
+        };
+        let (name, ty) = self.binder(binder)?;
+        Ok(Expr::lam(name, ty, self.expr(body)?))
+    }
+
+    fn let_form(&mut self, items: &[Sexp]) -> Result<Expr, ParseError> {
+        // (let (x : T bound) body)
+        let [_, binding, body] = items else {
+            return Err(ParseError::new("let expects a binding and a body"));
+        };
+        let Sexp::List(parts) = binding else {
+            return Err(ParseError::new("let binding must be a list"));
+        };
+        let [name, colon, ty, bound] = parts.as_slice() else {
+            return Err(ParseError::new("let binding is (x : T expr)"));
+        };
+        if !matches!(colon, Sexp::Atom(c) if c == ":") {
+            return Err(ParseError::new("let binding is (x : T expr)"));
+        }
+        let Sexp::Atom(name) = name else {
+            return Err(ParseError::new("let-bound name must be an identifier"));
+        };
+        let ty = self.type_of(ty)?;
+        let bound = self.expr(bound)?;
+        Ok(Expr::let_in(name.clone(), ty, bound, self.expr(body)?))
+    }
+
+    fn if_form(&mut self, items: &[Sexp]) -> Result<Expr, ParseError> {
+        let [_, c, t, e] = items else {
+            return Err(ParseError::new("if expects three sub-expressions"));
+        };
+        Ok(Expr::ite(self.expr(c)?, self.expr(t)?, self.expr(e)?))
+    }
+
+    fn fix_form(&mut self, items: &[Sexp]) -> Result<Expr, ParseError> {
+        let [_, binder, body] = items else {
+            return Err(ParseError::new("fix expects a binder and a body"));
+        };
+        let (name, ty) = self.binder(binder)?;
+        Ok(Expr::fix(name, ty, self.expr(body)?))
+    }
+
+    fn opaque_form(&mut self, items: &[Sexp]) -> Result<Expr, ParseError> {
+        let [_, ty] = items else {
+            return Err(ParseError::new("opaque expects a type"));
+        };
+        let ty = self.type_of(ty)?;
+        let label = self.fresh_label();
+        Ok(Expr::Opaque(ty, label))
+    }
+
+    fn prim(&mut self, op: Op, args: &[Sexp]) -> Result<Expr, ParseError> {
+        if args.len() != op.arity() {
+            return Err(ParseError::new(format!(
+                "`{op}` expects {} argument(s), got {}",
+                op.arity(),
+                args.len()
+            )));
+        }
+        let label = self.fresh_label();
+        let args = args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Expr::Prim(op, args, label))
+    }
+
+    fn binder(&mut self, sexp: &Sexp) -> Result<(String, Type), ParseError> {
+        let Sexp::List(parts) = sexp else {
+            return Err(ParseError::new("binder must be (name : type)"));
+        };
+        let [name, colon, ty] = parts.as_slice() else {
+            return Err(ParseError::new("binder must be (name : type)"));
+        };
+        if !matches!(colon, Sexp::Atom(c) if c == ":") {
+            return Err(ParseError::new("binder must be (name : type)"));
+        }
+        let Sexp::Atom(name) = name else {
+            return Err(ParseError::new("binder name must be an identifier"));
+        };
+        Ok((name.clone(), self.type_of(ty)?))
+    }
+
+    fn type_of(&mut self, sexp: &Sexp) -> Result<Type, ParseError> {
+        match sexp {
+            Sexp::Atom(atom) => match atom.as_str() {
+                "int" | "nat" => Ok(Type::Int),
+                other => Err(ParseError::new(format!("unknown type `{other}`"))),
+            },
+            Sexp::List(items) => {
+                let Some(Sexp::Atom(head)) = items.first() else {
+                    return Err(ParseError::new("malformed type"));
+                };
+                if head != "->" {
+                    return Err(ParseError::new(format!("unknown type constructor `{head}`")));
+                }
+                if items.len() < 3 {
+                    return Err(ParseError::new("-> needs at least two types"));
+                }
+                // Right-associative: (-> a b c) = a → (b → c).
+                let mut types = items[1..]
+                    .iter()
+                    .map(|t| self.type_of(t))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut result = types.pop().expect("at least two types");
+                while let Some(ty) = types.pop() {
+                    result = Type::arrow(ty, result);
+                }
+                Ok(result)
+            }
+        }
+    }
+}
+
+/// Parses a single expression with a fresh parser.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    Parser::new().parse_expr(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::type_of;
+
+    #[test]
+    fn parses_literals_and_variables() {
+        assert_eq!(parse("42"), Ok(Expr::Num(42)));
+        assert_eq!(parse("-3"), Ok(Expr::Num(-3)));
+        assert_eq!(parse("x"), Ok(Expr::var("x")));
+    }
+
+    #[test]
+    fn parses_lambda_and_application() {
+        let e = parse("((lambda (x : int) (+ x 1)) 41)").expect("parses");
+        assert_eq!(type_of(&e), Ok(Type::Int));
+    }
+
+    #[test]
+    fn parses_types_right_associatively() {
+        let e = parse("(lambda (f : (-> int int int)) (f 1 2))").expect("parses");
+        // f : int → (int → int), applied to two arguments gives int.
+        assert_eq!(
+            type_of(&e).map(|t| t.to_string()),
+            Ok("(-> (-> int (-> int int)) int)".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_opaque_values_with_fresh_labels() {
+        let e = parse("((• (-> int int)) (opaque int))").expect("parses");
+        assert_eq!(e.opaque_labels().len(), 2);
+    }
+
+    #[test]
+    fn parses_let_and_if() {
+        let e = parse("(let (x : int 5) (if (zero? x) 1 2))").expect("parses");
+        assert_eq!(type_of(&e), Ok(Type::Int));
+    }
+
+    #[test]
+    fn parses_fix() {
+        let source = "(fix (f : (-> int int)) (lambda (n : int) (if (zero? n) 0 (f (sub1 n)))))";
+        let e = parse(source).expect("parses");
+        assert_eq!(type_of(&e), Ok(Type::arrow(Type::Int, Type::Int)));
+    }
+
+    #[test]
+    fn comments_and_brackets_are_accepted() {
+        let source = "; a comment\n(+ 1 [if 0 2 3])";
+        let e = parse(source).expect("parses");
+        assert_eq!(type_of(&e), Ok(Type::Int));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("(").is_err());
+        assert!(parse("()").is_err());
+        assert!(parse("(lambda x x)").is_err());
+        assert!(parse("(+ 1)").is_err());
+        assert!(parse("(unknown-type-form (• whatever))").is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn prim_arity_is_enforced_by_parser() {
+        assert!(parse("(zero? 1 2)").is_err());
+        assert!(parse("(div 1)").is_err());
+    }
+}

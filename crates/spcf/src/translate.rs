@@ -1,0 +1,409 @@
+//! Translation of the symbolic heap into first-order formulas (Fig. 4).
+//!
+//! The remarkable property the paper exploits is that by the time an error
+//! is reached, the heap contains only *first-order* unknowns: higher-order
+//! opaque values have been decomposed into λ-shapes and `case` maps whose
+//! leaves are base-typed locations. The translation therefore only ever
+//! emits quantifier-free integer formulas:
+//!
+//! * a location holding a number becomes an equality with that number;
+//! * refinements on opaque base values become comparisons;
+//! * a `case` map contributes functionality constraints — equal inputs imply
+//!   equal outputs — where output equality is structural on the shapes of
+//!   stored functions (and `false` for distinct shapes), exactly as in the
+//!   paper;
+//! * division and remainder are expressed with auxiliary quotient/remainder
+//!   variables, since the base solver is linear.
+
+use folic::{Formula, Term, Var};
+
+use crate::heap::{Heap, Loc, Refinement, Storeable, SymExpr};
+use crate::types::Type;
+
+/// The result of translating a heap.
+#[derive(Debug, Clone, Default)]
+pub struct Translation {
+    /// The conjuncts describing the heap.
+    pub formulas: Vec<Formula>,
+    next_aux: u32,
+}
+
+impl Translation {
+    fn fresh_aux(&mut self) -> Var {
+        let var = Var::new(self.next_aux);
+        self.next_aux += 1;
+        var
+    }
+}
+
+/// Translates the whole heap into a conjunction of formulas.
+pub fn translate_heap(heap: &Heap) -> Translation {
+    let mut translation = Translation {
+        formulas: Vec::new(),
+        next_aux: heap.next_index(),
+    };
+    for (loc, storeable) in heap.iter() {
+        match storeable {
+            Storeable::Num(n) => {
+                translation
+                    .formulas
+                    .push(Formula::eq(Term::var(loc.solver_var()), Term::int(*n)));
+            }
+            Storeable::Opaque { ty, refinements } => {
+                if ty.is_base() {
+                    for refinement in refinements {
+                        let formula = translate_refinement(loc, refinement, &mut translation);
+                        translation.formulas.push(formula);
+                    }
+                }
+            }
+            Storeable::Lam { .. } => {}
+            Storeable::Case { entries, .. } => {
+                // Functionality: equal inputs imply equal outputs.
+                for i in 0..entries.len() {
+                    for j in (i + 1)..entries.len() {
+                        let (arg_i, res_i) = entries[i];
+                        let (arg_j, res_j) = entries[j];
+                        let antecedent = Formula::eq(
+                            Term::var(arg_i.solver_var()),
+                            Term::var(arg_j.solver_var()),
+                        );
+                        let consequent = translate_equal(heap, res_i, res_j, 8);
+                        translation
+                            .formulas
+                            .push(Formula::implies(antecedent, consequent));
+                    }
+                }
+            }
+        }
+    }
+    translation
+}
+
+/// Translates a heap and appends an extra goal formula about a location.
+pub fn translate_refinement_goal(
+    heap: &Heap,
+    loc: Loc,
+    refinement: &Refinement,
+) -> (Vec<Formula>, Formula) {
+    let mut translation = translate_heap(heap);
+    let goal = translate_refinement(loc, refinement, &mut translation);
+    (translation.formulas, goal)
+}
+
+/// Translates a single refinement `loc op rhs` into a formula, possibly
+/// appending auxiliary constraints (for division) to the translation.
+pub fn translate_refinement(
+    loc: Loc,
+    refinement: &Refinement,
+    translation: &mut Translation,
+) -> Formula {
+    let lhs = Term::var(loc.solver_var());
+    let rhs = translate_sym_expr(&refinement.rhs, translation);
+    Formula::atom(lhs, refinement.op, rhs)
+}
+
+/// Translates a symbolic expression into a solver term, introducing
+/// auxiliary variables and side constraints for division and remainder.
+pub fn translate_sym_expr(expr: &SymExpr, translation: &mut Translation) -> Term {
+    match expr {
+        SymExpr::Loc(l) => Term::var(l.solver_var()),
+        SymExpr::Const(n) => Term::int(*n),
+        SymExpr::Add(a, b) => Term::add(
+            translate_sym_expr(a, translation),
+            translate_sym_expr(b, translation),
+        ),
+        SymExpr::Sub(a, b) => Term::sub(
+            translate_sym_expr(a, translation),
+            translate_sym_expr(b, translation),
+        ),
+        SymExpr::Mul(a, b) => Term::mul(
+            translate_sym_expr(a, translation),
+            translate_sym_expr(b, translation),
+        ),
+        SymExpr::Div(a, b) => {
+            let (quotient, _remainder) = translate_division(a, b, translation);
+            quotient
+        }
+        SymExpr::Mod(a, b) => {
+            let (_quotient, remainder) = translate_division(a, b, translation);
+            remainder
+        }
+    }
+}
+
+/// Encodes truncated division `a / b` with fresh quotient and remainder
+/// variables, following the semantics of Rust's `/` and `%` on integers:
+///
+/// * `a = q·b + r`
+/// * `|r| < |b|`
+/// * `r` is zero or has the sign of `a`.
+fn translate_division(a: &SymExpr, b: &SymExpr, translation: &mut Translation) -> (Term, Term) {
+    let dividend = translate_sym_expr(a, translation);
+    let divisor = translate_sym_expr(b, translation);
+    let quotient = Term::var(translation.fresh_aux());
+    let remainder = Term::var(translation.fresh_aux());
+
+    // a = q·b + r
+    translation.formulas.push(Formula::eq(
+        dividend.clone(),
+        Term::add(Term::mul(quotient.clone(), divisor.clone()), remainder.clone()),
+    ));
+    // |r| < |b|  encoded as  (b > 0 ⇒ (r < b ∧ -b < r)) ∧ (b < 0 ⇒ (r < -b ∧ b < r))
+    translation.formulas.push(Formula::implies(
+        Formula::gt(divisor.clone(), Term::int(0)),
+        Formula::and(vec![
+            Formula::lt(remainder.clone(), divisor.clone()),
+            Formula::lt(Term::neg(divisor.clone()), remainder.clone()),
+        ]),
+    ));
+    translation.formulas.push(Formula::implies(
+        Formula::lt(divisor.clone(), Term::int(0)),
+        Formula::and(vec![
+            Formula::lt(remainder.clone(), Term::neg(divisor.clone())),
+            Formula::lt(divisor.clone(), remainder.clone()),
+        ]),
+    ));
+    // r = 0 ∨ sign(r) = sign(a)
+    translation.formulas.push(Formula::or(vec![
+        Formula::eq(remainder.clone(), Term::int(0)),
+        Formula::and(vec![
+            Formula::gt(dividend.clone(), Term::int(0)),
+            Formula::gt(remainder.clone(), Term::int(0)),
+        ]),
+        Formula::and(vec![
+            Formula::lt(dividend, Term::int(0)),
+            Formula::lt(remainder.clone(), Term::int(0)),
+        ]),
+    ]));
+    (quotient, remainder)
+}
+
+/// Structural equality between the values stored at two locations (Fig. 4's
+/// `{{L₁ = L₂}}`). Used as the consequent of `case`-map functionality
+/// constraints.
+pub fn translate_equal(heap: &Heap, a: Loc, b: Loc, depth: u32) -> Formula {
+    if a == b {
+        return Formula::True;
+    }
+    if depth == 0 {
+        return Formula::True; // give up: no constraint (sound, less precise)
+    }
+    let (sa, sb) = match (heap.try_get(a), heap.try_get(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Formula::True,
+    };
+    match (sa, sb) {
+        // Base-typed values: integer equality.
+        (Storeable::Num(_), Storeable::Num(_))
+        | (Storeable::Num(_), Storeable::Opaque { ty: Type::Int, .. })
+        | (Storeable::Opaque { ty: Type::Int, .. }, Storeable::Num(_))
+        | (
+            Storeable::Opaque { ty: Type::Int, .. },
+            Storeable::Opaque { ty: Type::Int, .. },
+        ) => Formula::eq(Term::var(a.solver_var()), Term::var(b.solver_var())),
+        // Two case maps: pointwise functionality.
+        (
+            Storeable::Case { entries: ea, .. },
+            Storeable::Case { entries: eb, .. },
+        ) => {
+            let mut parts = Vec::new();
+            for (arg_a, res_a) in ea {
+                for (arg_b, res_b) in eb {
+                    let antecedent = Formula::eq(
+                        Term::var(arg_a.solver_var()),
+                        Term::var(arg_b.solver_var()),
+                    );
+                    let consequent = translate_equal(heap, *res_a, *res_b, depth - 1);
+                    parts.push(Formula::implies(antecedent, consequent));
+                }
+            }
+            Formula::and(parts)
+        }
+        // Two λ-abstractions: equal when their bodies are structurally equal
+        // up to stored locations (the shapes generated by AppOpq2/3 and
+        // AppHavoc), different shapes translate to False.
+        (
+            Storeable::Lam { body: body_a, .. },
+            Storeable::Lam { body: body_b, .. },
+        ) => translate_body_equal(heap, body_a, body_b, depth - 1),
+        // Fully opaque functions: no information either way.
+        (Storeable::Opaque { .. }, _) | (_, Storeable::Opaque { .. }) => Formula::True,
+        // Different shapes cannot be equal.
+        _ => Formula::False,
+    }
+}
+
+/// Structural equality of two stored λ-bodies. Locations compare via
+/// [`translate_equal`]; anything else compares syntactically.
+fn translate_body_equal(
+    heap: &Heap,
+    a: &crate::syntax::Expr,
+    b: &crate::syntax::Expr,
+    depth: u32,
+) -> Formula {
+    use crate::syntax::Expr;
+    match (a, b) {
+        (Expr::Loc(la), Expr::Loc(lb)) => translate_equal(heap, *la, *lb, depth),
+        (Expr::App(fa, aa), Expr::App(fb, ab)) => Formula::and(vec![
+            translate_body_equal(heap, fa, fb, depth),
+            translate_body_equal(heap, aa, ab, depth),
+        ]),
+        (Expr::Var(x), Expr::Var(y)) => {
+            if x == y {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        (Expr::Num(x), Expr::Num(y)) => {
+            if x == y {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        (
+            Expr::Lam { param: pa, body: ba, .. },
+            Expr::Lam { param: pb, body: bb, .. },
+        ) => {
+            if pa == pb {
+                translate_body_equal(heap, ba, bb, depth)
+            } else {
+                Formula::False
+            }
+        }
+        (x, y) => {
+            if x == y {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{Refinement, Storeable};
+    use folic::{CmpOp, Solver};
+
+    #[test]
+    fn worked_example_heap_translates_and_solves() {
+        // L3 ↦ •int, L4 ↦ •int, L5 ↦ •int,(= (- 100 L4)),(= 0)
+        let mut heap = Heap::new();
+        let _l3 = heap.alloc_fresh_opaque(Type::Int);
+        let l4 = heap.alloc_fresh_opaque(Type::Int);
+        let l5 = heap.alloc_fresh_opaque(Type::Int);
+        heap.refine(
+            l5,
+            Refinement::new(
+                CmpOp::Eq,
+                SymExpr::Sub(Box::new(SymExpr::int(100)), Box::new(SymExpr::loc(l4))),
+            ),
+        );
+        heap.refine(l5, Refinement::zero());
+
+        let translation = translate_heap(&heap);
+        let mut solver = Solver::new();
+        for f in &translation.formulas {
+            solver.assert(f.clone());
+        }
+        let model = solver.check().model().cloned().expect("satisfiable");
+        assert_eq!(model.value(l4.solver_var()), Some(100));
+        assert_eq!(model.value(l5.solver_var()), Some(0));
+    }
+
+    #[test]
+    fn numbers_translate_to_equalities() {
+        let mut heap = Heap::new();
+        let l = heap.alloc(Storeable::Num(42));
+        let translation = translate_heap(&heap);
+        assert_eq!(translation.formulas.len(), 1);
+        let mut solver = Solver::new();
+        for f in &translation.formulas {
+            solver.assert(f.clone());
+        }
+        let model = solver.check().model().cloned().expect("sat");
+        assert_eq!(model.value(l.solver_var()), Some(42));
+    }
+
+    #[test]
+    fn case_maps_force_functionality() {
+        // case [a ↦ x] [b ↦ y]  with a = b, x = 1, y = 0 must be unsat.
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(5));
+        let b = heap.alloc(Storeable::Num(5));
+        let x = heap.alloc(Storeable::Num(1));
+        let y = heap.alloc(Storeable::Num(0));
+        let _f = heap.alloc(Storeable::Case {
+            result_ty: Type::Int,
+            entries: vec![(a, x), (b, y)],
+        });
+        let translation = translate_heap(&heap);
+        let mut solver = Solver::new();
+        for f in &translation.formulas {
+            solver.assert(f.clone());
+        }
+        assert!(solver.check().is_unsat());
+    }
+
+    #[test]
+    fn case_maps_allow_distinct_inputs() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Storeable::Num(4));
+        let b = heap.alloc(Storeable::Num(5));
+        let x = heap.alloc(Storeable::Num(1));
+        let y = heap.alloc(Storeable::Num(0));
+        let _f = heap.alloc(Storeable::Case {
+            result_ty: Type::Int,
+            entries: vec![(a, x), (b, y)],
+        });
+        let translation = translate_heap(&heap);
+        let mut solver = Solver::new();
+        for f in &translation.formulas {
+            solver.assert(f.clone());
+        }
+        assert!(solver.check().is_sat());
+    }
+
+    #[test]
+    fn division_is_encoded_with_quotient_and_remainder() {
+        // l = 7 / 2 should force l = 3.
+        let mut heap = Heap::new();
+        let result = heap.alloc_fresh_opaque(Type::Int);
+        heap.refine(
+            result,
+            Refinement::new(
+                CmpOp::Eq,
+                SymExpr::Div(Box::new(SymExpr::int(7)), Box::new(SymExpr::int(2))),
+            ),
+        );
+        let translation = translate_heap(&heap);
+        let mut solver = Solver::new();
+        for f in &translation.formulas {
+            solver.assert(f.clone());
+        }
+        let model = solver.check().model().cloned().expect("sat");
+        assert_eq!(model.value(result.solver_var()), Some(3));
+    }
+
+    #[test]
+    fn different_function_shapes_are_unequal() {
+        let mut heap = Heap::new();
+        let num = heap.alloc(Storeable::Num(1));
+        let lam = heap.alloc(Storeable::Lam {
+            param: "x".to_string(),
+            param_ty: Type::Int,
+            body: crate::syntax::Expr::Num(0),
+        });
+        let case = heap.alloc(Storeable::Case {
+            result_ty: Type::Int,
+            entries: vec![],
+        });
+        assert_eq!(translate_equal(&heap, lam, case, 4), Formula::False);
+        assert_eq!(translate_equal(&heap, num, case, 4), Formula::False);
+        assert_eq!(translate_equal(&heap, lam, lam, 4), Formula::True);
+    }
+}

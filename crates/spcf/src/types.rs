@@ -1,0 +1,98 @@
+//! Simple types of Symbolic PCF: the base integer type and arrow types.
+
+use std::fmt;
+
+/// A simple type: the base type of integers or a function type.
+///
+/// The paper's base type is `nat`; we follow the worked example (which uses
+/// OCaml `int`) and use full integers — nothing in the semantics depends on
+/// non-negativity, and benchmarks such as `1/(100 - n)` are more natural
+/// over `int`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The base type of integers.
+    Int,
+    /// A function type `T₁ → T₂`.
+    Arrow(Box<Type>, Box<Type>),
+}
+
+impl Type {
+    /// Constructs the function type `from → to`.
+    pub fn arrow(from: Type, to: Type) -> Type {
+        Type::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// True if this is the base type.
+    pub fn is_base(&self) -> bool {
+        matches!(self, Type::Int)
+    }
+
+    /// True if this is a function type.
+    pub fn is_arrow(&self) -> bool {
+        matches!(self, Type::Arrow(_, _))
+    }
+
+    /// The domain and codomain, if this is a function type.
+    pub fn as_arrow(&self) -> Option<(&Type, &Type)> {
+        match self {
+            Type::Arrow(from, to) => Some((from, to)),
+            Type::Int => None,
+        }
+    }
+
+    /// The *order* of the type: 0 for base, `max(dom+1, cod)` for arrows.
+    ///
+    /// This matches the "highest function order" column of the paper's
+    /// Table 1 (e.g. `int → int` has order 1, `(int → int) → int` order 2).
+    pub fn order(&self) -> u32 {
+        match self {
+            Type::Int => 0,
+            Type::Arrow(from, to) => (from.order() + 1).max(to.order()),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Arrow(from, to) => write!(f, "(-> {from} {to})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrow_accessors() {
+        let t = Type::arrow(Type::Int, Type::arrow(Type::Int, Type::Int));
+        assert!(t.is_arrow());
+        assert!(!t.is_base());
+        let (dom, cod) = t.as_arrow().expect("arrow");
+        assert_eq!(dom, &Type::Int);
+        assert!(cod.is_arrow());
+    }
+
+    #[test]
+    fn order_matches_paper_convention() {
+        let int = Type::Int;
+        assert_eq!(int.order(), 0);
+        let first = Type::arrow(Type::Int, Type::Int);
+        assert_eq!(first.order(), 1);
+        let second = Type::arrow(first.clone(), Type::Int);
+        assert_eq!(second.order(), 2);
+        let third = Type::arrow(second.clone(), Type::Int);
+        assert_eq!(third.order(), 3);
+        // Order is not sensitive to the codomain alone.
+        let curried = Type::arrow(Type::Int, first);
+        assert_eq!(curried.order(), 1);
+    }
+
+    #[test]
+    fn display_is_sexpr_like() {
+        let t = Type::arrow(Type::arrow(Type::Int, Type::Int), Type::Int);
+        assert_eq!(t.to_string(), "(-> (-> int int) int)");
+    }
+}
