@@ -8,10 +8,7 @@ fn bench_group(c: &mut Criterion) {
     // Criterion re-runs each program many times, so use the quick budget and
     // only the first two programs of the group; the table1 binary covers the
     // full corpus with the full budget.
-    let programs: Vec<_> = group_programs(Group::Others)
-        .into_iter()
-        .take(2)
-        .collect();
+    let programs: Vec<_> = group_programs(Group::Others).into_iter().take(2).collect();
     let options = BenchOptions::quick();
     let mut group = c.benchmark_group("table1_others");
     group.sample_size(10);

@@ -1,17 +1,23 @@
 //! Regenerates the paper's Table 1: for every corpus program, analyse the
 //! correct variant (expected: verified) and the erroneous variant (expected:
-//! a validated concrete counterexample), reporting sizes, contract orders
-//! and analysis times.
+//! a validated concrete counterexample), reporting sizes, contract orders,
+//! analysis times and the prover-session statistics.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p scv-bench --bin table1 [--group kobayashi|terauchi|occurrence|games|others]
+//! cargo run --release -p bench --bin table1 \
+//!     [--group kobayashi|terauchi|occurrence|games|others] \
+//!     [--fresh-per-query] [--differential] [--json]
 //! ```
+//!
+//! `--fresh-per-query` runs the original solver-per-query engine instead of
+//! the incremental prover session; `--differential` runs both and checks the
+//! verdicts agree; `--json` emits the machine-readable report on stdout.
 
 use scv_bench::corpus::{all_programs, group_programs, Group};
-use scv_bench::harness::{run_all, BenchOptions};
-use scv_bench::report::{render_table, summarize};
+use scv_bench::harness::{run_all, run_program_differential, BenchOptions};
+use scv_bench::report::{render_table, summarize, summarize_stats, to_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,14 +36,63 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    let json = args.iter().any(|a| a == "--json");
+    let differential = args.iter().any(|a| a == "--differential");
+    let fresh = args.iter().any(|a| a == "--fresh-per-query");
 
     let programs = match group {
         Some(group) => group_programs(group),
         None => all_programs(),
     };
-    let options = BenchOptions::default();
-    let results = run_all(&programs, &options);
+    let options = if fresh {
+        BenchOptions::default().fresh_per_query()
+    } else {
+        BenchOptions::default()
+    };
 
+    if differential {
+        let mut mismatches = 0usize;
+        let mut incremental_rows = Vec::new();
+        let mut fresh_rows = Vec::new();
+        for program in &programs {
+            let result = run_program_differential(program, &options);
+            if !result.verdicts_match() {
+                eprintln!(
+                    "[differential] MISMATCH on {}: incremental {:?}/{:?} vs fresh {:?}/{:?}",
+                    program.name,
+                    result.incremental.correct_verdict,
+                    result.incremental.faulty_verdict,
+                    result.fresh.correct_verdict,
+                    result.fresh.faulty_verdict,
+                );
+                mismatches += 1;
+            }
+            incremental_rows.push(result.incremental);
+            fresh_rows.push(result.fresh);
+        }
+        println!("{}", render_table(&incremental_rows));
+        println!("{}", summarize(&incremental_rows));
+        println!("incremental {}", summarize_stats(&incremental_rows));
+        println!("fresh       {}", summarize_stats(&fresh_rows));
+        if mismatches == 0 {
+            println!(
+                "differential check: all {} programs agree between the incremental \
+                 session and the fresh-per-query baseline",
+                programs.len()
+            );
+        } else {
+            println!("differential check: {mismatches} verdict mismatches");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let results = run_all(&programs, &options);
+    if json {
+        println!("{}", to_json(&results));
+        return;
+    }
     println!("{}", render_table(&results));
     println!("{}", summarize(&results));
+    println!("{}", summarize_stats(&results));
 }

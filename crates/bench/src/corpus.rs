@@ -88,7 +88,10 @@ pub fn all_programs() -> Vec<BenchProgram> {
 
 /// The programs of a single group.
 pub fn group_programs(group: Group) -> Vec<BenchProgram> {
-    all_programs().into_iter().filter(|p| p.group == group).collect()
+    all_programs()
+        .into_iter()
+        .filter(|p| p.group == group)
+        .collect()
 }
 
 #[cfg(test)]
@@ -98,13 +101,18 @@ mod tests {
     #[test]
     fn corpus_is_nonempty_and_well_formed() {
         let programs = all_programs();
-        assert!(programs.len() >= 25, "corpus has {} programs", programs.len());
+        assert!(
+            programs.len() >= 25,
+            "corpus has {} programs",
+            programs.len()
+        );
         for program in &programs {
             assert!(!program.name.is_empty());
             assert!(program.lines() > 0);
             // Both variants must parse.
-            cpcf::parse_program(program.correct)
-                .unwrap_or_else(|e| panic!("{}: correct variant does not parse: {e}", program.name));
+            cpcf::parse_program(program.correct).unwrap_or_else(|e| {
+                panic!("{}: correct variant does not parse: {e}", program.name)
+            });
             cpcf::parse_program(program.faulty)
                 .unwrap_or_else(|e| panic!("{}: faulty variant does not parse: {e}", program.name));
         }
@@ -119,7 +127,10 @@ mod tests {
             Group::Games,
             Group::Others,
         ] {
-            assert!(!group_programs(group).is_empty(), "group {group:?} is empty");
+            assert!(
+                !group_programs(group).is_empty(),
+                "group {group:?} is empty"
+            );
         }
     }
 

@@ -2,13 +2,13 @@
 
 use std::time::Instant;
 
-use cpcf::{analyze_module, AnalyzeOptions, EvalOptions, Expr, ExportAnalysis};
-use serde::Serialize;
+use cpcf::{analyze_module, AnalyzeOptions, EvalOptions, ExportAnalysis, Expr, SessionStats};
+use serde::{JsonObject, Serialize};
 
 use crate::corpus::{BenchProgram, Group};
 
 /// Options for a harness run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchOptions {
     /// Options handed to the analyzer.
     pub analyze: AnalyzeOptions,
@@ -31,8 +31,35 @@ impl Default for BenchOptions {
     }
 }
 
+impl BenchOptions {
+    /// A drastically reduced budget for micro-benchmarking (Criterion) runs,
+    /// where each program is analysed many times: deep enough to find the
+    /// shallow bugs, small enough that a single run takes milliseconds.
+    pub fn quick() -> Self {
+        BenchOptions {
+            analyze: AnalyzeOptions {
+                eval: EvalOptions {
+                    fuel: 800,
+                    max_branches: 16,
+                    havoc_depth: 1,
+                    ..EvalOptions::default()
+                },
+                validate: true,
+                context_depth: 1,
+            },
+        }
+    }
+
+    /// The same budget with the incremental prover session replaced by the
+    /// original fresh-solver-per-query engine (the ablation baseline).
+    pub fn fresh_per_query(mut self) -> Self {
+        self.analyze.eval.prove.fresh_per_query = true;
+        self
+    }
+}
+
 /// The aggregate verdict for one program variant (all of its exports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Every export verified.
     Verified,
@@ -60,8 +87,74 @@ impl Verdict {
     }
 }
 
+impl Serialize for Verdict {
+    fn to_json(&self) -> String {
+        serde::escape_string(self.marker())
+    }
+}
+
+/// Prover-session statistics aggregated over an analysis run, in a
+/// JSON-friendly shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSummary {
+    /// Total prover queries (tag + numeric + model).
+    pub queries: u64,
+    /// Queries answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Whole-heap encodings performed.
+    pub full_encodings: u64,
+    /// Incremental journal-suffix encodings performed.
+    pub delta_encodings: u64,
+    /// Solver-backed queries that reused the live solver state unchanged.
+    pub reused_encodings: u64,
+    /// Satisfiability checks issued to the first-order solver.
+    pub solver_checks: u64,
+    /// Wall-clock milliseconds spent inside the first-order solver.
+    pub solver_ms: u128,
+}
+
+impl StatsSummary {
+    /// Flattens a session's counters into the summary shape.
+    pub fn from_session(stats: &SessionStats) -> Self {
+        StatsSummary {
+            queries: stats.queries,
+            cache_hits: stats.cache_hits,
+            full_encodings: stats.full_encodings,
+            delta_encodings: stats.delta_encodings,
+            reused_encodings: stats.reused_encodings,
+            solver_checks: stats.solver.checks,
+            solver_ms: stats.solver.time.as_millis(),
+        }
+    }
+
+    /// Accumulates another summary into this one.
+    pub fn merge(&mut self, other: &StatsSummary) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.full_encodings += other.full_encodings;
+        self.delta_encodings += other.delta_encodings;
+        self.reused_encodings += other.reused_encodings;
+        self.solver_checks += other.solver_checks;
+        self.solver_ms += other.solver_ms;
+    }
+}
+
+impl Serialize for StatsSummary {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field("queries", &self.queries)
+            .field("cache_hits", &self.cache_hits)
+            .field("full_encodings", &self.full_encodings)
+            .field("delta_encodings", &self.delta_encodings)
+            .field("reused_encodings", &self.reused_encodings)
+            .field("solver_checks", &self.solver_checks)
+            .field("solver_ms", &self.solver_ms)
+            .finish()
+    }
+}
+
 /// The Table 1 row produced for one corpus program.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProgramResult {
     /// Program name.
     pub name: String,
@@ -82,6 +175,25 @@ pub struct ProgramResult {
     pub faulty_ms: u128,
     /// True for rows the paper itself reports as unsolved ("others-w").
     pub expected_unsolved: bool,
+    /// Prover-session statistics summed over both variants.
+    pub stats: StatsSummary,
+}
+
+impl Serialize for ProgramResult {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field("name", &self.name)
+            .field("group", &self.group)
+            .field("lines", &self.lines)
+            .field("order", &self.order)
+            .field("correct_verdict", &self.correct_verdict)
+            .field("correct_ms", &self.correct_ms)
+            .field("faulty_verdict", &self.faulty_verdict)
+            .field("faulty_ms", &self.faulty_ms)
+            .field("expected_unsolved", &self.expected_unsolved)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl ProgramResult {
@@ -92,7 +204,10 @@ impl ProgramResult {
         let correct_ok = self.correct_verdict != Verdict::Counterexample
             && self.correct_verdict != Verdict::ParseError;
         let faulty_ok = if self.expected_unsolved {
-            matches!(self.faulty_verdict, Verdict::ProbableError | Verdict::Exhausted)
+            matches!(
+                self.faulty_verdict,
+                Verdict::ProbableError | Verdict::Exhausted
+            )
         } else {
             self.faulty_verdict == Verdict::Counterexample
         };
@@ -117,10 +232,10 @@ pub fn contract_order(contract: &Expr) -> u32 {
     }
 }
 
-fn analyze_variant(source: &str, options: &BenchOptions) -> (Verdict, u128, u32) {
+fn analyze_variant(source: &str, options: &BenchOptions) -> (Verdict, u128, u32, StatsSummary) {
     let start = Instant::now();
     let Ok((program, _)) = cpcf::parse_program(source) else {
-        return (Verdict::ParseError, 0, 0);
+        return (Verdict::ParseError, 0, 0, StatsSummary::default());
     };
     let module_name = program
         .modules
@@ -155,38 +270,27 @@ fn analyze_variant(source: &str, options: &BenchOptions) -> (Verdict, u128, u32)
             ExportAnalysis::Verified => {}
         }
     }
-    (verdict, elapsed, order)
-}
-
-impl BenchOptions {
-    /// A drastically reduced budget for micro-benchmarking (Criterion) runs,
-    /// where each program is analysed many times: deep enough to find the
-    /// shallow bugs, small enough that a single run takes milliseconds.
-    pub fn quick() -> Self {
-        BenchOptions {
-            analyze: AnalyzeOptions {
-                eval: EvalOptions {
-                    fuel: 800,
-                    max_branches: 16,
-                    havoc_depth: 1,
-                    ..EvalOptions::default()
-                },
-                validate: true,
-                context_depth: 1,
-            },
-        }
-    }
+    (
+        verdict,
+        elapsed,
+        order,
+        StatsSummary::from_session(&report.stats),
+    )
 }
 
 /// Runs both variants of a corpus program.
 pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramResult {
     eprintln!("[table1] analysing {} ...", program.name);
-    let (correct_verdict, correct_ms, order) = analyze_variant(program.correct, options);
-    let (faulty_verdict, faulty_ms, faulty_order) = analyze_variant(program.faulty, options);
+    let (correct_verdict, correct_ms, order, correct_stats) =
+        analyze_variant(program.correct, options);
+    let (faulty_verdict, faulty_ms, faulty_order, faulty_stats) =
+        analyze_variant(program.faulty, options);
     eprintln!(
         "[table1]   {}: correct {:?} in {} ms, faulty {:?} in {} ms",
         program.name, correct_verdict, correct_ms, faulty_verdict, faulty_ms
     );
+    let mut stats = correct_stats;
+    stats.merge(&faulty_stats);
     ProgramResult {
         name: program.name.to_string(),
         group: program.group.title().to_string(),
@@ -197,6 +301,7 @@ pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramRes
         faulty_verdict,
         faulty_ms,
         expected_unsolved: program.expected_unsolved,
+        stats,
     }
 }
 
@@ -208,6 +313,35 @@ pub fn run_all(programs: &[BenchProgram], options: &BenchOptions) -> Vec<Program
 /// Runs every program of a group.
 pub fn run_group(group: Group, options: &BenchOptions) -> Vec<ProgramResult> {
     run_all(&crate::corpus::group_programs(group), options)
+}
+
+/// The result of running one program under both prover engines.
+#[derive(Debug, Clone)]
+pub struct DifferentialResult {
+    /// The row produced with the incremental prover session (the default).
+    pub incremental: ProgramResult,
+    /// The row produced with the `fresh_per_query` ablation (the original
+    /// solver-per-query engine).
+    pub fresh: ProgramResult,
+}
+
+impl DifferentialResult {
+    /// True if both engines agreed on both variants' verdicts.
+    pub fn verdicts_match(&self) -> bool {
+        self.incremental.correct_verdict == self.fresh.correct_verdict
+            && self.incremental.faulty_verdict == self.fresh.faulty_verdict
+    }
+}
+
+/// Runs a program with the incremental session and with the
+/// `fresh_per_query` ablation, for differential comparison.
+pub fn run_program_differential(
+    program: &BenchProgram,
+    options: &BenchOptions,
+) -> DifferentialResult {
+    let incremental = run_program(program, options);
+    let fresh = run_program(program, &options.clone().fresh_per_query());
+    DifferentialResult { incremental, fresh }
 }
 
 #[cfg(test)]
@@ -249,5 +383,68 @@ mod tests {
         let result = run_program(&program, &BenchOptions::default());
         assert!(result.expected_unsolved);
         assert_ne!(result.faulty_verdict, Verdict::ParseError);
+    }
+
+    #[test]
+    fn occurrence_incremental_matches_fresh_and_caches() {
+        // The acceptance check for the incremental prover session: on the
+        // occurrence group, verdicts are identical between the incremental
+        // and fresh-per-query engines, the cache is exercised, and far fewer
+        // full-heap encodings than queries are needed.
+        let options = BenchOptions::quick();
+        let programs: Vec<_> = group_programs(crate::corpus::Group::Occurrence)
+            .into_iter()
+            .take(2)
+            .collect();
+        let mut incremental_total = StatsSummary::default();
+        for program in &programs {
+            let differential = run_program_differential(program, &options);
+            assert!(
+                differential.verdicts_match(),
+                "{}: incremental ({:?}/{:?}) and fresh ({:?}/{:?}) engines disagree",
+                program.name,
+                differential.incremental.correct_verdict,
+                differential.incremental.faulty_verdict,
+                differential.fresh.correct_verdict,
+                differential.fresh.faulty_verdict,
+            );
+            incremental_total.merge(&differential.incremental.stats);
+            // The ablation re-encodes the heap for every solver-backed query.
+            let fresh = &differential.fresh.stats;
+            assert_eq!(fresh.cache_hits, 0, "fresh mode must not use the cache");
+        }
+        assert!(
+            incremental_total.cache_hits >= 1,
+            "no cache hits: {incremental_total:?}"
+        );
+        assert!(
+            incremental_total.full_encodings < incremental_total.queries,
+            "incremental mode should encode the heap far less often than it queries: \
+             {incremental_total:?}"
+        );
+    }
+
+    #[test]
+    fn program_results_serialize_to_json() {
+        let result = ProgramResult {
+            name: "a".to_string(),
+            group: "G".to_string(),
+            lines: 10,
+            order: 1,
+            correct_verdict: Verdict::Verified,
+            correct_ms: 5,
+            faulty_verdict: Verdict::Counterexample,
+            faulty_ms: 7,
+            expected_unsolved: false,
+            stats: StatsSummary {
+                queries: 10,
+                cache_hits: 3,
+                ..StatsSummary::default()
+            },
+        };
+        let json = result.to_json();
+        assert!(json.contains("\"name\":\"a\""));
+        assert!(json.contains("\"correct_verdict\":\"ok\""));
+        assert!(json.contains("\"cache_hits\":3"));
     }
 }

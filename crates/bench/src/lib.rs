@@ -21,5 +21,8 @@ pub mod harness;
 pub mod report;
 
 pub use corpus::{all_programs, BenchProgram, Group};
-pub use harness::{run_program, BenchOptions, ProgramResult, Verdict};
-pub use report::{render_table, summarize};
+pub use harness::{
+    run_program, run_program_differential, BenchOptions, DifferentialResult, ProgramResult,
+    StatsSummary, Verdict,
+};
+pub use report::{render_table, summarize, summarize_stats, to_json, total_stats};

@@ -1,8 +1,11 @@
-//! Rendering harness results in the shape of the paper's Table 1.
+//! Rendering harness results in the shape of the paper's Table 1, plus a
+//! machine-readable JSON report carrying the prover-session statistics.
 
 use std::fmt::Write as _;
 
-use crate::harness::{ProgramResult, Verdict};
+use serde::{JsonObject, Serialize};
+
+use crate::harness::{ProgramResult, StatsSummary, Verdict};
 
 /// Renders results as a text table with the same columns as Table 1:
 /// program, lines, order, time to analyse the correct variant, time to
@@ -28,7 +31,9 @@ pub fn render_table(results: &[ProgramResult]) -> String {
         };
         let faulty_cell = match result.faulty_verdict {
             Verdict::Counterexample => format!("{}", result.faulty_ms),
-            other if result.expected_unsolved => format!("{} ({})*", result.faulty_ms, other.marker()),
+            other if result.expected_unsolved => {
+                format!("{} ({})*", result.faulty_ms, other.marker())
+            }
             other => format!("{} ({})", result.faulty_ms, other.marker()),
         };
         let _ = writeln!(
@@ -59,6 +64,41 @@ pub fn summarize(results: &[ProgramResult]) -> String {
     )
 }
 
+/// Sums the prover-session statistics over all rows.
+pub fn total_stats(results: &[ProgramResult]) -> StatsSummary {
+    let mut total = StatsSummary::default();
+    for result in results {
+        total.merge(&result.stats);
+    }
+    total
+}
+
+/// A one-line rendering of the aggregated solver statistics: how much work
+/// the incremental prover session saved.
+pub fn summarize_stats(results: &[ProgramResult]) -> String {
+    let total = total_stats(results);
+    format!(
+        "solver stats: {} prover queries, {} cache hits, {} full + {} delta heap encodings \
+         ({} reused), {} solver checks in {} ms",
+        total.queries,
+        total.cache_hits,
+        total.full_encodings,
+        total.delta_encodings,
+        total.reused_encodings,
+        total.solver_checks,
+        total.solver_ms,
+    )
+}
+
+/// Renders the full result set as a JSON document (an object with a `rows`
+/// array and aggregate `stats`), for downstream tooling.
+pub fn to_json(results: &[ProgramResult]) -> String {
+    JsonObject::new()
+        .raw_field("rows", results.to_json())
+        .field("stats", &total_stats(results))
+        .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,12 +114,24 @@ mod tests {
             faulty_verdict: verdict,
             faulty_ms: 7,
             expected_unsolved: false,
+            stats: StatsSummary {
+                queries: 20,
+                cache_hits: 4,
+                full_encodings: 2,
+                delta_encodings: 5,
+                reused_encodings: 3,
+                solver_checks: 11,
+                solver_ms: 1,
+            },
         }
     }
 
     #[test]
     fn table_contains_rows_and_headers() {
-        let rows = vec![sample("a", Verdict::Counterexample), sample("b", Verdict::ProbableError)];
+        let rows = vec![
+            sample("a", Verdict::Counterexample),
+            sample("b", Verdict::ProbableError),
+        ];
         let table = render_table(&rows);
         assert!(table.contains("Program"));
         assert!(table.contains("a"));
@@ -88,8 +140,34 @@ mod tests {
 
     #[test]
     fn summary_counts_expectations() {
-        let rows = vec![sample("a", Verdict::Counterexample), sample("b", Verdict::ProbableError)];
+        let rows = vec![
+            sample("a", Verdict::Counterexample),
+            sample("b", Verdict::ProbableError),
+        ];
         let summary = summarize(&rows);
         assert!(summary.starts_with("1/2"));
+    }
+
+    #[test]
+    fn stats_summary_aggregates_rows() {
+        let rows = vec![
+            sample("a", Verdict::Counterexample),
+            sample("b", Verdict::Verified),
+        ];
+        let total = total_stats(&rows);
+        assert_eq!(total.queries, 40);
+        assert_eq!(total.cache_hits, 8);
+        let line = summarize_stats(&rows);
+        assert!(line.contains("40 prover queries"));
+        assert!(line.contains("8 cache hits"));
+    }
+
+    #[test]
+    fn json_report_carries_rows_and_stats() {
+        let rows = vec![sample("a", Verdict::Counterexample)];
+        let json = to_json(&rows);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"rows\":[{"));
+        assert!(json.contains("\"stats\":{\"queries\":20"));
     }
 }

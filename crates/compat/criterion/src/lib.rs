@@ -1,0 +1,144 @@
+//! # criterion (offline compat stub)
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the criterion API the workspace's `[[bench]]` targets use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function` with a
+//! [`Bencher`], `finish`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. It measures wall-clock time per sample and prints a median — no
+//! statistics engine, no HTML reports, but the benches compile, run under
+//! `cargo bench`, and produce comparable numbers run to run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under measurement.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        println!(
+            "{}/{}: median {:?} over {} samples (total {:?})",
+            self.name,
+            id,
+            median,
+            samples.len(),
+            total
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures one sample of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let output = routine();
+        self.elapsed += start.elapsed();
+        drop(output);
+    }
+}
+
+/// Prevents the optimizer from discarding a value (best-effort without
+/// `unsafe`: a read through a volatile-ish black box is unavailable, so this
+/// relies on the value crossing a function boundary).
+#[inline(never)]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut criterion = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = criterion.benchmark_group("test");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+}

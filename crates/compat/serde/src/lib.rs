@@ -1,0 +1,187 @@
+//! # serde (offline compat stub)
+//!
+//! The build environment has no network access, so this crate stands in for
+//! the small slice of serde the workspace needs: serializing the benchmark
+//! report to JSON. Instead of the real serde data model it exposes a single
+//! [`Serialize`] trait rendering directly to a JSON string, plus impls for
+//! the primitive types and containers the reports use. Structs implement it
+//! by hand with the [`JsonObject`] builder (the real crate's derive macro
+//! would need a proc-macro stack this environment cannot download).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// The JSON rendering of `self`.
+    fn to_json(&self) -> String;
+}
+
+macro_rules! impl_display_json {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+impl_display_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Serialize for u128 {
+    fn to_json(&self) -> String {
+        // JSON numbers are doubles; anything beyond 2^53 ms is unreachable
+        // for a wall-clock measurement, so plain rendering is fine.
+        self.to_string()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> String {
+        if self.is_finite() {
+            format!("{self}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> String {
+        escape_string(self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> String {
+        escape_string(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(value) => value.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&item.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes and quotes a string per RFC 8259.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An ordered JSON-object builder for hand-written [`Serialize`] impls.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a field, serializing its value.
+    pub fn field(mut self, name: &str, value: &dyn Serialize) -> Self {
+        self.fields.push((name.to_string(), value.to_json()));
+        self
+    }
+
+    /// Adds a field with an already-rendered JSON value.
+    pub fn raw_field(mut self, name: &str, json: String) -> Self {
+        self.fields.push((name.to_string(), json));
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape_string(name));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(5u64.to_json(), "5");
+        assert_eq!((-3i64).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b\n".to_json(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(None::<u32>.to_json(), "null");
+        assert_eq!(Some("x".to_string()).to_json(), "\"x\"");
+    }
+
+    #[test]
+    fn objects_preserve_field_order() {
+        let json = JsonObject::new()
+            .field("b", &1u32)
+            .field("a", &"two".to_string())
+            .finish();
+        assert_eq!(json, r#"{"b":1,"a":"two"}"#);
+    }
+}

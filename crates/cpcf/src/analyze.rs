@@ -15,13 +15,14 @@ use std::collections::HashMap;
 use crate::cex::{reconstruct_bindings, Counterexample};
 use crate::eval::{eval, Ctx, EvalOptions, Outcome};
 use crate::heap::{empty_env, Heap};
+use crate::prove::SessionStats;
 use crate::syntax::{CBlame, Expr, Label, Module, Program, Provide};
 
 /// The blame party used for the synthesized unknown context.
 pub const CONTEXT_PARTY: &str = "context";
 
 /// Options controlling an analysis run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AnalyzeOptions {
     /// Evaluator options (fuel, branching, case maps, havoc depth).
     pub eval: EvalOptions,
@@ -78,6 +79,11 @@ pub struct ModuleReport {
     pub module: String,
     /// Per-export verdicts.
     pub exports: Vec<(String, ExportAnalysis)>,
+    /// Aggregated prover-session statistics over every export analysis
+    /// (including counterexample validation re-runs): query counts, cache
+    /// hits, and how many full versus incremental heap encodings the solver
+    /// interaction needed.
+    pub stats: SessionStats,
 }
 
 impl ModuleReport {
@@ -103,31 +109,39 @@ pub fn analyze(program: &Program) -> ModuleReport {
 }
 
 /// Analyzes the named module.
-pub fn analyze_module(program: &Program, module_name: &str, options: &AnalyzeOptions) -> ModuleReport {
+pub fn analyze_module(
+    program: &Program,
+    module_name: &str,
+    options: &AnalyzeOptions,
+) -> ModuleReport {
     let Some(module) = program.module(module_name) else {
         return ModuleReport {
             module: module_name.to_string(),
             exports: Vec::new(),
+            stats: SessionStats::default(),
         };
     };
+    let mut stats = SessionStats::default();
     let exports = module
         .provides
         .iter()
         .map(|provide| {
-            let verdict = analyze_export(program, module, provide, options);
+            let (verdict, export_stats) = analyze_export(program, module, provide, options);
+            stats.merge(&export_stats);
             (provide.name.clone(), verdict)
         })
         .collect();
     ModuleReport {
         module: module_name.to_string(),
         exports,
+        stats,
     }
 }
 
 /// Builds a fresh context and global heap with every module's definitions
 /// loaded. Returns `None` if a definition itself fails to evaluate.
 fn load_globals(program: &Program, options: &AnalyzeOptions) -> Option<(Ctx, Heap)> {
-    let mut ctx = Ctx::new(options.eval);
+    let mut ctx = Ctx::new(options.eval.clone());
     for module in &program.modules {
         for def in &module.structs {
             ctx.structs.insert(def.name.clone(), def.clone());
@@ -138,10 +152,12 @@ fn load_globals(program: &Program, options: &AnalyzeOptions) -> Option<(Ctx, Hea
     for module in &program.modules {
         for definition in &module.definitions {
             let outcomes = eval(&mut ctx, &env, &module.name, &definition.body, &heap);
-            let (loc, new_heap) = outcomes.into_iter().find_map(|(outcome, h)| match outcome {
-                Outcome::Val(loc) => Some((loc, h)),
-                _ => None,
-            })?;
+            let (loc, new_heap) = outcomes
+                .into_iter()
+                .find_map(|(outcome, h)| match outcome {
+                    Outcome::Val(loc) => Some((loc, h)),
+                    _ => None,
+                })?;
             heap = new_heap;
             ctx.globals.insert(definition.name.clone(), loc);
         }
@@ -151,7 +167,12 @@ fn load_globals(program: &Program, options: &AnalyzeOptions) -> Option<(Ctx, Hea
 
 /// The synthesized most-general-context expression for an export, along with
 /// the opaque labels it introduces.
-fn context_expression(module: &Module, provide: &Provide, depth: u32, next_label: &mut u32) -> Expr {
+fn context_expression(
+    module: &Module,
+    provide: &Provide,
+    depth: u32,
+    next_label: &mut u32,
+) -> Expr {
     let mut fresh = || {
         let label = Label(*next_label);
         *next_label += 1;
@@ -192,26 +213,30 @@ fn analyze_export(
     module: &Module,
     provide: &Provide,
     options: &AnalyzeOptions,
-) -> ExportAnalysis {
+) -> (ExportAnalysis, SessionStats) {
     let Some((mut ctx, heap)) = load_globals(program, options) else {
-        return ExportAnalysis::ProbableError(CBlame {
-            party: module.name.clone(),
-            message: "a module-level definition failed to evaluate".to_string(),
-            label: Label(u32::MAX),
-        });
+        return (
+            ExportAnalysis::ProbableError(CBlame {
+                party: module.name.clone(),
+                message: "a module-level definition failed to evaluate".to_string(),
+                label: Label(u32::MAX),
+            }),
+            SessionStats::default(),
+        );
     };
     let mut next_label = 500_000;
     let context_expr = context_expression(module, provide, options.context_depth, &mut next_label);
     let labels = context_expr.opaque_labels();
     let outcomes = eval(&mut ctx, &empty_env(), CONTEXT_PARTY, &context_expr, &heap);
 
+    let mut stats = SessionStats::default();
     let mut probable: Option<CBlame> = None;
     let mut saw_timeout = false;
     for (outcome, branch_heap) in &outcomes {
         match outcome {
             Outcome::Timeout => saw_timeout = true,
             Outcome::Err(blame) if blame.party == module.name => {
-                match reconstruct_bindings(&ctx.prover, branch_heap, &labels) {
+                match reconstruct_bindings(&mut ctx.prover, branch_heap, &labels) {
                     None => {
                         if probable.is_none() {
                             probable = Some(blame.clone());
@@ -224,15 +249,20 @@ fn analyze_export(
                             validated: false,
                         };
                         if options.validate {
-                            if validate(program, &context_expr, &counterexample, options) {
+                            let (confirmed, validation_stats) =
+                                validate(program, &context_expr, &counterexample, options);
+                            stats.merge(&validation_stats);
+                            if confirmed {
                                 counterexample.validated = true;
-                                return ExportAnalysis::Counterexample(counterexample);
+                                stats.merge(&ctx.prover.stats());
+                                return (ExportAnalysis::Counterexample(counterexample), stats);
                             }
                             if probable.is_none() {
                                 probable = Some(blame.clone());
                             }
                         } else {
-                            return ExportAnalysis::Counterexample(counterexample);
+                            stats.merge(&ctx.prover.stats());
+                            return (ExportAnalysis::Counterexample(counterexample), stats);
                         }
                     }
                 }
@@ -240,23 +270,26 @@ fn analyze_export(
             _ => {}
         }
     }
-    if let Some(blame) = probable {
+    stats.merge(&ctx.prover.stats());
+    let verdict = if let Some(blame) = probable {
         ExportAnalysis::ProbableError(blame)
     } else if saw_timeout {
         ExportAnalysis::Exhausted
     } else {
         ExportAnalysis::Verified
-    }
+    };
+    (verdict, stats)
 }
 
 /// Re-runs the context expression with the counterexample's concrete inputs
-/// and checks that the same party is blamed.
+/// and checks that the same party is blamed. Returns the verdict together
+/// with the prover statistics of the validation run.
 fn validate(
     program: &Program,
     context_expr: &Expr,
     counterexample: &Counterexample,
     options: &AnalyzeOptions,
-) -> bool {
+) -> (bool, SessionStats) {
     let bindings: HashMap<Label, Expr> = counterexample
         .bindings
         .iter()
@@ -264,12 +297,13 @@ fn validate(
         .collect();
     let concrete = instantiate(context_expr, &bindings);
     let Some((mut ctx, heap)) = load_globals(program, options) else {
-        return false;
+        return (false, SessionStats::default());
     };
     let outcomes = eval(&mut ctx, &empty_env(), CONTEXT_PARTY, &concrete, &heap);
-    outcomes.iter().any(|(outcome, _)| {
+    let confirmed = outcomes.iter().any(|(outcome, _)| {
         matches!(outcome, Outcome::Err(blame) if blame.party == counterexample.blame.party)
-    })
+    });
+    (confirmed, ctx.prover.stats())
 }
 
 /// Replaces opaque sub-expressions by the bindings' concrete expressions.
@@ -299,7 +333,11 @@ pub fn instantiate(expr: &Expr, bindings: &HashMap<Label, Expr>) -> Expr {
         Expr::And(es) => Expr::And(es.iter().map(|e| instantiate(e, bindings)).collect()),
         Expr::Or(es) => Expr::Or(es.iter().map(|e| instantiate(e, bindings)).collect()),
         Expr::Begin(es) => Expr::Begin(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::Let { bindings: lets, recursive, body } => Expr::Let {
+        Expr::Let {
+            bindings: lets,
+            recursive,
+            body,
+        } => Expr::Let {
             bindings: lets
                 .iter()
                 .map(|(n, e)| (n.clone(), instantiate(e, bindings)))
@@ -324,7 +362,13 @@ pub fn instantiate(expr: &Expr, bindings: &HashMap<Label, Expr>) -> Expr {
         ),
         Expr::CListOf(c) => Expr::CListOf(Box::new(instantiate(c, bindings))),
         Expr::COneOf(es) => Expr::COneOf(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::Mon { contract, value, pos, neg, label } => Expr::Mon {
+        Expr::Mon {
+            contract,
+            value,
+            pos,
+            neg,
+            label,
+        } => Expr::Mon {
             contract: Box::new(instantiate(contract, bindings)),
             value: Box::new(instantiate(value, bindings)),
             pos: pos.clone(),
@@ -451,7 +495,9 @@ mod tests {
         let cex = report.first_counterexample().expect("counterexample");
         assert!(cex.validated);
         assert!(
-            cex.bindings.iter().any(|(_, e)| matches!(e, Expr::Complex(_, _))),
+            cex.bindings
+                .iter()
+                .any(|(_, e)| matches!(e, Expr::Complex(_, _))),
             "expected a complex input, got {:?}",
             cex.bindings
         );
@@ -473,7 +519,9 @@ mod tests {
         let cex = report.first_counterexample().expect("counterexample");
         assert!(cex.validated);
         assert!(
-            cex.bindings.iter().any(|(_, e)| matches!(e, Expr::Lam { .. })),
+            cex.bindings
+                .iter()
+                .any(|(_, e)| matches!(e, Expr::Lam { .. })),
             "expected a functional input, got {:?}",
             cex.bindings
         );
@@ -534,7 +582,10 @@ mod tests {
         )
         .expect("parses");
         let cex = report.first_counterexample().expect("counterexample");
-        assert!(cex.validated, "accessing a field of a non-node must be caught");
+        assert!(
+            cex.validated,
+            "accessing a field of a non-node must be caught"
+        );
     }
 
     #[test]

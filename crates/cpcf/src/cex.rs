@@ -7,7 +7,7 @@ use folic::Model;
 
 use crate::heap::{CRefinement, Heap, Loc, SVal, Tag};
 use crate::numeric::Number;
-use crate::prove::Prover;
+use crate::prove::ProverSession;
 use crate::syntax::{CBlame, Expr, Label, Prim};
 
 /// A concrete counterexample for a module export.
@@ -24,7 +24,10 @@ pub struct Counterexample {
 impl Counterexample {
     /// The binding for a given opaque label.
     pub fn binding(&self, label: Label) -> Option<&Expr> {
-        self.bindings.iter().find(|(l, _)| *l == label).map(|(_, e)| e)
+        self.bindings
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, e)| e)
     }
 }
 
@@ -42,11 +45,11 @@ impl std::fmt::Display for Counterexample {
 /// Builds the bindings (opaque label → concrete expression) from an error
 /// state's heap, or `None` when the path condition has no model.
 pub fn reconstruct_bindings(
-    prover: &Prover,
+    session: &mut ProverSession,
     heap: &Heap,
     labels: &[Label],
 ) -> Option<Vec<(Label, Expr)>> {
-    let model = prover.heap_model(heap)?;
+    let model = session.heap_model(heap)?;
     let bindings = labels
         .iter()
         .map(|label| {
@@ -99,9 +102,10 @@ pub fn reconstruct(heap: &Heap, model: &Model, loc: Loc, visiting: &mut BTreeSet
             Expr::lam(params.clone(), Expr::Int(0))
         }
         Some(SVal::Guarded { .. }) | Some(SVal::Contract(_)) => Expr::Int(0),
-        Some(SVal::Opaque { refinements, entries }) => {
-            reconstruct_opaque(heap, model, loc, refinements, entries, visiting)
-        }
+        Some(SVal::Opaque {
+            refinements,
+            entries,
+        }) => reconstruct_opaque(heap, model, loc, refinements, entries, visiting),
     };
     visiting.remove(&loc);
     result
@@ -115,7 +119,8 @@ fn reconstruct_opaque(
     entries: &[(Loc, Loc)],
     visiting: &mut BTreeSet<Loc>,
 ) -> Expr {
-    let is_procedure = refinements.contains(&CRefinement::Is(Tag::Procedure)) || !entries.is_empty();
+    let is_procedure =
+        refinements.contains(&CRefinement::Is(Tag::Procedure)) || !entries.is_empty();
     if is_procedure {
         // λx. if (equal? x k₁) v₁ (… default)
         let mut body = Expr::Int(0);
@@ -123,11 +128,7 @@ fn reconstruct_opaque(
             let key = reconstruct(heap, model, *argument, visiting);
             let value = reconstruct(heap, model, *result, visiting);
             body = Expr::ite(
-                Expr::Prim(
-                    Prim::Equal,
-                    vec![Expr::var("x"), key],
-                    Label(u32::MAX),
-                ),
+                Expr::Prim(Prim::Equal, vec![Expr::var("x"), key], Label(u32::MAX)),
                 value,
                 body,
             );
@@ -163,8 +164,8 @@ mod tests {
         let mut heap = Heap::new();
         let loc = heap.alloc_opaque(Label(1));
         heap.refine(loc, CRefinement::NumCmp(CmpOp::Eq, CSymExpr::int(100)));
-        let prover = Prover::new();
-        let bindings = reconstruct_bindings(&prover, &heap, &[Label(1)]).expect("model");
+        let mut session = ProverSession::new();
+        let bindings = reconstruct_bindings(&mut session, &heap, &[Label(1)]).expect("model");
         assert_eq!(bindings[0].1, Expr::Int(100));
     }
 
@@ -175,8 +176,8 @@ mod tests {
         let car = heap.alloc(SVal::Num(Number::Int(1)));
         let cdr = heap.alloc(SVal::Nil);
         heap.set(loc, SVal::Pair(car, cdr));
-        let prover = Prover::new();
-        let bindings = reconstruct_bindings(&prover, &heap, &[Label(1)]).expect("model");
+        let mut session = ProverSession::new();
+        let bindings = reconstruct_bindings(&mut session, &heap, &[Label(1)]).expect("model");
         match &bindings[0].1 {
             Expr::Prim(Prim::Cons, parts, _) => {
                 assert_eq!(parts[0], Expr::Int(1));
@@ -199,8 +200,8 @@ mod tests {
                 entries: vec![(key, value)],
             },
         );
-        let prover = Prover::new();
-        let bindings = reconstruct_bindings(&prover, &heap, &[Label(1)]).expect("model");
+        let mut session = ProverSession::new();
+        let bindings = reconstruct_bindings(&mut session, &heap, &[Label(1)]).expect("model");
         assert!(matches!(bindings[0].1, Expr::Lam { .. }));
     }
 
@@ -209,8 +210,8 @@ mod tests {
         let mut heap = Heap::new();
         let loc = heap.alloc_opaque(Label(1));
         heap.set(loc, SVal::Num(Number::complex(0, 1)));
-        let prover = Prover::new();
-        let bindings = reconstruct_bindings(&prover, &heap, &[Label(1)]).expect("model");
+        let mut session = ProverSession::new();
+        let bindings = reconstruct_bindings(&mut session, &heap, &[Label(1)]).expect("model");
         assert_eq!(bindings[0].1, Expr::Complex(0, 1));
     }
 
@@ -220,7 +221,7 @@ mod tests {
         let loc = heap.alloc_opaque(Label(1));
         heap.refine(loc, CRefinement::NumCmp(CmpOp::Eq, CSymExpr::int(0)));
         heap.refine(loc, CRefinement::NumCmp(CmpOp::Eq, CSymExpr::int(1)));
-        let prover = Prover::new();
-        assert!(reconstruct_bindings(&prover, &heap, &[Label(1)]).is_none());
+        let mut session = ProverSession::new();
+        assert!(reconstruct_bindings(&mut session, &heap, &[Label(1)]).is_none());
     }
 }

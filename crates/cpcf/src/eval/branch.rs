@@ -1,0 +1,187 @@
+//! State-splitting judgements: truthiness, tag predicates, structural
+//! refinement of opaque values (§4.2) and structural equality — the places
+//! where one symbolic state becomes several, each refined by what was
+//! learned on its branch.
+
+use folic::Proof;
+
+use crate::heap::{CRefinement, Heap, Loc, SVal, Tag};
+use crate::syntax::{CBlame, Label};
+
+use super::{alloc_value, Ctx, Outcome};
+
+/// The possible truth values of the value at `loc` (Racket-style: only `#f`
+/// is false).
+pub fn truthiness(ctx: &mut Ctx, heap: &Heap, loc: Loc) -> Vec<(bool, Heap)> {
+    match heap.get(loc) {
+        SVal::Bool(false) => vec![(false, heap.clone())],
+        SVal::Opaque { refinements, .. } => {
+            if refinements.contains(&CRefinement::IsFalse) {
+                return vec![(false, heap.clone())];
+            }
+            if refinements.contains(&CRefinement::IsTruthy)
+                || refinements.iter().any(|r| {
+                    matches!(r, CRefinement::Is(tag) if *tag != Tag::Boolean)
+                        || matches!(r, CRefinement::NumCmp(_, _))
+                })
+            {
+                return vec![(true, heap.clone())];
+            }
+            let _ = ctx;
+            let mut truthy = heap.clone();
+            truthy.refine(loc, CRefinement::IsTruthy);
+            let mut falsy = heap.clone();
+            falsy.set(loc, SVal::Bool(false));
+            vec![(true, truthy), (false, falsy)]
+        }
+        _ => vec![(true, heap.clone())],
+    }
+}
+
+/// A tag predicate applied to `loc`: returns boolean outcomes, structurally
+/// refining opaque values on the positive branch where that pins down their
+/// shape.
+pub fn tag_predicate(ctx: &mut Ctx, heap: &Heap, loc: Loc, tag: &Tag) -> Vec<(Outcome, Heap)> {
+    match ctx.prover.prove_tag(heap, loc, tag) {
+        Proof::Proved => alloc_value(heap, SVal::Bool(true)),
+        Proof::Refuted => alloc_value(heap, SVal::Bool(false)),
+        Proof::Ambiguous => {
+            let mut yes = heap.clone();
+            refine_to_tag(ctx, &mut yes, loc, tag);
+            let mut no = heap.clone();
+            no.refine(loc, CRefinement::IsNot(tag.clone()));
+            let mut out = alloc_value(&yes, SVal::Bool(true));
+            out.extend(alloc_value(&no, SVal::Bool(false)));
+            out
+        }
+    }
+}
+
+/// Refines the opaque value at `loc` to have the given tag, replacing it
+/// structurally when the tag determines a shape (§4.2).
+pub fn refine_to_tag(ctx: &mut Ctx, heap: &mut Heap, loc: Loc, tag: &Tag) {
+    match tag {
+        Tag::Pair => {
+            let car = heap.alloc(SVal::opaque());
+            let cdr = heap.alloc(SVal::opaque());
+            heap.set(loc, SVal::Pair(car, cdr));
+        }
+        Tag::Null => heap.set(loc, SVal::Nil),
+        Tag::BoxT => {
+            let inner = heap.alloc(SVal::opaque());
+            heap.set(loc, SVal::BoxVal(inner));
+        }
+        Tag::Struct(name) => {
+            let field_count = ctx.structs.get(name).map(|d| d.fields.len()).unwrap_or(0);
+            let fields = (0..field_count)
+                .map(|_| heap.alloc(SVal::opaque()))
+                .collect();
+            heap.set(
+                loc,
+                SVal::StructVal {
+                    tag: name.clone(),
+                    fields,
+                },
+            );
+        }
+        other => heap.refine(loc, CRefinement::Is(other.clone())),
+    }
+}
+
+/// Projects a struct field, branching on whether an opaque value is an
+/// instance of the struct.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn struct_project(
+    ctx: &mut Ctx,
+    owner: &str,
+    heap: &Heap,
+    loc: Loc,
+    name: &str,
+    index: usize,
+    field_count: usize,
+    label: Label,
+) -> Vec<(Outcome, Heap)> {
+    let blame = CBlame {
+        party: owner.to_string(),
+        message: format!("{name}-{index}: expected a {name}"),
+        label,
+    };
+    match heap.get(loc) {
+        SVal::StructVal { tag, fields } if tag == name => match fields.get(index) {
+            Some(field) => vec![(Outcome::Val(*field), heap.clone())],
+            None => vec![(Outcome::Err(blame), heap.clone())],
+        },
+        SVal::Opaque { .. } => match ctx
+            .prover
+            .prove_tag(heap, loc, &Tag::Struct(name.to_string()))
+        {
+            Proof::Refuted => vec![(Outcome::Err(blame), heap.clone())],
+            _ => {
+                // Positive branch: refine to a struct with fresh fields.
+                let mut yes = heap.clone();
+                let fields: Vec<Loc> = (0..field_count.max(index + 1))
+                    .map(|_| yes.alloc(SVal::opaque()))
+                    .collect();
+                let field = fields[index];
+                yes.set(
+                    loc,
+                    SVal::StructVal {
+                        tag: name.to_string(),
+                        fields,
+                    },
+                );
+                // Negative branch: blame.
+                let mut no = heap.clone();
+                no.refine(loc, CRefinement::IsNot(Tag::Struct(name.to_string())));
+                vec![(Outcome::Val(field), yes), (Outcome::Err(blame), no)]
+            }
+        },
+        _ => vec![(Outcome::Err(blame), heap.clone())],
+    }
+}
+
+/// Structural equality of two concrete values; `None` when an opaque value
+/// is involved.
+pub fn values_equal(heap: &Heap, a: Loc, b: Loc) -> Option<bool> {
+    if a == b {
+        return Some(true);
+    }
+    match (heap.get(a), heap.get(b)) {
+        (SVal::Opaque { .. }, _) | (_, SVal::Opaque { .. }) => None,
+        (SVal::Num(x), SVal::Num(y)) => Some(x.num_eq(*y)),
+        (SVal::Bool(x), SVal::Bool(y)) => Some(x == y),
+        (SVal::Str(x), SVal::Str(y)) => Some(x == y),
+        (SVal::Nil, SVal::Nil) => Some(true),
+        (SVal::Pair(a1, a2), SVal::Pair(b1, b2)) => {
+            match (values_equal(heap, *a1, *b1), values_equal(heap, *a2, *b2)) {
+                (Some(true), Some(true)) => Some(true),
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                _ => None,
+            }
+        }
+        (
+            SVal::StructVal {
+                tag: t1,
+                fields: f1,
+            },
+            SVal::StructVal {
+                tag: t2,
+                fields: f2,
+            },
+        ) => {
+            if t1 != t2 || f1.len() != f2.len() {
+                return Some(false);
+            }
+            let mut all = Some(true);
+            for (x, y) in f1.iter().zip(f2.iter()) {
+                match values_equal(heap, *x, *y) {
+                    Some(true) => {}
+                    Some(false) => return Some(false),
+                    None => all = None,
+                }
+            }
+            all
+        }
+        _ => Some(false),
+    }
+}

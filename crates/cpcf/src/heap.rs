@@ -9,8 +9,10 @@
 //! §4.2 of the paper describes for user-defined data structures).
 
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 use folic::CmpOp;
@@ -104,7 +106,7 @@ impl fmt::Display for Tag {
 
 /// Symbolic integer expressions over locations (right-hand sides of numeric
 /// refinements).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CSymExpr {
     /// A location's numeric value.
     Loc(Loc),
@@ -149,7 +151,7 @@ impl fmt::Display for CSymExpr {
 }
 
 /// A refinement on an opaque value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CRefinement {
     /// The value has this tag.
     Is(Tag),
@@ -321,12 +323,101 @@ impl fmt::Display for SVal {
     }
 }
 
+/// One event in the heap's constraint journal.
+///
+/// The journal records, in order, every mutation that can affect the heap's
+/// first-order encoding. A branch-cloned heap shares its parent's journal
+/// prefix, so an incremental prover session can tell exactly which suffix of
+/// events it has not yet asserted — heaps are append-mostly along a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// The location was freshly allocated, or overwritten by a value whose
+    /// predecessor contributed no formulas; its encoding must be (re)emitted
+    /// wholesale.
+    Touched(Loc),
+    /// `refinements[index]` was appended to the opaque value at the location
+    /// (only `NumCmp` refinements contribute formulas, but every appended
+    /// refinement advances the fingerprint used as a cache key).
+    Refined(Loc, usize),
+    /// `entries[index]` was appended to the memo table at the location; the
+    /// new entry pairs with every earlier one in the functionality encoding.
+    EntryAdded(Loc, usize),
+    /// A non-monotone overwrite: formulas previously encoded from this
+    /// location may no longer hold, so an incremental consumer must discard
+    /// its solver state and re-encode the heap from scratch.
+    Rebase(Loc),
+}
+
+/// A journal event together with the heap fingerprint *after* the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// What happened.
+    pub event: JournalEvent,
+    /// The fingerprint chain value after applying the event.
+    pub fingerprint: u64,
+}
+
 /// The symbolic heap.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Heap {
     entries: BTreeMap<Loc, SVal>,
     opaque_locs: BTreeMap<Label, Loc>,
     next: u32,
+    journal: Vec<JournalEntry>,
+    fingerprint: u64,
+    /// Locations referenced (as argument or result) by some memo-table
+    /// entry. The functionality encoding emits implications over these
+    /// locations' solver variables, justified by their base-ness at encoding
+    /// time — so overwriting one with a non-base value invalidates formulas
+    /// held *elsewhere* and must rebase incremental consumers. Grows
+    /// monotonically (a conservative over-approximation).
+    memo_refs: BTreeSet<Loc>,
+}
+
+/// A cheap, deterministic summary of a storeable value, mixed into the
+/// fingerprint chain so that sibling branches that mutate the same location
+/// differently end up with different fingerprints.
+fn content_hash(value: &SVal) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::mem::discriminant(value).hash(&mut hasher);
+    match value {
+        SVal::Num(Number::Int(n)) => n.hash(&mut hasher),
+        SVal::Num(Number::Complex(re, im)) => (re, im).hash(&mut hasher),
+        SVal::Bool(b) => b.hash(&mut hasher),
+        SVal::Str(s) => s.hash(&mut hasher),
+        SVal::Nil => {}
+        SVal::Pair(a, b) => (a, b).hash(&mut hasher),
+        SVal::Closure { params, owner, .. } => (params, owner).hash(&mut hasher),
+        SVal::StructVal { tag, fields } => (tag, fields).hash(&mut hasher),
+        SVal::BoxVal(inner) => inner.hash(&mut hasher),
+        SVal::Contract(_) => {}
+        SVal::Guarded {
+            inner, pos, neg, ..
+        } => (inner, pos, neg).hash(&mut hasher),
+        SVal::Opaque {
+            refinements,
+            entries,
+        } => (refinements, entries).hash(&mut hasher),
+    }
+    hasher.finish()
+}
+
+/// True if the value contributes formulas to the heap's first-order
+/// encoding, so overwriting it is a non-monotone change.
+fn encodes_formulas(value: &SVal) -> bool {
+    match value {
+        SVal::Num(Number::Int(_)) => true,
+        SVal::Opaque {
+            refinements,
+            entries,
+        } => {
+            entries.len() >= 2
+                || refinements
+                    .iter()
+                    .any(|r| matches!(r, CRefinement::NumCmp(_, _)))
+        }
+        _ => false,
+    }
 }
 
 impl Heap {
@@ -349,8 +440,21 @@ impl Heap {
     pub fn alloc(&mut self, value: SVal) -> Loc {
         let loc = Loc::new(self.next);
         self.next += 1;
+        let hash = content_hash(&value);
+        self.note_memo_refs(&value);
         self.entries.insert(loc, value);
+        self.record(JournalEvent::Touched(loc), hash);
         loc
+    }
+
+    /// Records the locations referenced by a value's memo entries.
+    fn note_memo_refs(&mut self, value: &SVal) {
+        if let SVal::Opaque { entries, .. } = value {
+            for &(arg, res) in entries {
+                self.memo_refs.insert(arg);
+                self.memo_refs.insert(res);
+            }
+        }
     }
 
     /// Allocates (or reuses) the location for an opaque source label.
@@ -389,9 +493,67 @@ impl Heap {
         self.entries.get(&loc)
     }
 
-    /// Replaces the value at a location.
+    /// Replaces the value at a location, journalling the change.
+    ///
+    /// An opaque value growing into a superset opaque value (appended
+    /// refinements or memo entries) is recorded as the individual monotone
+    /// additions; overwriting a value that already contributed formulas is a
+    /// [`JournalEvent::Rebase`], telling incremental consumers their solver
+    /// state is stale.
     pub fn set(&mut self, loc: Loc, value: SVal) {
+        enum Change {
+            Monotone(Vec<JournalEvent>),
+            Touched,
+            Rebase,
+        }
+        let change = match (self.entries.get(&loc), &value) {
+            (
+                Some(SVal::Opaque {
+                    refinements: old_r,
+                    entries: old_e,
+                }),
+                SVal::Opaque {
+                    refinements: new_r,
+                    entries: new_e,
+                },
+            ) if new_r.len() >= old_r.len()
+                && new_r[..old_r.len()] == old_r[..]
+                && new_e.len() >= old_e.len()
+                && new_e[..old_e.len()] == old_e[..] =>
+            {
+                let mut events = Vec::new();
+                for index in old_r.len()..new_r.len() {
+                    events.push(JournalEvent::Refined(loc, index));
+                }
+                for index in old_e.len()..new_e.len() {
+                    events.push(JournalEvent::EntryAdded(loc, index));
+                }
+                Change::Monotone(events)
+            }
+            (Some(old), _) if encodes_formulas(old) => Change::Rebase,
+            // The location's solver variable appears in a functionality
+            // implication of some memo table, justified by this location
+            // being base-valued; a non-base overwrite retracts that formula.
+            (Some(_), new)
+                if self.memo_refs.contains(&loc)
+                    && !matches!(new, SVal::Num(_) | SVal::Opaque { .. }) =>
+            {
+                Change::Rebase
+            }
+            _ => Change::Touched,
+        };
+        let hash = content_hash(&value);
+        self.note_memo_refs(&value);
         self.entries.insert(loc, value);
+        match change {
+            Change::Monotone(events) => {
+                for event in events {
+                    self.record(event, hash);
+                }
+            }
+            Change::Touched => self.record(JournalEvent::Touched(loc), hash),
+            Change::Rebase => self.record(JournalEvent::Rebase(loc), hash),
+        }
     }
 
     /// Adds a refinement to the opaque value at `loc`.
@@ -400,14 +562,62 @@ impl Heap {
     ///
     /// Panics if the location does not hold an opaque value.
     pub fn refine(&mut self, loc: Loc, refinement: CRefinement) {
-        match self.entries.get_mut(&loc) {
+        let appended = match self.entries.get_mut(&loc) {
             Some(SVal::Opaque { refinements, .. }) => {
-                if !refinements.contains(&refinement) {
+                if refinements.contains(&refinement) {
+                    None
+                } else {
+                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                    refinement.hash(&mut hasher);
                     refinements.push(refinement);
+                    Some((refinements.len() - 1, hasher.finish()))
                 }
             }
             other => panic!("refining non-opaque location {loc}: {other:?}"),
+        };
+        if let Some((index, hash)) = appended {
+            self.record(JournalEvent::Refined(loc, index), hash);
         }
+    }
+
+    /// Appends a journal event, advancing the fingerprint chain (FNV-1a
+    /// style mixing of the event and a content summary).
+    fn record(&mut self, event: JournalEvent, content: u64) {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint.hash(&mut hasher);
+        std::mem::discriminant(&event).hash(&mut hasher);
+        match event {
+            JournalEvent::Touched(loc) | JournalEvent::Rebase(loc) => loc.hash(&mut hasher),
+            JournalEvent::Refined(loc, index) | JournalEvent::EntryAdded(loc, index) => {
+                (loc, index).hash(&mut hasher)
+            }
+        }
+        content.hash(&mut hasher);
+        self.fingerprint = hasher.finish();
+        self.journal.push(JournalEntry {
+            event,
+            fingerprint: self.fingerprint,
+        });
+    }
+
+    /// The constraint journal, oldest event first.
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
+    }
+
+    /// The heap's generation: how many journalled mutations produced it.
+    /// A branch-cloned heap's generation extends its parent's.
+    pub fn generation(&self) -> u64 {
+        self.journal.len() as u64
+    }
+
+    /// A fingerprint identifying this heap's mutation history. Two heaps
+    /// with equal fingerprints have (up to 64-bit hash collisions) the same
+    /// journal and therefore the same constraint content; sibling branches
+    /// diverge immediately because their first differing mutation mixes
+    /// different content into the chain.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The refinements on `loc` (empty when not opaque).
@@ -506,6 +716,96 @@ mod tests {
         let extended = extend_env(&base, vec![("x".to_string(), Loc::new(0))]);
         assert!(base.get("x").is_none());
         assert_eq!(extended.get("x"), Some(&Loc::new(0)));
+    }
+
+    #[test]
+    fn journal_records_monotone_growth() {
+        let mut heap = Heap::new();
+        assert_eq!(heap.generation(), 0);
+        let l = heap.alloc_fresh_opaque();
+        assert!(matches!(
+            heap.journal().last().unwrap().event,
+            JournalEvent::Touched(_)
+        ));
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+        assert_eq!(
+            heap.journal().last().unwrap().event,
+            JournalEvent::Refined(l, 0)
+        );
+        // Duplicate refinements do not advance the journal.
+        let generation = heap.generation();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+        assert_eq!(heap.generation(), generation);
+    }
+
+    #[test]
+    fn branch_clones_extend_the_parent_journal() {
+        let mut parent = Heap::new();
+        let l = parent.alloc_fresh_opaque();
+        let mut yes = parent.clone();
+        yes.refine(l, CRefinement::Is(Tag::Integer));
+        let mut no = parent.clone();
+        no.refine(l, CRefinement::IsNot(Tag::Integer));
+        // Both children extend the parent's journal prefix...
+        assert_eq!(
+            yes.journal()[..parent.journal().len()],
+            parent.journal()[..]
+        );
+        assert_eq!(no.journal()[..parent.journal().len()], parent.journal()[..]);
+        // ...but diverge in fingerprint at the first differing event.
+        assert_ne!(yes.fingerprint(), no.fingerprint());
+        assert_ne!(yes.fingerprint(), parent.fingerprint());
+    }
+
+    #[test]
+    fn superset_opaque_overwrite_is_monotone() {
+        let mut heap = Heap::new();
+        let f = heap.alloc_fresh_opaque();
+        let a = heap.alloc(SVal::Num(Number::Int(5)));
+        let r = heap.alloc_fresh_opaque();
+        // Appending a memo entry via `set` (as apply_opaque does) journals an
+        // EntryAdded, not a rebase.
+        if let SVal::Opaque {
+            refinements,
+            entries,
+        } = heap.get(f).clone()
+        {
+            let mut entries = entries;
+            entries.push((a, r));
+            heap.set(
+                f,
+                SVal::Opaque {
+                    refinements,
+                    entries,
+                },
+            );
+        }
+        assert_eq!(
+            heap.journal().last().unwrap().event,
+            JournalEvent::EntryAdded(f, 0)
+        );
+    }
+
+    #[test]
+    fn non_monotone_overwrite_is_a_rebase() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        // Structural refinement throws the numeric constraint away: rebase.
+        let car = heap.alloc_fresh_opaque();
+        let cdr = heap.alloc_fresh_opaque();
+        heap.set(l, SVal::Pair(car, cdr));
+        assert_eq!(
+            heap.journal().last().unwrap().event,
+            JournalEvent::Rebase(l)
+        );
+        // Overwriting a location that never contributed formulas is not.
+        let fresh = heap.alloc_fresh_opaque();
+        heap.set(fresh, SVal::Bool(true));
+        assert_eq!(
+            heap.journal().last().unwrap().event,
+            JournalEvent::Touched(fresh)
+        );
     }
 
     #[test]

@@ -22,6 +22,34 @@
 //! possibly higher-order — inputs, re-runs them concretely, and reports a
 //! validated [`Counterexample`].
 //!
+//! ## Architecture
+//!
+//! * [`syntax`] / [`parse`] — the CPCF AST and its s-expression surface
+//!   syntax.
+//! * [`heap`] — the symbolic heap. Every mutation that can affect the
+//!   heap's first-order encoding is recorded in a **constraint journal**
+//!   ([`heap::JournalEvent`]) with a running fingerprint; a branch-cloned
+//!   heap extends its parent's journal, so consumers can compute exactly
+//!   the delta between two states on the same path.
+//! * [`prove`] — the prover. [`ProverSession`] is a *stateful, incremental*
+//!   query engine: it keeps one live `folic` solver whose assertion stack
+//!   mirrors a journal prefix, asserts only unseen journal suffixes
+//!   (bracketing branch-local state in `push`/`pop` scopes), and memoizes
+//!   `(heap fingerprint, query) → Proof` verdicts. The
+//!   [`ProveConfig::fresh_per_query`] ablation restores the original
+//!   solver-per-query engine for differential testing, and
+//!   [`SessionStats`] makes the saving measurable.
+//! * [`eval`] — the symbolic evaluator, split by concern: `eval` (the
+//!   dispatcher and continuation plumbing), `eval::branch` (truthiness, tag
+//!   predicates, structural refinement), `eval::apply` (application and the
+//!   demonic context), `eval::contracts` (monitoring and blame) and
+//!   `eval::prims` (primitives and symbolic arithmetic). The evaluation
+//!   context ([`Ctx`]) threads the prover session mutably through all of
+//!   them, so neither it nor the option types are `Copy`.
+//! * [`cex`] — counterexample reconstruction from a solver model.
+//! * [`analyze`] — the driver; [`ModuleReport`] carries the aggregated
+//!   [`SessionStats`] so harnesses can report solver work per benchmark.
+//!
 //! ## Example
 //!
 //! ```
@@ -67,5 +95,5 @@ pub use eval::{Ctx, EvalOptions, Outcome};
 pub use heap::{CRefinement, ContractVal, Env, Heap, Loc, SVal, Tag};
 pub use numeric::Number;
 pub use parse::{parse_expr, parse_program, ParseError, Parser};
-pub use prove::Prover;
+pub use prove::{ProveConfig, ProverSession, SessionStats};
 pub use syntax::{CBlame, Definition, Expr, Label, Module, Prim, Program, Provide, StructDef};

@@ -64,6 +64,7 @@ impl Number {
     }
 
     /// Addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Number) -> Number {
         Number::complex(
             self.re().wrapping_add(other.re()),
@@ -72,6 +73,7 @@ impl Number {
     }
 
     /// Subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Number) -> Number {
         Number::complex(
             self.re().wrapping_sub(other.re()),
@@ -80,6 +82,7 @@ impl Number {
     }
 
     /// Multiplication `(a+bi)(c+di) = (ac−bd) + (ad+bc)i`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Number) -> Number {
         let (a, b, c, d) = (self.re(), self.im(), other.re(), other.im());
         Number::complex(
@@ -91,6 +94,7 @@ impl Number {
     /// Integer (truncated) division; defined only for real operands with a
     /// non-zero divisor. Returns `None` otherwise; the caller turns that
     /// into blame.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Number) -> Option<Number> {
         match (self, other) {
             (Number::Int(_), Number::Int(0)) => None,
@@ -100,6 +104,7 @@ impl Number {
     }
 
     /// Remainder; same domain restrictions as [`Number::div`].
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, other: Number) -> Option<Number> {
         match (self, other) {
             (Number::Int(_), Number::Int(0)) => None,

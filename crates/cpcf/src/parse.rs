@@ -22,7 +22,9 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> Self {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -166,7 +168,10 @@ impl Parser {
                 })
                 .collect()
         } else {
-            let mut wrapped = vec![Sexp::Atom("module".to_string()), Sexp::Atom("main".to_string())];
+            let mut wrapped = vec![
+                Sexp::Atom("module".to_string()),
+                Sexp::Atom("main".to_string()),
+            ];
             wrapped.extend(forms);
             vec![wrapped]
         };
@@ -196,7 +201,9 @@ impl Parser {
     }
 
     fn scan_form(&mut self, form: &Sexp) -> Result<(), ParseError> {
-        let Sexp::List(items) = form else { return Ok(()) };
+        let Sexp::List(items) = form else {
+            return Ok(());
+        };
         match items.first() {
             Some(Sexp::Atom(k)) if k == "define" => {
                 match items.get(1) {
@@ -274,8 +281,7 @@ impl Parser {
     fn parse_provides(&mut self, specs: &[Sexp], module: &mut Module) -> Result<(), ParseError> {
         for spec in specs {
             match spec {
-                Sexp::List(parts)
-                    if matches!(parts.first(), Some(Sexp::Atom(k)) if k == "contract-out") =>
+                Sexp::List(parts) if matches!(parts.first(), Some(Sexp::Atom(k)) if k == "contract-out") =>
                 {
                     self.parse_provides(&parts[1..], module)?;
                 }
@@ -487,11 +493,8 @@ impl Parser {
                         let mut expr = Expr::Nil;
                         for item in items[1..].iter().rev() {
                             let label = self.fresh_label();
-                            expr = Expr::Prim(
-                                Prim::Cons,
-                                vec![self.expr(item, scope)?, expr],
-                                label,
-                            );
+                            expr =
+                                Expr::Prim(Prim::Cons, vec![self.expr(item, scope)?, expr], label);
                         }
                         return Ok(expr);
                     }
@@ -546,12 +549,13 @@ impl Parser {
         scope: &HashSet<String>,
     ) -> Result<Option<Expr>, ParseError> {
         let found = self.structs.iter().find_map(|(struct_name, def)| {
-            name.strip_prefix(&format!("{struct_name}-")).and_then(|field| {
-                def.fields
-                    .iter()
-                    .position(|f| f == field)
-                    .map(|index| (struct_name.clone(), index))
-            })
+            name.strip_prefix(&format!("{struct_name}-"))
+                .and_then(|field| {
+                    def.fields
+                        .iter()
+                        .position(|f| f == field)
+                        .map(|index| (struct_name.clone(), index))
+                })
         });
         let Some((struct_name, index)) = found else {
             return Ok(None);
@@ -561,10 +565,19 @@ impl Parser {
         }
         let inner = self.expr(&items[1], scope)?;
         let label = self.fresh_label();
-        Ok(Some(Expr::StructGet(struct_name, index, Box::new(inner), label)))
+        Ok(Some(Expr::StructGet(
+            struct_name,
+            index,
+            Box::new(inner),
+            label,
+        )))
     }
 
-    fn expr_list(&mut self, items: &[Sexp], scope: &HashSet<String>) -> Result<Vec<Expr>, ParseError> {
+    fn expr_list(
+        &mut self,
+        items: &[Sexp],
+        scope: &HashSet<String>,
+    ) -> Result<Vec<Expr>, ParseError> {
         items.iter().map(|i| self.expr(i, scope)).collect()
     }
 
@@ -591,7 +604,9 @@ impl Parser {
 
     fn lambda(&mut self, items: &[Sexp], scope: &HashSet<String>) -> Result<Expr, ParseError> {
         let [_, Sexp::List(param_sexps), body @ ..] = items else {
-            return Err(ParseError::new("lambda expects a parameter list and a body"));
+            return Err(ParseError::new(
+                "lambda expects a parameter list and a body",
+            ));
         };
         if body.is_empty() {
             return Err(ParseError::new("lambda body is empty"));
@@ -654,7 +669,11 @@ impl Parser {
             let [_, value] = parts.as_slice() else {
                 return Err(ParseError::new("binding is [name expr]"));
             };
-            let value_scope = if recursive || sequential { &inner } else { scope };
+            let value_scope = if recursive || sequential {
+                &inner
+            } else {
+                scope
+            };
             let value = self.expr(value, value_scope)?;
             bindings.push((name.clone(), value));
             if sequential {
@@ -699,7 +718,11 @@ impl Parser {
                 if matches!(test, Sexp::Atom(a) if a == "else") {
                     Ok(body_expr)
                 } else {
-                    Ok(Expr::ite(self.expr(test, scope)?, body_expr, self.cond(rest, scope)?))
+                    Ok(Expr::ite(
+                        self.expr(test, scope)?,
+                        body_expr,
+                        self.cond(rest, scope)?,
+                    ))
                 }
             }
         }

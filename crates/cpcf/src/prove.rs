@@ -5,24 +5,430 @@
 //! (Fig. 4): numeric refinements become integer formulas, the memo tables of
 //! opaque functions become functionality constraints, and everything
 //! higher-order stays on the semantics side.
+//!
+//! ## Incremental sessions
+//!
+//! The original implementation built a fresh [`Solver`] and re-encoded the
+//! entire symbolic heap on every numeric query. [`ProverSession`] replaces
+//! it with an incremental query engine:
+//!
+//! * it keeps one **live solver** whose assertion stack mirrors a prefix of
+//!   the heap's constraint journal ([`Heap::journal`]);
+//! * each query **asserts only the journal suffix** the solver has not seen,
+//!   bracketed in `push`/`pop` scopes so sibling branches of the evaluator
+//!   pop back to the shared prefix instead of re-encoding it;
+//! * verdicts are **memoized** in a `(heap fingerprint, query) → Proof`
+//!   cache that survives branching, because the fingerprint identifies heap
+//!   content, not solver state;
+//! * a non-monotone heap update (a [`JournalEvent::Rebase`]) discards the
+//!   solver state and re-encodes from scratch — the only case in which the
+//!   old cost model returns.
+//!
+//! [`ProveConfig::fresh_per_query`] restores the original
+//! solver-per-query behaviour (and disables the cache) so the two engines
+//! can be compared differentially; [`SessionStats`] counts queries, cache
+//! hits and encodings so the saving is measurable.
 
-use folic::{CmpOp, Formula, Model, Proof, SmtResult, Solver, SolverConfig, Term, Var};
+use std::collections::HashMap;
 
-use crate::heap::{CRefinement, CSymExpr, Heap, Loc, SVal, Tag};
+use folic::{
+    CmpOp, Formula, Model, Proof, SmtResult, Solver, SolverConfig, SolverStats, Term, Var,
+};
+
+use crate::heap::{CRefinement, CSymExpr, Heap, JournalEvent, Loc, SVal, Tag};
 use crate::numeric::Number;
 
+/// First solver variable used for auxiliary variables (division/modulo
+/// witnesses) by an incremental session. Heap locations are numbered from
+/// zero, so keeping auxiliaries in a high, disjoint range means later heap
+/// allocations can never collide with an auxiliary introduced by an earlier
+/// query.
+const SESSION_AUX_BASE: u32 = 1 << 30;
+
 /// Configuration for solver queries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 pub struct ProveConfig {
     /// Underlying solver configuration.
     pub solver: SolverConfig,
+    /// Ablation switch: rebuild a fresh solver and re-encode the whole heap
+    /// on every query (the original engine), and bypass the verdict cache.
+    /// Used for differential testing of the incremental session.
+    pub fresh_per_query: bool,
+    /// Memoize `(heap fingerprint, query) → Proof` verdicts. Ignored (off)
+    /// when `fresh_per_query` is set.
+    pub cache: bool,
 }
 
-/// The prover: tag reasoning plus numeric queries.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Prover {
+impl Default for ProveConfig {
+    fn default() -> Self {
+        ProveConfig {
+            solver: SolverConfig::default(),
+            fresh_per_query: false,
+            cache: true,
+        }
+    }
+}
+
+/// Counters describing the work one [`ProverSession`] has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total queries answered (tag, numeric and model queries).
+    pub queries: u64,
+    /// Tag queries (answered from refinements, never via the solver).
+    pub tag_queries: u64,
+    /// Numeric queries (solver-backed).
+    pub num_queries: u64,
+    /// Heap-model requests (solver-backed).
+    pub model_queries: u64,
+    /// Queries answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Whole-heap encodings (fresh solver + full translation).
+    pub full_encodings: u64,
+    /// Incremental encodings of a journal suffix only.
+    pub delta_encodings: u64,
+    /// Solver-backed queries for which the live solver already matched the
+    /// heap exactly — no encoding work at all.
+    pub reused_encodings: u64,
+    /// Aggregated statistics of the underlying first-order solver(s).
+    pub solver: SolverStats,
+}
+
+impl SessionStats {
+    /// Accumulates another session's counters into this one.
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.tag_queries += other.tag_queries;
+        self.num_queries += other.num_queries;
+        self.model_queries += other.model_queries;
+        self.cache_hits += other.cache_hits;
+        self.full_encodings += other.full_encodings;
+        self.delta_encodings += other.delta_encodings;
+        self.reused_encodings += other.reused_encodings;
+        self.solver.merge(&other.solver);
+    }
+}
+
+/// A memoizable query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Query {
+    Tag(Loc, Tag),
+    Num(Loc, CmpOp, CSymExpr),
+}
+
+/// A synchronized prefix of some heap's journal: the solver's assertion
+/// stack up to the frame's scope reflects exactly `len` journal events whose
+/// chain fingerprint is `fingerprint`.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    len: usize,
+    fingerprint: u64,
+}
+
+/// The fingerprint of `heap`'s journal prefix of length `len` (zero for the
+/// empty prefix, matching [`Heap`]'s initial fingerprint).
+fn fingerprint_at(heap: &Heap, len: usize) -> u64 {
+    if len == 0 {
+        0
+    } else {
+        heap.journal()[len - 1].fingerprint
+    }
+}
+
+/// Does `heap`'s journal extend the synchronized prefix `frame`?
+fn extends(heap: &Heap, frame: &Frame) -> bool {
+    heap.journal().len() >= frame.len && fingerprint_at(heap, frame.len) == frame.fingerprint
+}
+
+/// A stateful prover: tag reasoning on refinements plus incremental numeric
+/// queries against a live first-order solver.
+///
+/// Unlike the original `Copy` prover, a session owns solver state and must
+/// be threaded mutably through the evaluator (it lives in `eval::Ctx`).
+#[derive(Debug)]
+pub struct ProverSession {
     /// Query configuration.
-    pub config: ProveConfig,
+    config: ProveConfig,
+    /// The live solver; its scopes parallel `frames[1..]`.
+    solver: Solver,
+    /// Synchronized journal prefixes, outermost first. Empty until the first
+    /// solver-backed query; `frames[0]` is the base (scope-0) encoding.
+    frames: Vec<Frame>,
+    /// Memoized verdicts keyed by heap fingerprint + generation + query.
+    cache: HashMap<(u64, u64, Query), Proof>,
+    /// Work counters.
+    stats: SessionStats,
+    /// Statistics of solvers that have been retired (fresh-mode solvers and
+    /// live solvers discarded by a full re-encode).
+    retired_solver_stats: SolverStats,
+    /// Next auxiliary variable for division/modulo witnesses.
+    aux_next: u32,
+}
+
+impl Default for ProverSession {
+    fn default() -> Self {
+        ProverSession::new()
+    }
+}
+
+impl ProverSession {
+    /// Creates a session with the default configuration.
+    pub fn new() -> Self {
+        ProverSession::with_config(ProveConfig::default())
+    }
+
+    /// Creates a session with an explicit configuration.
+    pub fn with_config(config: ProveConfig) -> Self {
+        let solver = Solver::with_config(config.solver);
+        ProverSession {
+            config,
+            solver,
+            frames: Vec::new(),
+            cache: HashMap::new(),
+            stats: SessionStats::default(),
+            retired_solver_stats: SolverStats::default(),
+            aux_next: SESSION_AUX_BASE,
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &ProveConfig {
+        &self.config
+    }
+
+    /// A snapshot of the session's counters, including the aggregated
+    /// statistics of every underlying solver it has used.
+    pub fn stats(&self) -> SessionStats {
+        let mut stats = self.stats;
+        stats.solver = self.retired_solver_stats;
+        stats.solver.merge(&self.solver.stats());
+        stats
+    }
+
+    /// Resets all counters (solver state and cache are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+        self.retired_solver_stats = SolverStats::default();
+        self.solver.reset_stats();
+    }
+
+    fn cache_enabled(&self) -> bool {
+        self.config.cache && !self.config.fresh_per_query
+    }
+
+    fn cache_lookup(&mut self, heap: &Heap, query: &Query) -> Option<Proof> {
+        if !self.cache_enabled() {
+            return None;
+        }
+        let key = (heap.fingerprint(), heap.generation(), query.clone());
+        let hit = self.cache.get(&key).copied();
+        if hit.is_some() {
+            self.stats.cache_hits += 1;
+        }
+        hit
+    }
+
+    fn cache_store(&mut self, heap: &Heap, query: Query, proof: Proof) {
+        if !self.cache_enabled() {
+            return;
+        }
+        // A crude bound so pathological runs cannot grow without limit.
+        if self.cache.len() >= 1 << 20 {
+            self.cache.clear();
+        }
+        self.cache
+            .insert((heap.fingerprint(), heap.generation(), query), proof);
+    }
+
+    /// Does the value at `loc` have tag `tag`? Three-valued, using concrete
+    /// values and tag refinements (never the solver).
+    pub fn prove_tag(&mut self, heap: &Heap, loc: Loc, tag: &Tag) -> Proof {
+        self.stats.queries += 1;
+        self.stats.tag_queries += 1;
+        let query = Query::Tag(loc, tag.clone());
+        if let Some(proof) = self.cache_lookup(heap, &query) {
+            return proof;
+        }
+        let proof = tag_verdict(heap, loc, tag);
+        self.cache_store(heap, query, proof);
+        proof
+    }
+
+    /// Does the numeric value at `loc` stand in relation `op` to `rhs`?
+    pub fn prove_num(&mut self, heap: &Heap, loc: Loc, op: CmpOp, rhs: &CSymExpr) -> Proof {
+        self.stats.queries += 1;
+        self.stats.num_queries += 1;
+        let query = Query::Num(loc, op, rhs.clone());
+        if let Some(proof) = self.cache_lookup(heap, &query) {
+            return proof;
+        }
+        let proof = if self.config.fresh_per_query {
+            self.prove_num_fresh(heap, loc, op, rhs)
+        } else {
+            self.prove_num_incremental(heap, loc, op, rhs)
+        };
+        self.cache_store(heap, query, proof);
+        proof
+    }
+
+    /// The original engine: fresh solver, whole-heap translation.
+    fn prove_num_fresh(&mut self, heap: &Heap, loc: Loc, op: CmpOp, rhs: &CSymExpr) -> Proof {
+        self.stats.full_encodings += 1;
+        let mut translation = translate_heap(heap);
+        let lhs = Term::var(loc.solver_var());
+        let rhs_term = translate_sym_expr(rhs, &mut translation);
+        let goal = Formula::atom(lhs, op, rhs_term);
+        let solver = self.fresh_solver(&translation);
+        let proof = solver.prove(&goal);
+        self.retired_solver_stats.merge(&solver.stats());
+        proof
+    }
+
+    /// The incremental engine: sync the live solver to the heap's journal,
+    /// then query inside a scope.
+    fn prove_num_incremental(&mut self, heap: &Heap, loc: Loc, op: CmpOp, rhs: &CSymExpr) -> Proof {
+        self.sync(heap);
+        let mut translation = Translation::with_next_aux(self.aux_next);
+        let lhs = Term::var(loc.solver_var());
+        let rhs_term = translate_sym_expr(rhs, &mut translation);
+        let goal = Formula::atom(lhs, op, rhs_term);
+        if translation.formulas.is_empty() {
+            return self.solver.prove(&goal);
+        }
+        // The goal introduced division witnesses: assert their defining
+        // constraints in a query-local scope.
+        self.aux_next = translation.next_aux;
+        self.solver.push();
+        for formula in translation.formulas {
+            self.solver.assert(formula);
+        }
+        let proof = self.solver.prove(&goal);
+        self.solver.pop();
+        proof
+    }
+
+    /// A model of the heap's numeric constraints, for counterexample
+    /// construction.
+    pub fn heap_model(&mut self, heap: &Heap) -> Option<Model> {
+        self.stats.queries += 1;
+        self.stats.model_queries += 1;
+        if self.config.fresh_per_query {
+            self.stats.full_encodings += 1;
+            let translation = translate_heap(heap);
+            let solver = self.fresh_solver(&translation);
+            let result = solver.check();
+            self.retired_solver_stats.merge(&solver.stats());
+            return match result {
+                SmtResult::Sat(model) => Some(model),
+                _ => None,
+            };
+        }
+        self.sync(heap);
+        match self.solver.check() {
+            SmtResult::Sat(model) => Some(model),
+            _ => None,
+        }
+    }
+
+    fn fresh_solver(&self, translation: &Translation) -> Solver {
+        let mut solver = Solver::with_config(self.config.solver);
+        for formula in &translation.formulas {
+            solver.assert(formula.clone());
+        }
+        solver
+    }
+
+    /// Brings the live solver's assertion stack in sync with `heap`:
+    /// pops scopes for abandoned branches, asserts the unseen journal
+    /// suffix, or re-encodes from scratch after a rebase.
+    fn sync(&mut self, heap: &Heap) {
+        // Pop back to the deepest synchronized prefix this heap extends.
+        while let Some(frame) = self.frames.last() {
+            if extends(heap, frame) {
+                break;
+            }
+            self.frames.pop();
+            if !self.frames.is_empty() {
+                self.solver.pop();
+            }
+        }
+        let Some(frame) = self.frames.last() else {
+            return self.full_sync(heap);
+        };
+        let suffix = &heap.journal()[frame.len..];
+        if suffix
+            .iter()
+            .any(|entry| matches!(entry.event, JournalEvent::Rebase(_)))
+        {
+            return self.full_sync(heap);
+        }
+        if suffix.is_empty() {
+            self.stats.reused_encodings += 1;
+            return;
+        }
+        let mut translation = Translation::with_next_aux(self.aux_next);
+        // Locations re-encoded wholesale by a Touched event need no
+        // per-refinement/per-entry delta formulas of their own (the
+        // wholesale translation already reflects the location's final
+        // state), and repeated Touched events encode only once.
+        let wholesale: std::collections::HashSet<Loc> = suffix
+            .iter()
+            .filter_map(|entry| match entry.event {
+                JournalEvent::Touched(loc) => Some(loc),
+                _ => None,
+            })
+            .collect();
+        let mut pending = wholesale.clone();
+        for entry in suffix {
+            match entry.event {
+                JournalEvent::Touched(loc) => {
+                    if pending.remove(&loc) {
+                        translate_loc(heap, loc, &mut translation);
+                    }
+                }
+                JournalEvent::Refined(loc, index) => {
+                    if !wholesale.contains(&loc) {
+                        translate_refinement_at(heap, loc, index, &mut translation);
+                    }
+                }
+                JournalEvent::EntryAdded(loc, index) => {
+                    if !wholesale.contains(&loc) {
+                        translate_entry_at(heap, loc, index, &mut translation);
+                    }
+                }
+                JournalEvent::Rebase(_) => unreachable!("rebases force a full sync"),
+            }
+        }
+        self.aux_next = translation.next_aux;
+        self.solver.push();
+        for formula in translation.formulas {
+            self.solver.assert(formula);
+        }
+        self.stats.delta_encodings += 1;
+        self.frames.push(Frame {
+            len: heap.journal().len(),
+            fingerprint: heap.fingerprint(),
+        });
+    }
+
+    /// Discards the live solver and encodes the whole heap as the new base.
+    fn full_sync(&mut self, heap: &Heap) {
+        self.retired_solver_stats.merge(&self.solver.stats());
+        self.solver = Solver::with_config(self.config.solver);
+        self.aux_next = SESSION_AUX_BASE;
+        let mut translation = Translation::with_next_aux(self.aux_next);
+        for (loc, _) in heap.iter() {
+            translate_loc(heap, loc, &mut translation);
+        }
+        self.aux_next = translation.next_aux;
+        for formula in translation.formulas {
+            self.solver.assert(formula);
+        }
+        self.stats.full_encodings += 1;
+        self.frames = vec![Frame {
+            len: heap.journal().len(),
+            fingerprint: heap.fingerprint(),
+        }];
+    }
 }
 
 /// Is `sub` a subtag of `sup` (every `sub` value is a `sup` value)?
@@ -45,87 +451,53 @@ fn disjoint(a: &Tag, b: &Tag) -> bool {
     true
 }
 
-impl Prover {
-    /// Creates a prover with defaults.
-    pub fn new() -> Self {
-        Prover::default()
-    }
-
-    /// Does the value at `loc` have tag `tag`? Three-valued, using concrete
-    /// values and tag refinements.
-    pub fn prove_tag(&self, heap: &Heap, loc: Loc, tag: &Tag) -> Proof {
-        match heap.get(loc) {
-            SVal::Num(n) => concrete_tag(&number_tag(*n), tag),
-            SVal::Bool(_) => concrete_tag(&Tag::Boolean, tag),
-            SVal::Str(_) => concrete_tag(&Tag::StringT, tag),
-            SVal::Nil => concrete_tag(&Tag::Null, tag),
-            SVal::Pair(_, _) => concrete_tag(&Tag::Pair, tag),
-            SVal::Closure { .. } | SVal::Guarded { .. } => concrete_tag(&Tag::Procedure, tag),
-            SVal::StructVal { tag: name, .. } => concrete_tag(&Tag::Struct(name.clone()), tag),
-            SVal::BoxVal(_) => concrete_tag(&Tag::BoxT, tag),
-            SVal::Contract(_) => Proof::Refuted,
-            SVal::Opaque { refinements, .. } => {
-                for refinement in refinements {
-                    match refinement {
-                        CRefinement::Is(known) => {
-                            if subtag(known, tag) {
-                                return Proof::Proved;
-                            }
-                            if disjoint(known, tag) {
-                                return Proof::Refuted;
-                            }
+/// The three-valued tag verdict, computed from concrete values and tag
+/// refinements alone.
+fn tag_verdict(heap: &Heap, loc: Loc, tag: &Tag) -> Proof {
+    match heap.get(loc) {
+        SVal::Num(n) => concrete_tag(&number_tag(*n), tag),
+        SVal::Bool(_) => concrete_tag(&Tag::Boolean, tag),
+        SVal::Str(_) => concrete_tag(&Tag::StringT, tag),
+        SVal::Nil => concrete_tag(&Tag::Null, tag),
+        SVal::Pair(_, _) => concrete_tag(&Tag::Pair, tag),
+        SVal::Closure { .. } | SVal::Guarded { .. } => concrete_tag(&Tag::Procedure, tag),
+        SVal::StructVal { tag: name, .. } => concrete_tag(&Tag::Struct(name.clone()), tag),
+        SVal::BoxVal(_) => concrete_tag(&Tag::BoxT, tag),
+        SVal::Contract(_) => Proof::Refuted,
+        SVal::Opaque { refinements, .. } => {
+            for refinement in refinements {
+                match refinement {
+                    CRefinement::Is(known) => {
+                        if subtag(known, tag) {
+                            return Proof::Proved;
                         }
-                        CRefinement::IsNot(known) => {
-                            if subtag(tag, known) {
-                                return Proof::Refuted;
-                            }
+                        if disjoint(known, tag) {
+                            return Proof::Refuted;
                         }
-                        CRefinement::NumCmp(_, _) => {
-                            // Having a numeric refinement implies being a number.
-                            if subtag(&Tag::Integer, tag) {
-                                return Proof::Proved;
-                            }
-                        }
-                        CRefinement::IsFalse => {
-                            if *tag == Tag::Boolean {
-                                return Proof::Proved;
-                            }
-                            if disjoint(&Tag::Boolean, tag) {
-                                return Proof::Refuted;
-                            }
-                        }
-                        CRefinement::IsTruthy => {}
                     }
+                    CRefinement::IsNot(known) => {
+                        if subtag(tag, known) {
+                            return Proof::Refuted;
+                        }
+                    }
+                    CRefinement::NumCmp(_, _) => {
+                        // Having a numeric refinement implies being a number.
+                        if subtag(&Tag::Integer, tag) {
+                            return Proof::Proved;
+                        }
+                    }
+                    CRefinement::IsFalse => {
+                        if *tag == Tag::Boolean {
+                            return Proof::Proved;
+                        }
+                        if disjoint(&Tag::Boolean, tag) {
+                            return Proof::Refuted;
+                        }
+                    }
+                    CRefinement::IsTruthy => {}
                 }
-                Proof::Ambiguous
             }
-        }
-    }
-
-    /// Does the numeric value at `loc` stand in relation `op` to `rhs`?
-    pub fn prove_num(&self, heap: &Heap, loc: Loc, op: CmpOp, rhs: &CSymExpr) -> Proof {
-        let mut translation = translate_heap(heap);
-        let lhs = Term::var(loc.solver_var());
-        let rhs_term = translate_sym_expr(rhs, &mut translation);
-        let goal = Formula::atom(lhs, op, rhs_term);
-        let mut solver = Solver::with_config(self.config.solver);
-        for formula in &translation.formulas {
-            solver.assert(formula.clone());
-        }
-        solver.prove(&goal)
-    }
-
-    /// A model of the heap's numeric constraints, for counterexample
-    /// construction.
-    pub fn heap_model(&self, heap: &Heap) -> Option<Model> {
-        let translation = translate_heap(heap);
-        let mut solver = Solver::with_config(self.config.solver);
-        for formula in &translation.formulas {
-            solver.assert(formula.clone());
-        }
-        match solver.check() {
-            SmtResult::Sat(model) => Some(model),
-            _ => None,
+            Proof::Ambiguous
         }
     }
 }
@@ -158,6 +530,19 @@ pub struct Translation {
 }
 
 impl Translation {
+    /// An empty translation allocating auxiliary variables from `next_aux`.
+    pub fn with_next_aux(next_aux: u32) -> Self {
+        Translation {
+            formulas: Vec::new(),
+            next_aux,
+        }
+    }
+
+    /// The next auxiliary variable index this translation would hand out.
+    pub fn next_aux(&self) -> u32 {
+        self.next_aux
+    }
+
     fn fresh_aux(&mut self) -> Var {
         let var = Var::new(self.next_aux);
         self.next_aux += 1;
@@ -165,57 +550,91 @@ impl Translation {
     }
 }
 
-/// Translates the numeric portion of the heap into formulas.
+/// Translates the numeric portion of the whole heap into formulas, with
+/// auxiliary variables allocated above the heap's own locations. This is the
+/// encoding the `fresh_per_query` ablation performs on every query.
 pub fn translate_heap(heap: &Heap) -> Translation {
-    let mut translation = Translation {
-        formulas: Vec::new(),
-        next_aux: heap.next_index(),
-    };
-    for (loc, value) in heap.iter() {
-        match value {
-            SVal::Num(Number::Int(n)) => {
-                translation
-                    .formulas
-                    .push(Formula::eq(Term::var(loc.solver_var()), Term::int(*n)));
-            }
-            SVal::Opaque { refinements, entries } => {
-                for refinement in refinements {
-                    if let CRefinement::NumCmp(op, rhs) = refinement {
-                        let rhs_term = translate_sym_expr(rhs, &mut translation);
-                        translation.formulas.push(Formula::atom(
-                            Term::var(loc.solver_var()),
-                            *op,
-                            rhs_term,
-                        ));
-                    }
-                }
-                // Functionality of the memo table: equal numeric inputs give
-                // equal numeric outputs (only encoded for base-valued pairs).
-                for i in 0..entries.len() {
-                    for j in (i + 1)..entries.len() {
-                        let (arg_i, res_i) = entries[i];
-                        let (arg_j, res_j) = entries[j];
-                        if is_base(heap, arg_i) && is_base(heap, arg_j)
-                            && is_base(heap, res_i) && is_base(heap, res_j)
-                        {
-                            translation.formulas.push(Formula::implies(
-                                Formula::eq(
-                                    Term::var(arg_i.solver_var()),
-                                    Term::var(arg_j.solver_var()),
-                                ),
-                                Formula::eq(
-                                    Term::var(res_i.solver_var()),
-                                    Term::var(res_j.solver_var()),
-                                ),
-                            ));
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
+    let mut translation = Translation::with_next_aux(heap.next_index());
+    for (loc, _) in heap.iter() {
+        translate_loc(heap, loc, &mut translation);
     }
     translation
+}
+
+/// Emits the formulas contributed by a single location: a defining equality
+/// for concrete integers, and for opaque values their numeric refinements
+/// plus the functionality constraints of the memo table.
+fn translate_loc(heap: &Heap, loc: Loc, translation: &mut Translation) {
+    match heap.try_get(loc) {
+        Some(SVal::Num(Number::Int(n))) => {
+            translation
+                .formulas
+                .push(Formula::eq(Term::var(loc.solver_var()), Term::int(*n)));
+        }
+        Some(SVal::Opaque {
+            refinements,
+            entries,
+        }) => {
+            for refinement in refinements {
+                if let CRefinement::NumCmp(op, rhs) = refinement {
+                    let rhs_term = translate_sym_expr(rhs, translation);
+                    translation.formulas.push(Formula::atom(
+                        Term::var(loc.solver_var()),
+                        *op,
+                        rhs_term,
+                    ));
+                }
+            }
+            // Functionality of the memo table: equal numeric inputs give
+            // equal numeric outputs (only encoded for base-valued pairs).
+            for i in 0..entries.len() {
+                for j in (i + 1)..entries.len() {
+                    functionality_formula(heap, entries[i], entries[j], translation);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Emits the formula for one numeric refinement appended at `loc` (no-op for
+/// tag refinements, which are never solver-encoded).
+fn translate_refinement_at(heap: &Heap, loc: Loc, index: usize, translation: &mut Translation) {
+    if let Some(SVal::Opaque { refinements, .. }) = heap.try_get(loc) {
+        if let Some(CRefinement::NumCmp(op, rhs)) = refinements.get(index) {
+            let rhs_term = translate_sym_expr(rhs, translation);
+            translation
+                .formulas
+                .push(Formula::atom(Term::var(loc.solver_var()), *op, rhs_term));
+        }
+    }
+}
+
+/// Emits the functionality constraints pairing the memo entry appended at
+/// `index` with every earlier entry of the same opaque function.
+fn translate_entry_at(heap: &Heap, loc: Loc, index: usize, translation: &mut Translation) {
+    if let Some(SVal::Opaque { entries, .. }) = heap.try_get(loc) {
+        if let Some(&new_entry) = entries.get(index) {
+            for &old_entry in &entries[..index.min(entries.len())] {
+                functionality_formula(heap, old_entry, new_entry, translation);
+            }
+        }
+    }
+}
+
+fn functionality_formula(
+    heap: &Heap,
+    (arg_i, res_i): (Loc, Loc),
+    (arg_j, res_j): (Loc, Loc),
+    translation: &mut Translation,
+) {
+    if is_base(heap, arg_i) && is_base(heap, arg_j) && is_base(heap, res_i) && is_base(heap, res_j)
+    {
+        translation.formulas.push(Formula::implies(
+            Formula::eq(Term::var(arg_i.solver_var()), Term::var(arg_j.solver_var())),
+            Formula::eq(Term::var(res_i.solver_var()), Term::var(res_j.solver_var())),
+        ));
+    }
 }
 
 fn is_base(heap: &Heap, loc: Loc) -> bool {
@@ -249,7 +668,10 @@ pub fn translate_sym_expr(expr: &CSymExpr, translation: &mut Translation) -> Ter
             let remainder = Term::var(translation.fresh_aux());
             translation.formulas.push(Formula::eq(
                 dividend.clone(),
-                Term::add(Term::mul(quotient.clone(), divisor.clone()), remainder.clone()),
+                Term::add(
+                    Term::mul(quotient.clone(), divisor.clone()),
+                    remainder.clone(),
+                ),
             ));
             translation.formulas.push(Formula::implies(
                 Formula::gt(divisor.clone(), Term::int(0)),
@@ -304,24 +726,24 @@ mod tests {
         let n = heap.alloc(SVal::Num(Number::Int(3)));
         let c = heap.alloc(SVal::Num(Number::complex(0, 1)));
         let p = heap.alloc(SVal::Pair(n, c));
-        let prover = Prover::new();
-        assert_eq!(prover.prove_tag(&heap, n, &Tag::Integer), Proof::Proved);
-        assert_eq!(prover.prove_tag(&heap, n, &Tag::Number), Proof::Proved);
-        assert_eq!(prover.prove_tag(&heap, c, &Tag::Number), Proof::Proved);
-        assert_eq!(prover.prove_tag(&heap, c, &Tag::Real), Proof::Refuted);
-        assert_eq!(prover.prove_tag(&heap, p, &Tag::Pair), Proof::Proved);
-        assert_eq!(prover.prove_tag(&heap, p, &Tag::Number), Proof::Refuted);
+        let mut session = ProverSession::new();
+        assert_eq!(session.prove_tag(&heap, n, &Tag::Integer), Proof::Proved);
+        assert_eq!(session.prove_tag(&heap, n, &Tag::Number), Proof::Proved);
+        assert_eq!(session.prove_tag(&heap, c, &Tag::Number), Proof::Proved);
+        assert_eq!(session.prove_tag(&heap, c, &Tag::Real), Proof::Refuted);
+        assert_eq!(session.prove_tag(&heap, p, &Tag::Pair), Proof::Proved);
+        assert_eq!(session.prove_tag(&heap, p, &Tag::Number), Proof::Refuted);
     }
 
     #[test]
     fn refinements_decide_tags() {
         let mut heap = Heap::new();
         let l = heap.alloc_fresh_opaque();
-        let prover = Prover::new();
-        assert_eq!(prover.prove_tag(&heap, l, &Tag::Pair), Proof::Ambiguous);
+        let mut session = ProverSession::new();
+        assert_eq!(session.prove_tag(&heap, l, &Tag::Pair), Proof::Ambiguous);
         heap.refine(l, CRefinement::Is(Tag::Integer));
-        assert_eq!(prover.prove_tag(&heap, l, &Tag::Number), Proof::Proved);
-        assert_eq!(prover.prove_tag(&heap, l, &Tag::Pair), Proof::Refuted);
+        assert_eq!(session.prove_tag(&heap, l, &Tag::Number), Proof::Proved);
+        assert_eq!(session.prove_tag(&heap, l, &Tag::Pair), Proof::Refuted);
     }
 
     #[test]
@@ -329,9 +751,9 @@ mod tests {
         let mut heap = Heap::new();
         let l = heap.alloc_fresh_opaque();
         heap.refine(l, CRefinement::IsNot(Tag::Pair));
-        let prover = Prover::new();
-        assert_eq!(prover.prove_tag(&heap, l, &Tag::Pair), Proof::Refuted);
-        assert_eq!(prover.prove_tag(&heap, l, &Tag::Number), Proof::Ambiguous);
+        let mut session = ProverSession::new();
+        assert_eq!(session.prove_tag(&heap, l, &Tag::Pair), Proof::Refuted);
+        assert_eq!(session.prove_tag(&heap, l, &Tag::Number), Proof::Ambiguous);
     }
 
     #[test]
@@ -339,17 +761,17 @@ mod tests {
         let mut heap = Heap::new();
         let l = heap.alloc_fresh_opaque();
         heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
-        let prover = Prover::new();
+        let mut session = ProverSession::new();
         assert_eq!(
-            prover.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0)),
+            session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0)),
             Proof::Proved
         );
         assert_eq!(
-            prover.prove_num(&heap, l, CmpOp::Eq, &CSymExpr::int(0)),
+            session.prove_num(&heap, l, CmpOp::Eq, &CSymExpr::int(0)),
             Proof::Refuted
         );
         assert_eq!(
-            prover.prove_num(&heap, l, CmpOp::Eq, &CSymExpr::int(7)),
+            session.prove_num(&heap, l, CmpOp::Eq, &CSymExpr::int(7)),
             Proof::Ambiguous
         );
     }
@@ -367,8 +789,8 @@ mod tests {
             ),
         );
         heap.refine(d, CRefinement::NumCmp(CmpOp::Eq, CSymExpr::int(0)));
-        let prover = Prover::new();
-        let model = prover.heap_model(&heap).expect("satisfiable");
+        let mut session = ProverSession::new();
+        let model = session.heap_model(&heap).expect("satisfiable");
         assert_eq!(model.value(n.solver_var()), Some(100));
     }
 
@@ -387,7 +809,207 @@ mod tests {
                 entries: vec![(a, x), (b, y)],
             },
         );
-        let prover = Prover::new();
-        assert!(prover.heap_model(&heap).is_none(), "5 ↦ 1 and 5 ↦ 0 conflict");
+        let mut session = ProverSession::new();
+        assert!(
+            session.heap_model(&heap).is_none(),
+            "5 ↦ 1 and 5 ↦ 0 conflict"
+        );
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let mut session = ProverSession::new();
+        let first = session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        let second = session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        assert_eq!(first, second);
+        let stats = session.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(
+            stats.full_encodings, 1,
+            "the heap is encoded once, not twice"
+        );
+    }
+
+    #[test]
+    fn journal_growth_encodes_only_the_delta() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let mut session = ProverSession::new();
+        assert_eq!(
+            session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0)),
+            Proof::Proved
+        );
+        // Grow the same path: only the new constraint should be asserted.
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Le, CSymExpr::int(10)));
+        assert_eq!(
+            session.prove_num(&heap, l, CmpOp::Lt, &CSymExpr::int(11)),
+            Proof::Proved
+        );
+        let stats = session.stats();
+        assert_eq!(stats.full_encodings, 1);
+        assert_eq!(stats.delta_encodings, 1);
+    }
+
+    #[test]
+    fn sibling_branches_pop_back_to_the_shared_prefix() {
+        let mut parent = Heap::new();
+        let l = parent.alloc_fresh_opaque();
+        parent.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+        let mut session = ProverSession::new();
+        assert_eq!(
+            session.prove_num(&parent, l, CmpOp::Ge, &CSymExpr::int(0)),
+            Proof::Proved
+        );
+        let mut yes = parent.clone();
+        yes.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(10)));
+        let mut no = parent.clone();
+        no.refine(l, CRefinement::NumCmp(CmpOp::Lt, CSymExpr::int(10)));
+        assert_eq!(
+            session.prove_num(&yes, l, CmpOp::Ge, &CSymExpr::int(10)),
+            Proof::Proved
+        );
+        assert_eq!(
+            session.prove_num(&no, l, CmpOp::Lt, &CSymExpr::int(10)),
+            Proof::Proved
+        );
+        let stats = session.stats();
+        assert_eq!(
+            stats.full_encodings, 1,
+            "the shared prefix is never re-encoded"
+        );
+        assert_eq!(stats.delta_encodings, 2, "one delta per branch");
+    }
+
+    #[test]
+    fn rebases_force_a_full_reencode() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let mut session = ProverSession::new();
+        assert_eq!(
+            session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0)),
+            Proof::Proved
+        );
+        // Non-monotone overwrite: the numeric constraint disappears.
+        let car = heap.alloc_fresh_opaque();
+        let cdr = heap.alloc_fresh_opaque();
+        heap.set(l, SVal::Pair(car, cdr));
+        let m = heap.alloc_fresh_opaque();
+        assert_eq!(
+            session.prove_num(&heap, m, CmpOp::Eq, &CSymExpr::int(0)),
+            Proof::Ambiguous,
+            "the stale `l ≥ 5` constraint must not leak into the new state"
+        );
+        assert_eq!(session.stats().full_encodings, 2);
+    }
+
+    #[test]
+    fn overwriting_memo_referenced_locations_rebases() {
+        // An opaque function's memo table [(a, r1), (b, r2)] with r1 ≥ 0 and
+        // r2 ≤ -1 entails a ≠ b via functionality. Structurally refining `a`
+        // to a pair afterwards retracts that implication (the baseline's
+        // is_base check drops it), so the incremental session must rebase
+        // rather than keep the stale formula.
+        let mut heap = Heap::new();
+        let f = heap.alloc_fresh_opaque();
+        let a = heap.alloc_fresh_opaque();
+        let b = heap.alloc_fresh_opaque();
+        let r1 = heap.alloc_fresh_opaque();
+        let r2 = heap.alloc_fresh_opaque();
+        heap.refine(r1, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+        heap.refine(r2, CRefinement::NumCmp(CmpOp::Le, CSymExpr::int(-1)));
+        heap.set(
+            f,
+            SVal::Opaque {
+                refinements: Vec::new(),
+                entries: vec![(a, r1), (b, r2)],
+            },
+        );
+        let mut incremental = ProverSession::new();
+        let mut fresh = ProverSession::with_config(ProveConfig {
+            fresh_per_query: true,
+            ..ProveConfig::default()
+        });
+        // Both engines derive a ≠ b while the entries are base-valued; this
+        // also plants the functionality implication on the live solver.
+        let before_incremental = incremental.prove_num(&heap, a, CmpOp::Ne, &CSymExpr::loc(b));
+        let before_fresh = fresh.prove_num(&heap, a, CmpOp::Ne, &CSymExpr::loc(b));
+        assert_eq!(before_incremental, Proof::Proved);
+        assert_eq!(before_incremental, before_fresh);
+        // Structural refinement: `a` becomes a pair (non-base).
+        let car = heap.alloc_fresh_opaque();
+        let cdr = heap.alloc_fresh_opaque();
+        heap.set(a, SVal::Pair(car, cdr));
+        assert_eq!(
+            heap.journal().last().unwrap().event,
+            crate::heap::JournalEvent::Rebase(a),
+            "a non-base overwrite of a memo-referenced location must rebase"
+        );
+        let after_incremental = incremental.prove_num(&heap, a, CmpOp::Ne, &CSymExpr::loc(b));
+        let after_fresh = fresh.prove_num(&heap, a, CmpOp::Ne, &CSymExpr::loc(b));
+        assert_eq!(
+            after_incremental, after_fresh,
+            "stale functionality constraints must not survive the overwrite"
+        );
+    }
+
+    #[test]
+    fn alloc_then_refine_delta_asserts_each_formula_once() {
+        let mut heap = Heap::new();
+        let l0 = heap.alloc_fresh_opaque();
+        heap.refine(l0, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
+        let mut session = ProverSession::new();
+        assert_eq!(
+            session.prove_num(&heap, l0, CmpOp::Gt, &CSymExpr::int(-1)),
+            Proof::Proved
+        );
+        // A fresh allocation refined twice since the last sync: the delta
+        // must assert exactly the two new formulas, not re-emit the
+        // refinements on top of the wholesale encoding of the allocation.
+        let l1 = heap.alloc_fresh_opaque();
+        heap.refine(l1, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        heap.refine(l1, CRefinement::NumCmp(CmpOp::Le, CSymExpr::int(9)));
+        assert_eq!(
+            session.prove_num(&heap, l1, CmpOp::Gt, &CSymExpr::int(0)),
+            Proof::Proved
+        );
+        let stats = session.stats();
+        assert_eq!(
+            stats.solver.assertions, 3,
+            "1 base formula + 2 delta formulas, no duplicates: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_per_query_matches_incremental_verdicts() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Le, CSymExpr::int(9)));
+        let queries = [
+            (CmpOp::Gt, CSymExpr::int(0)),
+            (CmpOp::Eq, CSymExpr::int(7)),
+            (CmpOp::Gt, CSymExpr::int(9)),
+            (CmpOp::Le, CSymExpr::int(9)),
+        ];
+        let mut incremental = ProverSession::new();
+        let mut fresh = ProverSession::with_config(ProveConfig {
+            fresh_per_query: true,
+            ..ProveConfig::default()
+        });
+        for (op, rhs) in &queries {
+            assert_eq!(
+                incremental.prove_num(&heap, l, *op, rhs),
+                fresh.prove_num(&heap, l, *op, rhs),
+                "verdicts diverge on {op:?} {rhs:?}"
+            );
+        }
+        assert!(incremental.stats().full_encodings < incremental.stats().queries);
+        assert_eq!(fresh.stats().full_encodings, fresh.stats().num_queries);
     }
 }

@@ -206,7 +206,11 @@ pub struct CBlame {
 
 impl fmt::Display for CBlame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blame {}: {} (at {})", self.party, self.message, self.label)
+        write!(
+            f,
+            "blame {}: {} (at {})",
+            self.party, self.message, self.label
+        )
     }
 }
 
@@ -352,7 +356,11 @@ impl Expr {
                 t.walk(visit);
                 e.walk(visit);
             }
-            Expr::And(es) | Expr::Or(es) | Expr::Begin(es) | Expr::CAnd(es) | Expr::COr(es)
+            Expr::And(es)
+            | Expr::Or(es)
+            | Expr::Begin(es)
+            | Expr::CAnd(es)
+            | Expr::COr(es)
             | Expr::COneOf(es) => {
                 for e in es {
                     e.walk(visit);
@@ -380,7 +388,9 @@ impl Expr {
                 b.walk(visit);
             }
             Expr::CListOf(c) => c.walk(visit),
-            Expr::Mon { contract, value, .. } => {
+            Expr::Mon {
+                contract, value, ..
+            } => {
                 contract.walk(visit);
                 value.walk(visit);
             }

@@ -192,7 +192,10 @@ mod tests {
         match sat.solve() {
             SatResult::Sat(model) => {
                 let some_true = atoms.iter().any(|(_, var)| model[var.index() as usize]);
-                assert!(some_true, "at least one disjunct atom must be assigned true");
+                assert!(
+                    some_true,
+                    "at least one disjunct atom must be assigned true"
+                );
             }
             SatResult::Unsat => panic!("should be sat"),
         }

@@ -98,7 +98,10 @@ impl Atom {
     where
         F: Fn(Var) -> Option<i64>,
     {
-        Some(self.op.eval(self.lhs.eval(assignment)?, self.rhs.eval(assignment)?))
+        Some(
+            self.op
+                .eval(self.lhs.eval(assignment)?, self.rhs.eval(assignment)?),
+        )
     }
 
     /// Collects the free variables of the atom.
@@ -186,6 +189,7 @@ impl Formula {
     }
 
     /// Negation, with trivial simplification of constants.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Self {
         match f {
             Formula::True => Formula::False,
@@ -491,7 +495,14 @@ mod tests {
 
     #[test]
     fn cmp_op_negation_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
             // negation flips the truth value on every input pair
             for a in -2..=2 {

@@ -176,7 +176,11 @@ impl LiaProblem {
         for v in left.vars().chain(right.vars()) {
             self.vars.insert(v);
         }
-        self.products.push(ProductConstraint { result, left, right });
+        self.products.push(ProductConstraint {
+            result,
+            left,
+            right,
+        });
     }
 
     /// Checks an assignment against every constraint of the problem.
@@ -334,7 +338,10 @@ fn presolve(problem: &LiaProblem) -> Option<Presolved> {
         problem = next;
         eliminated.push((var, definition));
     }
-    Some(Presolved { problem, eliminated })
+    Some(Presolved {
+        problem,
+        eliminated,
+    })
 }
 
 /// Substitutes `var := definition` through every constraint. Returns `None`
@@ -366,6 +373,7 @@ fn substitute_expr(expr: &LinExpr, var: Var, definition: &LinExpr) -> Option<Lin
 
 /// Returns `true` if the equality subsystem is provably infeasible (over the
 /// rationals or by integer divisibility).
+#[allow(clippy::needless_range_loop)] // fraction-free elimination indexes two rows at once
 fn equalities_infeasible(problem: &LiaProblem) -> bool {
     let vars: Vec<Var> = problem.vars.iter().copied().collect();
     let index_of: BTreeMap<Var, usize> = vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
@@ -535,17 +543,22 @@ fn expr_range(expr: &LinExpr, state: &SearchState) -> (Option<i128>, Option<i128
 }
 
 /// Tightens the bound of `var`, returning `false` on an empty domain.
-fn tighten(state: &mut SearchState, var: Var, new_lo: Option<i64>, new_hi: Option<i64>) -> Option<bool> {
+fn tighten(
+    state: &mut SearchState,
+    var: Var,
+    new_lo: Option<i64>,
+    new_hi: Option<i64>,
+) -> Option<bool> {
     let entry = state.bounds.entry(var).or_insert((None, None));
     let mut changed = false;
     if let Some(lo) = new_lo {
-        if entry.0.map_or(true, |old| lo > old) {
+        if entry.0.is_none_or(|old| lo > old) {
             entry.0 = Some(lo);
             changed = true;
         }
     }
     if let Some(hi) = new_hi {
-        if entry.1.map_or(true, |old| hi < old) {
+        if entry.1.is_none_or(|old| hi < old) {
             entry.1 = Some(hi);
             changed = true;
         }
@@ -655,10 +668,8 @@ fn propagate_product(product: &ProductConstraint, state: &mut SearchState) -> Op
     let result = lookup(product.result);
     let mut changed = false;
     match (left, right, result) {
-        (Some(l), Some(r), Some(p)) => {
-            if l.checked_mul(r) != Some(p) {
-                return None;
-            }
+        (Some(l), Some(r), Some(p)) if l.checked_mul(r) != Some(p) => {
+            return None;
         }
         (Some(l), Some(r), None) => {
             let p = l.checked_mul(r)?;
@@ -705,14 +716,12 @@ fn propagate(problem: &LiaProblem, state: &mut SearchState) -> bool {
                     let le = propagate_le(&constraint.expr, state);
                     match le {
                         None => None,
-                        Some(first) => {
-                            match constraint.expr.checked_scale(-1) {
-                                Some(negated) => {
-                                    propagate_le(&negated, state).map(|second| first || second)
-                                }
-                                None => Some(first),
+                        Some(first) => match constraint.expr.checked_scale(-1) {
+                            Some(negated) => {
+                                propagate_le(&negated, state).map(|second| first || second)
                             }
-                        }
+                            None => Some(first),
+                        },
                     }
                 }
                 ConstraintOp::Ne => propagate_ne(&constraint.expr, state),
@@ -801,13 +810,7 @@ fn candidate_values(state: &SearchState, var: Var, config: &LiaConfig) -> (Vec<i
 
 /// 0, 1, -1, 2, -2, … up to ±bound.
 fn spiral(bound: i64) -> impl Iterator<Item = i64> {
-    (0..=bound).flat_map(|v| {
-        if v == 0 {
-            vec![0]
-        } else {
-            vec![v, -v]
-        }
-    })
+    (0..=bound).flat_map(|v| if v == 0 { vec![0] } else { vec![v, -v] })
 }
 
 fn pick_branch_var(problem: &LiaProblem, state: &SearchState) -> Option<Var> {
@@ -988,10 +991,7 @@ mod tests {
     #[test]
     fn inconsistent_equalities_are_unsat() {
         // x = y + 1 ∧ x = y
-        let atoms = vec![
-            eq(x(0), Term::add(x(1), Term::int(1))),
-            eq(x(0), x(1)),
-        ];
+        let atoms = vec![eq(x(0), Term::add(x(1), Term::int(1))), eq(x(0), x(1))];
         assert_eq!(check(&atoms), LiaResult::Unsat);
     }
 

@@ -37,7 +37,10 @@ impl LinExpr {
     pub fn variable(v: Var) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v, 1);
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// The constant part of the expression.
@@ -193,23 +196,23 @@ fn linearise_inner(term: &Term) -> Option<Option<LinExpr>> {
         Term::Int(n) => Some(Some(LinExpr::constant(*n))),
         Term::Var(v) => Some(Some(LinExpr::variable(*v))),
         Term::Add(a, b) => match (linearise_inner(a)?, linearise_inner(b)?) {
-            (Some(a), Some(b)) => a.checked_add(&b).map(|e| Some(e)),
+            (Some(a), Some(b)) => a.checked_add(&b).map(Some),
             _ => Some(None),
         },
         Term::Sub(a, b) => match (linearise_inner(a)?, linearise_inner(b)?) {
-            (Some(a), Some(b)) => a.checked_sub(&b).map(|e| Some(e)),
+            (Some(a), Some(b)) => a.checked_sub(&b).map(Some),
             _ => Some(None),
         },
         Term::Neg(a) => match linearise_inner(a)? {
-            Some(a) => a.checked_scale(-1).map(|e| Some(e)),
+            Some(a) => a.checked_scale(-1).map(Some),
             None => Some(None),
         },
         Term::Mul(a, b) => match (linearise_inner(a)?, linearise_inner(b)?) {
             (Some(a), Some(b)) => {
                 if let Some(k) = a.as_constant() {
-                    b.checked_scale(k).map(|e| Some(e))
+                    b.checked_scale(k).map(Some)
                 } else if let Some(k) = b.as_constant() {
-                    a.checked_scale(k).map(|e| Some(e))
+                    a.checked_scale(k).map(Some)
                 } else {
                     Some(None)
                 }

@@ -111,7 +111,9 @@ mod tests {
 
     #[test]
     fn model_evaluates_formulas() {
-        let model: Model = vec![(Var::new(0), 100), (Var::new(1), 0)].into_iter().collect();
+        let model: Model = vec![(Var::new(0), 100), (Var::new(1), 0)]
+            .into_iter()
+            .collect();
         let f = Formula::eq(
             Term::var(Var::new(1)),
             Term::sub(Term::int(100), Term::var(Var::new(0))),

@@ -180,8 +180,8 @@ impl SatSolver {
             let watching = std::mem::take(&mut self.watches[false_lit.code()]);
             let mut kept = Vec::with_capacity(watching.len());
             let mut conflict = None;
-            let mut iter = watching.into_iter();
-            while let Some(clause_index) = iter.next() {
+            let iter = watching.into_iter();
+            for clause_index in iter {
                 if conflict.is_some() {
                     kept.push(clause_index);
                     continue;
@@ -517,6 +517,7 @@ mod tests {
             solver.add_clause(vec![row[0].positive(), row[1].positive()]);
         }
         // No two pigeons share a hole.
+        #[allow(clippy::needless_range_loop)] // indexes two pigeon rows per hole
         for hole in 0..2 {
             for first in 0..3 {
                 for second in (first + 1)..3 {
@@ -579,7 +580,11 @@ mod tests {
                 solver.add_clause(cl);
             }
             let result = solver.solve();
-            assert_eq!(result.is_sat(), brute_sat, "solver disagrees with brute force");
+            assert_eq!(
+                result.is_sat(),
+                brute_sat,
+                "solver disagrees with brute force"
+            );
             if let SatResult::Sat(model) = result {
                 for clause in &clauses {
                     assert!(

@@ -1,11 +1,51 @@
 //! The public solver façade: an assertion stack with `push`/`pop`, variable
 //! allocation, satisfiability checks and validity queries.
+//!
+//! The assertion stack is the *primary* analysis-facing API: a symbolic
+//! executor keeps one long-lived solver, asserts the translation of its path
+//! condition once, and brackets branch-local assumptions with
+//! [`Solver::push`]/[`Solver::pop`] (or passes them per query via
+//! [`Solver::check_assuming`]) instead of rebuilding a solver per query.
+//! Every satisfiability check is counted in [`SolverStats`], so callers can
+//! measure how much re-encoding the incremental interface saves.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
 
 use crate::formula::Formula;
 use crate::term::Var;
 use crate::theory::{check_conjunction, SmtResult, TheoryConfig};
 
 pub use crate::theory::SmtResult as CheckResult;
+
+/// Cumulative statistics for one [`Solver`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Satisfiability checks issued (a validity query issues one or two).
+    pub checks: u64,
+    /// Checks that came back satisfiable.
+    pub sat: u64,
+    /// Checks that came back unsatisfiable.
+    pub unsat: u64,
+    /// Checks the theory could not decide.
+    pub unknown: u64,
+    /// Formulas asserted over the solver's lifetime (pops do not subtract).
+    pub assertions: u64,
+    /// Total wall-clock time spent inside satisfiability checks.
+    pub time: Duration,
+}
+
+impl SolverStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.checks += other.checks;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.assertions += other.assertions;
+        self.time += other.time;
+    }
+}
 
 /// Outcome of a validity query ([`Solver::check_valid`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +90,7 @@ pub struct Solver {
     scopes: Vec<usize>,
     next_var: u32,
     config: SolverConfig,
+    stats: Cell<SolverStats>,
 }
 
 impl Solver {
@@ -82,6 +123,9 @@ impl Solver {
 
     /// Adds an assertion to the current scope.
     pub fn assert(&mut self, formula: Formula) {
+        let mut stats = self.stats.get();
+        stats.assertions += 1;
+        self.stats.set(stats);
         self.assertions.push(formula);
     }
 
@@ -105,17 +149,58 @@ impl Solver {
         self.assertions.truncate(mark);
     }
 
-    /// Checks satisfiability of the current assertions.
-    pub fn check(&self) -> SmtResult {
-        check_conjunction(&self.assertions, &self.config.theory)
+    /// How many assertion scopes are currently open.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
     }
 
-    /// Checks satisfiability of the current assertions together with
-    /// `extra` formulas (without changing the assertion stack).
-    pub fn check_with(&self, extra: &[Formula]) -> SmtResult {
+    /// The statistics accumulated so far by this solver.
+    pub fn stats(&self) -> SolverStats {
+        self.stats.get()
+    }
+
+    /// Resets the statistics counters (the assertion stack is untouched).
+    pub fn reset_stats(&self) {
+        self.stats.set(SolverStats::default());
+    }
+
+    /// Runs one counted satisfiability check over `formulas`.
+    fn run_check(&self, formulas: &[Formula]) -> SmtResult {
+        let start = Instant::now();
+        let result = check_conjunction(formulas, &self.config.theory);
+        let mut stats = self.stats.get();
+        stats.checks += 1;
+        stats.time += start.elapsed();
+        match &result {
+            SmtResult::Sat(_) => stats.sat += 1,
+            SmtResult::Unsat => stats.unsat += 1,
+            SmtResult::Unknown => stats.unknown += 1,
+        }
+        self.stats.set(stats);
+        result
+    }
+
+    /// Checks satisfiability of the current assertions.
+    pub fn check(&self) -> SmtResult {
+        self.run_check(&self.assertions)
+    }
+
+    /// Checks satisfiability of the current assertions together with the
+    /// given `assumptions`, without changing the assertion stack — the
+    /// `check-sat-assuming` entry point for branch-local queries.
+    pub fn check_assuming(&self, assumptions: &[Formula]) -> SmtResult {
+        if assumptions.is_empty() {
+            return self.check();
+        }
         let mut combined = self.assertions.clone();
-        combined.extend_from_slice(extra);
-        check_conjunction(&combined, &self.config.theory)
+        combined.extend_from_slice(assumptions);
+        self.run_check(&combined)
+    }
+
+    /// Alias of [`Solver::check_assuming`], kept for callers written against
+    /// the original API.
+    pub fn check_with(&self, extra: &[Formula]) -> SmtResult {
+        self.check_assuming(extra)
     }
 
     /// Determines whether `formula` is valid under the current assertions:
@@ -205,17 +290,74 @@ mod tests {
         let mut solver = Solver::new();
         solver.assert(Formula::ge(x(0), Term::int(1)));
         // x ≥ 1 proves x ≠ 0 ...
-        assert_eq!(solver.prove(&Formula::ne(x(0), Term::int(0))), Proof::Proved);
+        assert_eq!(
+            solver.prove(&Formula::ne(x(0), Term::int(0))),
+            Proof::Proved
+        );
         // ... refutes x = 0 ...
-        assert_eq!(solver.prove(&Formula::eq(x(0), Term::int(0))), Proof::Refuted);
+        assert_eq!(
+            solver.prove(&Formula::eq(x(0), Term::int(0))),
+            Proof::Refuted
+        );
         // ... and says nothing about x = 5.
-        assert_eq!(solver.prove(&Formula::eq(x(0), Term::int(5))), Proof::Ambiguous);
+        assert_eq!(
+            solver.prove(&Formula::eq(x(0), Term::int(5))),
+            Proof::Ambiguous
+        );
     }
 
     #[test]
     fn unconstrained_solver_is_sat() {
         let solver = Solver::new();
         assert!(solver.check().is_sat());
+    }
+
+    #[test]
+    fn stats_count_checks_and_outcomes() {
+        let mut solver = Solver::new();
+        solver.assert(Formula::ge(x(0), Term::int(0)));
+        assert!(solver.check().is_sat());
+        assert!(solver
+            .check_assuming(&[Formula::lt(x(0), Term::int(0))])
+            .is_unsat());
+        let stats = solver.stats();
+        assert_eq!(stats.checks, 2);
+        assert_eq!(stats.sat, 1);
+        assert_eq!(stats.unsat, 1);
+        assert_eq!(stats.assertions, 1);
+        solver.reset_stats();
+        assert_eq!(solver.stats(), SolverStats::default());
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SolverStats {
+            checks: 2,
+            sat: 1,
+            unsat: 1,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            checks: 3,
+            unknown: 3,
+            assertions: 7,
+            ..SolverStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.checks, 5);
+        assert_eq!(a.unknown, 3);
+        assert_eq!(a.assertions, 7);
+    }
+
+    #[test]
+    fn scope_depth_tracks_push_pop() {
+        let mut solver = Solver::new();
+        assert_eq!(solver.scope_depth(), 0);
+        solver.push();
+        solver.push();
+        assert_eq!(solver.scope_depth(), 2);
+        solver.pop();
+        assert_eq!(solver.scope_depth(), 1);
     }
 
     #[test]

@@ -84,21 +84,25 @@ impl Term {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Term, b: Term) -> Self {
         Term::Add(Box::new(a), Box::new(b))
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Term, b: Term) -> Self {
         Term::Sub(Box::new(a), Box::new(b))
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Term, b: Term) -> Self {
         Term::Mul(Box::new(a), Box::new(b))
     }
 
     /// `-a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(a: Term) -> Self {
         Term::Neg(Box::new(a))
     }

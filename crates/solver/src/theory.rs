@@ -75,7 +75,11 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
     for _iteration in 0..config.max_iterations {
         match sat.solve() {
             PropResult::Unsat => {
-                return if saw_unknown { SmtResult::Unknown } else { SmtResult::Unsat };
+                return if saw_unknown {
+                    SmtResult::Unknown
+                } else {
+                    SmtResult::Unsat
+                };
             }
             PropResult::Sat(assignment) => {
                 // Collect the theory literals chosen by the boolean model.
@@ -84,7 +88,11 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
                 for (atom, var) in atom_map.iter() {
                     let value = assignment[var.index() as usize];
                     theory_atoms.push(if value { atom.clone() } else { atom.negate() });
-                    blocking.push(if value { var.negative() } else { var.positive() });
+                    blocking.push(if value {
+                        var.negative()
+                    } else {
+                        var.positive()
+                    });
                 }
                 match check_atoms(&theory_atoms, &config.lia) {
                     LiaResult::Sat(values) => {
@@ -126,7 +134,11 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
 
 /// Checks whether `formula` is entailed by `background` (i.e. `background ∧
 /// ¬formula` is unsatisfiable).
-pub fn check_entailed(background: &[Formula], formula: &Formula, config: &TheoryConfig) -> SmtResult {
+pub fn check_entailed(
+    background: &[Formula],
+    formula: &Formula,
+    config: &TheoryConfig,
+) -> SmtResult {
     let mut combined: Vec<Formula> = background.to_vec();
     combined.push(Formula::not(formula.clone()));
     check_conjunction(&combined, config)

@@ -139,7 +139,11 @@ pub fn reconstruct(
             Type::Int => Expr::Num(model.value_or_zero(loc.solver_var())),
             arrow => default_value(arrow),
         },
-        Some(Storeable::Lam { param, param_ty, body }) => Expr::Lam {
+        Some(Storeable::Lam {
+            param,
+            param_ty,
+            body,
+        }) => Expr::Lam {
             param: param.clone(),
             param_ty: param_ty.clone(),
             body: Box::new(reconstruct_body(heap, model, body, visiting)),
@@ -173,7 +177,11 @@ fn reconstruct_body(heap: &Heap, model: &Model, body: &Expr, visiting: &mut BTre
     match body {
         Expr::Loc(l) => reconstruct(heap, model, *l, None, visiting),
         Expr::Var(_) | Expr::Num(_) | Expr::Opaque(_, _) | Expr::Err(_) => body.clone(),
-        Expr::Lam { param, param_ty, body } => Expr::Lam {
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => Expr::Lam {
             param: param.clone(),
             param_ty: param_ty.clone(),
             body: Box::new(reconstruct_body(heap, model, body, visiting)),
@@ -271,10 +279,7 @@ mod tests {
         // Program: ((• : (int→int)) applied inside 1/(100 - (g n))) — here we
         // only exercise the binding construction, not the full engine.
         let opaque_ty = Type::arrow(Type::Int, Type::Int);
-        let program = Expr::app(
-            Expr::Opaque(opaque_ty.clone(), Label(1)),
-            Expr::Num(0),
-        );
+        let program = Expr::app(Expr::Opaque(opaque_ty.clone(), Label(1)), Expr::Num(0));
 
         let mut heap = Heap::new();
         let g = heap.alloc_opaque(opaque_ty, Label(1));
@@ -290,8 +295,14 @@ mod tests {
         heap.refine(result, Refinement::new(CmpOp::Eq, SymExpr::int(100)));
 
         let prover = Prover::new();
-        let blame = Blame { label: Label(9), op: Op::Div };
-        let options = CexOptions { validate: false, ..CexOptions::default() };
+        let blame = Blame {
+            label: Label(9),
+            op: Op::Div,
+        };
+        let options = CexOptions {
+            validate: false,
+            ..CexOptions::default()
+        };
         let cex = build_counterexample(&prover, &program, &heap, blame, &options)
             .expect("counterexample");
         let g_binding = cex.binding(Label(1)).expect("binding for g");

@@ -113,16 +113,18 @@ fn eval_in(expr: &Expr, env: &Env, fuel: &mut u64) -> Result<CValue, Stop> {
             match scrutinee {
                 CValue::Int(0) => eval_in(else_branch, env, fuel),
                 CValue::Int(_) => eval_in(then_branch, env, fuel),
-                CValue::Closure { .. } => {
-                    Err(Stop::Stuck("if on a function value".to_string()))
-                }
+                CValue::Closure { .. } => Err(Stop::Stuck("if on a function value".to_string())),
             }
         }
         Expr::App(function, argument) => {
             let function_value = eval_in(function, env, fuel)?;
             let argument_value = eval_in(argument, env, fuel)?;
             match function_value {
-                CValue::Closure { param, body, env: closure_env } => {
+                CValue::Closure {
+                    param,
+                    body,
+                    env: closure_env,
+                } => {
                     let mut extended = (*closure_env).clone();
                     extended.insert(param, argument_value);
                     eval_in(&body, &Rc::new(extended), fuel)

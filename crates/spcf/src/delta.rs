@@ -63,13 +63,7 @@ pub fn branch_truth(prover: &Prover, heap: &Heap, loc: Loc) -> Vec<(bool, Heap)>
 
 /// Applies primitive `op` to argument locations `args`, blaming `label` on
 /// failure. Returns every possible outcome with its refined heap.
-pub fn delta(
-    prover: &Prover,
-    heap: &Heap,
-    op: Op,
-    args: &[Loc],
-    label: Label,
-) -> Vec<DeltaResult> {
+pub fn delta(prover: &Prover, heap: &Heap, op: Op, args: &[Loc], label: Label) -> Vec<DeltaResult> {
     debug_assert_eq!(args.len(), op.arity(), "δ applied at wrong arity");
     let concrete: Option<Vec<i64>> = args.iter().map(|&l| heap.num_at(l)).collect();
     if let Some(values) = concrete {
@@ -396,7 +390,11 @@ mod tests {
         let prover = Prover::new();
         let results = delta(&prover, &heap, Op::Assert, &[l], label());
         assert_eq!(results.len(), 2);
-        assert!(results.iter().any(|(o, _)| matches!(o, PrimOutcome::Error(_))));
-        assert!(results.iter().any(|(o, _)| matches!(o, PrimOutcome::Value(_))));
+        assert!(results
+            .iter()
+            .any(|(o, _)| matches!(o, PrimOutcome::Error(_))));
+        assert!(results
+            .iter()
+            .any(|(o, _)| matches!(o, PrimOutcome::Value(_))));
     }
 }

@@ -204,10 +204,7 @@ mod tests {
                         Expr::Num(1),
                         Expr::Prim(
                             Op::Sub,
-                            vec![
-                                Expr::Num(100),
-                                Expr::app(Expr::var("g"), Expr::var("n")),
-                            ],
+                            vec![Expr::Num(100), Expr::app(Expr::var("g"), Expr::var("n"))],
                             Label(10),
                         ),
                     ],
@@ -217,7 +214,10 @@ mod tests {
         );
         // The unknown context applied to f.
         let unknown_ty = Type::arrow(
-            Type::arrow(Type::arrow(Type::Int, Type::Int), Type::arrow(Type::Int, Type::Int)),
+            Type::arrow(
+                Type::arrow(Type::Int, Type::Int),
+                Type::arrow(Type::Int, Type::Int),
+            ),
             Type::Int,
         );
         Expr::app(Expr::Opaque(unknown_ty, Label(1)), f)

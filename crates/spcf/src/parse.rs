@@ -286,7 +286,9 @@ impl Parser {
                     return Err(ParseError::new("malformed type"));
                 };
                 if head != "->" {
-                    return Err(ParseError::new(format!("unknown type constructor `{head}`")));
+                    return Err(ParseError::new(format!(
+                        "unknown type constructor `{head}`"
+                    )));
                 }
                 if items.len() < 3 {
                     return Err(ParseError::new("-> needs at least two types"));

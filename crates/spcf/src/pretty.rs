@@ -9,7 +9,11 @@ impl fmt::Display for Expr {
         match self {
             Expr::Var(x) => write!(f, "{x}"),
             Expr::Num(n) => write!(f, "{n}"),
-            Expr::Lam { param, param_ty, body } => {
+            Expr::Lam {
+                param,
+                param_ty,
+                body,
+            } => {
                 write!(f, "(lambda ({param} : {param_ty}) {body})")
             }
             Expr::App(function, argument) => write!(f, "({function} {argument})"),
@@ -38,7 +42,11 @@ mod tests {
     #[test]
     fn expressions_print_as_sexprs() {
         let e = Expr::app(
-            Expr::lam("x", Type::Int, Expr::Prim(Op::Add, vec![Expr::var("x"), Expr::Num(1)], Label(0))),
+            Expr::lam(
+                "x",
+                Type::Int,
+                Expr::Prim(Op::Add, vec![Expr::var("x"), Expr::Num(1)], Label(0)),
+            ),
             Expr::Num(41),
         );
         assert_eq!(e.to_string(), "((lambda (x : int) (+ x 1)) 41)");

@@ -86,7 +86,10 @@ mod tests {
         let l = heap.alloc(Storeable::Num(0));
         let prover = Prover::new();
         assert_eq!(prover.prove(&heap, l, &Refinement::zero()), Proof::Proved);
-        assert_eq!(prover.prove(&heap, l, &Refinement::non_zero()), Proof::Refuted);
+        assert_eq!(
+            prover.prove(&heap, l, &Refinement::non_zero()),
+            Proof::Refuted
+        );
     }
 
     #[test]
@@ -94,7 +97,10 @@ mod tests {
         let mut heap = Heap::new();
         let l = heap.alloc_fresh_opaque(Type::Int);
         let prover = Prover::new();
-        assert_eq!(prover.prove(&heap, l, &Refinement::zero()), Proof::Ambiguous);
+        assert_eq!(
+            prover.prove(&heap, l, &Refinement::zero()),
+            Proof::Ambiguous
+        );
     }
 
     #[test]
@@ -103,7 +109,10 @@ mod tests {
         let l = heap.alloc_fresh_opaque(Type::Int);
         heap.refine(l, Refinement::new(CmpOp::Ge, SymExpr::int(1)));
         let prover = Prover::new();
-        assert_eq!(prover.prove(&heap, l, &Refinement::non_zero()), Proof::Proved);
+        assert_eq!(
+            prover.prove(&heap, l, &Refinement::non_zero()),
+            Proof::Proved
+        );
         assert_eq!(prover.prove(&heap, l, &Refinement::zero()), Proof::Refuted);
     }
 

@@ -61,7 +61,9 @@ pub struct StepOptions {
 
 impl Default for StepOptions {
     fn default() -> Self {
-        StepOptions { use_case_maps: true }
+        StepOptions {
+            use_case_maps: true,
+        }
     }
 }
 
@@ -101,7 +103,11 @@ fn reduce(prover: &Prover, expr: &Expr, heap: &Heap, options: &StepOptions) -> V
             let loc = heap.alloc(Storeable::Num(*n));
             vec![(Expr::Loc(loc), heap)]
         }
-        Expr::Lam { param, param_ty, body } => {
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => {
             let mut heap = heap.clone();
             let loc = heap.alloc(Storeable::Lam {
                 param: param.clone(),
@@ -130,10 +136,9 @@ fn reduce(prover: &Prover, expr: &Expr, heap: &Heap, options: &StepOptions) -> V
                     (next, branch_heap)
                 })
                 .collect(),
-            _ => wrap(
-                reduce(prover, condition, heap, options),
-                |c| Expr::If(Box::new(c), then_branch.clone(), else_branch.clone()),
-            ),
+            _ => wrap(reduce(prover, condition, heap, options), |c| {
+                Expr::If(Box::new(c), then_branch.clone(), else_branch.clone())
+            }),
         },
 
         // [Prim] — evaluate arguments left to right, then apply δ.
@@ -233,7 +238,10 @@ fn apply(
         }
 
         // Applying an opaque function.
-        Storeable::Opaque { ty: Type::Arrow(domain, codomain), .. } => {
+        Storeable::Opaque {
+            ty: Type::Arrow(domain, codomain),
+            ..
+        } => {
             let domain = *domain;
             let codomain = *codomain;
             if domain.is_base() {
@@ -274,8 +282,8 @@ fn apply(
                 // (only possible when the codomain is itself a function).
                 if let Some((result_domain, _)) = codomain.as_arrow() {
                     let mut new_heap = heap.clone();
-                    let delayed = new_heap
-                        .alloc_fresh_opaque(Type::arrow(domain.clone(), codomain.clone()));
+                    let delayed =
+                        new_heap.alloc_fresh_opaque(Type::arrow(domain.clone(), codomain.clone()));
                     // V = λy. ((L1 x) y)
                     let wrapper_body = Expr::lam(
                         "y",

@@ -138,7 +138,11 @@ pub struct Blame {
 
 impl fmt::Display for Blame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error: {} violates precondition of {}", self.label, self.op)
+        write!(
+            f,
+            "error: {} violates precondition of {}",
+            self.label, self.op
+        )
     }
 }
 
@@ -243,7 +247,11 @@ impl Expr {
                 }
             }
             Expr::Num(_) | Expr::Opaque(_, _) | Expr::Loc(_) | Expr::Err(_) => self.clone(),
-            Expr::Lam { param, param_ty, body } => {
+            Expr::Lam {
+                param,
+                param_ty,
+                body,
+            } => {
                 if param == name {
                     self.clone()
                 } else {
@@ -254,7 +262,9 @@ impl Expr {
                     }
                 }
             }
-            Expr::App(f, a) => Expr::App(Box::new(f.subst(name, loc)), Box::new(a.subst(name, loc))),
+            Expr::App(f, a) => {
+                Expr::App(Box::new(f.subst(name, loc)), Box::new(a.subst(name, loc)))
+            }
             Expr::If(c, t, e) => Expr::If(
                 Box::new(c.subst(name, loc)),
                 Box::new(t.subst(name, loc)),
@@ -265,7 +275,11 @@ impl Expr {
                 args.iter().map(|a| a.subst(name, loc)).collect(),
                 *label,
             ),
-            Expr::Fix { name: rec_name, ty, body } => {
+            Expr::Fix {
+                name: rec_name,
+                ty,
+                body,
+            } => {
                 if rec_name == name {
                     self.clone()
                 } else {
@@ -293,7 +307,11 @@ impl Expr {
                 }
             }
             Expr::Num(_) | Expr::Opaque(_, _) | Expr::Loc(_) | Expr::Err(_) => self.clone(),
-            Expr::Lam { param, param_ty, body } => {
+            Expr::Lam {
+                param,
+                param_ty,
+                body,
+            } => {
                 if param == name {
                     self.clone()
                 } else {
@@ -315,10 +333,16 @@ impl Expr {
             ),
             Expr::Prim(op, args, label) => Expr::Prim(
                 *op,
-                args.iter().map(|a| a.subst_expr(name, replacement)).collect(),
+                args.iter()
+                    .map(|a| a.subst_expr(name, replacement))
+                    .collect(),
                 *label,
             ),
-            Expr::Fix { name: rec_name, ty, body } => {
+            Expr::Fix {
+                name: rec_name,
+                ty,
+                body,
+            } => {
                 if rec_name == name {
                     self.clone()
                 } else {
@@ -342,7 +366,11 @@ impl Expr {
         match self {
             Expr::Opaque(_, label) => lookup(*label).unwrap_or_else(|| self.clone()),
             Expr::Var(_) | Expr::Num(_) | Expr::Loc(_) | Expr::Err(_) => self.clone(),
-            Expr::Lam { param, param_ty, body } => Expr::Lam {
+            Expr::Lam {
+                param,
+                param_ty,
+                body,
+            } => Expr::Lam {
                 param: param.clone(),
                 param_ty: param_ty.clone(),
                 body: Box::new(body.instantiate_opaques(lookup)),
@@ -487,7 +515,11 @@ mod tests {
             Op::Div,
             vec![
                 Expr::Num(1),
-                Expr::Prim(Op::Sub, vec![Expr::Num(100), Expr::var("n")], sample_label(7)),
+                Expr::Prim(
+                    Op::Sub,
+                    vec![Expr::Num(100), Expr::var("n")],
+                    sample_label(7),
+                ),
             ],
             sample_label(8),
         );

@@ -147,7 +147,10 @@ fn translate_division(a: &SymExpr, b: &SymExpr, translation: &mut Translation) -
     // a = q·b + r
     translation.formulas.push(Formula::eq(
         dividend.clone(),
-        Term::add(Term::mul(quotient.clone(), divisor.clone()), remainder.clone()),
+        Term::add(
+            Term::mul(quotient.clone(), divisor.clone()),
+            remainder.clone(),
+        ),
     ));
     // |r| < |b|  encoded as  (b > 0 ⇒ (r < b ∧ -b < r)) ∧ (b < 0 ⇒ (r < -b ∧ b < r))
     translation.formulas.push(Formula::implies(
@@ -198,22 +201,16 @@ pub fn translate_equal(heap: &Heap, a: Loc, b: Loc, depth: u32) -> Formula {
         (Storeable::Num(_), Storeable::Num(_))
         | (Storeable::Num(_), Storeable::Opaque { ty: Type::Int, .. })
         | (Storeable::Opaque { ty: Type::Int, .. }, Storeable::Num(_))
-        | (
-            Storeable::Opaque { ty: Type::Int, .. },
-            Storeable::Opaque { ty: Type::Int, .. },
-        ) => Formula::eq(Term::var(a.solver_var()), Term::var(b.solver_var())),
+        | (Storeable::Opaque { ty: Type::Int, .. }, Storeable::Opaque { ty: Type::Int, .. }) => {
+            Formula::eq(Term::var(a.solver_var()), Term::var(b.solver_var()))
+        }
         // Two case maps: pointwise functionality.
-        (
-            Storeable::Case { entries: ea, .. },
-            Storeable::Case { entries: eb, .. },
-        ) => {
+        (Storeable::Case { entries: ea, .. }, Storeable::Case { entries: eb, .. }) => {
             let mut parts = Vec::new();
             for (arg_a, res_a) in ea {
                 for (arg_b, res_b) in eb {
-                    let antecedent = Formula::eq(
-                        Term::var(arg_a.solver_var()),
-                        Term::var(arg_b.solver_var()),
-                    );
+                    let antecedent =
+                        Formula::eq(Term::var(arg_a.solver_var()), Term::var(arg_b.solver_var()));
                     let consequent = translate_equal(heap, *res_a, *res_b, depth - 1);
                     parts.push(Formula::implies(antecedent, consequent));
                 }
@@ -223,10 +220,9 @@ pub fn translate_equal(heap: &Heap, a: Loc, b: Loc, depth: u32) -> Formula {
         // Two λ-abstractions: equal when their bodies are structurally equal
         // up to stored locations (the shapes generated by AppOpq2/3 and
         // AppHavoc), different shapes translate to False.
-        (
-            Storeable::Lam { body: body_a, .. },
-            Storeable::Lam { body: body_b, .. },
-        ) => translate_body_equal(heap, body_a, body_b, depth - 1),
+        (Storeable::Lam { body: body_a, .. }, Storeable::Lam { body: body_b, .. }) => {
+            translate_body_equal(heap, body_a, body_b, depth - 1)
+        }
         // Fully opaque functions: no information either way.
         (Storeable::Opaque { .. }, _) | (_, Storeable::Opaque { .. }) => Formula::True,
         // Different shapes cannot be equal.
@@ -264,8 +260,16 @@ fn translate_body_equal(
             }
         }
         (
-            Expr::Lam { param: pa, body: ba, .. },
-            Expr::Lam { param: pb, body: bb, .. },
+            Expr::Lam {
+                param: pa,
+                body: ba,
+                ..
+            },
+            Expr::Lam {
+                param: pb,
+                body: bb,
+                ..
+            },
         ) => {
             if pa == pb {
                 translate_body_equal(heap, ba, bb, depth)

@@ -43,11 +43,22 @@ impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
-            TypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             TypeError::NotAFunction(t) => write!(f, "cannot apply a value of type {t}"),
-            TypeError::Arity { op, expected, found } => {
+            TypeError::Arity {
+                op,
+                expected,
+                found,
+            } => {
                 write!(f, "`{op}` expects {expected} argument(s), got {found}")
             }
             TypeError::InternalForm => write!(f, "internal form in source program"),
@@ -83,7 +94,11 @@ fn check(expr: &Expr, env: &mut HashMap<String, Vec<Type>>) -> Result<Type, Type
             .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
         Expr::Num(_) => Ok(Type::Int),
         Expr::Opaque(ty, _) => Ok(ty.clone()),
-        Expr::Lam { param, param_ty, body } => {
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => {
             env.entry(param.clone()).or_default().push(param_ty.clone());
             let body_ty = check(body, env);
             env.get_mut(param).map(Vec::pop);
@@ -196,15 +211,20 @@ mod tests {
             ty,
             Type::arrow(
                 Type::Int,
-                Type::arrow(Type::arrow(Type::Int, Type::Int), Type::arrow(Type::Int, Type::Int))
+                Type::arrow(
+                    Type::arrow(Type::Int, Type::Int),
+                    Type::arrow(Type::Int, Type::Int)
+                )
             )
         );
     }
 
     #[test]
     fn application_type_mismatch_is_rejected() {
-        let bad = Expr::app(Expr::lam("x", Type::Int, Expr::var("x")),
-                            Expr::lam("y", Type::Int, Expr::var("y")));
+        let bad = Expr::app(
+            Expr::lam("x", Type::Int, Expr::var("x")),
+            Expr::lam("y", Type::Int, Expr::var("y")),
+        );
         assert!(matches!(type_of(&bad), Err(TypeError::Mismatch { .. })));
     }
 

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --example argmin`.
 
-use cpcf::{analyze_source, Expr, ExportAnalysis};
+use cpcf::{analyze_source, ExportAnalysis, Expr};
 
 const PROGRAM: &str = r#"
 (module argmin
@@ -41,7 +41,11 @@ fn main() {
             });
             println!(
                 "\nthe breaking key function answers with a complex number: {}",
-                if has_complex { "yes (as in the paper: f = (λ (x) 0+1i))" } else { "no" }
+                if has_complex {
+                    "yes (as in the paper: f = (λ (x) 0+1i))"
+                } else {
+                    "no"
+                }
             );
             println!("validated by concrete re-execution: {}", cex.validated);
         }

@@ -24,7 +24,10 @@ fn main() {
     println!("program:\n  {source}\n");
     match analyze(&program) {
         Analysis::Counterexample(cex) => {
-            println!("found a counterexample (validated by concrete re-execution: {}):", cex.validated);
+            println!(
+                "found a counterexample (validated by concrete re-execution: {}):",
+                cex.validated
+            );
             println!("{cex}");
             println!("instantiated program:");
             println!("  {}", cex.instantiate(&program));

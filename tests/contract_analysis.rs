@@ -62,7 +62,9 @@ fn higher_order_counterexamples_reconstruct_functions() {
     let cex = report.first_counterexample().expect("counterexample");
     assert!(cex.validated);
     assert!(
-        cex.bindings.iter().any(|(_, e)| matches!(e, cpcf::Expr::Lam { .. })),
+        cex.bindings
+            .iter()
+            .any(|(_, e)| matches!(e, cpcf::Expr::Lam { .. })),
         "the breaking context must contain a function: {:?}",
         cex.bindings
     );
@@ -100,7 +102,9 @@ fn mutable_state_protocols_are_checked() {
         "#,
     )
     .expect("parses");
-    let cex = report.first_counterexample().expect("double acquire is caught");
+    let cex = report
+        .first_counterexample()
+        .expect("double acquire is caught");
     assert!(cex.validated);
 }
 
@@ -113,7 +117,10 @@ fn or_contracts_accept_both_branches() {
           (define (f x) (if (integer? x) (+ x 1) (string-length x))))
         "#,
     );
-    assert!(matches!(verdict, ExportAnalysis::Verified), "got {verdict:?}");
+    assert!(
+        matches!(verdict, ExportAnalysis::Verified),
+        "got {verdict:?}"
+    );
 }
 
 #[test]

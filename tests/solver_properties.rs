@@ -1,33 +1,51 @@
-//! Property-based integration tests for the first-order solver: every model
-//! it reports satisfies the asserted formulas, and validity answers agree
-//! with brute-force evaluation on bounded instances.
+//! Property-based integration tests, driven by a seeded [`StdRng`] so runs
+//! are reproducible without any external property-testing framework.
+//!
+//! Two families of properties:
+//!
+//! 1. **Solver soundness** — every model the first-order solver reports
+//!    satisfies the asserted formulas, UNSAT answers agree with brute-force
+//!    search on bounded instances, and validity answers are never
+//!    contradicted by a witness.
+//! 2. **Prover-session equivalence** — over randomized symbolic heaps and
+//!    query sequences (including branch-cloned sibling heaps and
+//!    non-monotone overwrites), the incremental [`cpcf::ProverSession`]
+//!    returns exactly the verdicts of the `fresh_per_query` baseline that
+//!    re-encodes the heap on every query.
 
-use folic::{CmpOp, Formula, Model, Solver, SmtResult, Term, Var};
-use proptest::prelude::*;
+use folic::{CmpOp, Formula, Model, SmtResult, Solver, Term, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A small strategy for linear atoms over three variables with small
-/// coefficients and constants.
-fn atom_strategy() -> impl Strategy<Value = Formula> {
-    let var = (0u32..3).prop_map(|i| Term::var(Var::new(i)));
-    let coeff = -3i64..=3;
-    let constant = -10i64..=10;
-    (var, coeff, constant, 0usize..6).prop_map(|(v, k, c, op)| {
-        let lhs = Term::mul(Term::int(k), v);
-        let rhs = Term::int(c);
-        let op = match op {
-            0 => CmpOp::Eq,
-            1 => CmpOp::Ne,
-            2 => CmpOp::Lt,
-            3 => CmpOp::Le,
-            4 => CmpOp::Gt,
-            _ => CmpOp::Ge,
-        };
-        Formula::atom(lhs, op, rhs)
-    })
+const CASES: usize = 64;
+
+fn random_cmp(rng: &mut StdRng) -> CmpOp {
+    match rng.gen_range(0..6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
 }
 
-fn conjunction_strategy() -> impl Strategy<Value = Vec<Formula>> {
-    prop::collection::vec(atom_strategy(), 1..6)
+/// A random linear atom `k·xᵢ op c` over three variables with small
+/// coefficients and constants.
+fn random_atom(rng: &mut StdRng) -> Formula {
+    let var = Term::var(Var::new(rng.gen_range(0u32..3)));
+    let coeff = rng.gen_range(-3i64..=3);
+    let constant = rng.gen_range(-10i64..=10);
+    Formula::atom(
+        Term::mul(Term::int(coeff), var),
+        random_cmp(rng),
+        Term::int(constant),
+    )
+}
+
+fn random_conjunction(rng: &mut StdRng) -> Vec<Formula> {
+    let len = rng.gen_range(1usize..6);
+    (0..len).map(|_| random_atom(rng)).collect()
 }
 
 /// Brute force: is the conjunction satisfiable with all variables in
@@ -37,13 +55,9 @@ fn brute_force_sat(formulas: &[Formula]) -> bool {
     for x0 in -15i64..=15 {
         for x1 in -15i64..=15 {
             for x2 in -15i64..=15 {
-                let model: Model = vec![
-                    (Var::new(0), x0),
-                    (Var::new(1), x1),
-                    (Var::new(2), x2),
-                ]
-                .into_iter()
-                .collect();
+                let model: Model = vec![(Var::new(0), x0), (Var::new(1), x1), (Var::new(2), x2)]
+                    .into_iter()
+                    .collect();
                 if formulas
                     .iter()
                     .all(|f| model.eval_formula(f).unwrap_or(false))
@@ -56,22 +70,29 @@ fn brute_force_sat(formulas: &[Formula]) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn models_satisfy_their_formulas(formulas in conjunction_strategy()) {
+#[test]
+fn models_satisfy_their_formulas() {
+    let mut rng = StdRng::seed_from_u64(0xF011C);
+    for _ in 0..CASES {
+        let formulas = random_conjunction(&mut rng);
         let mut solver = Solver::new();
         for f in &formulas {
             solver.assert(f.clone());
         }
         if let SmtResult::Sat(model) = solver.check() {
-            prop_assert!(model.satisfies_all(&formulas), "model {model} does not satisfy {formulas:?}");
+            assert!(
+                model.satisfies_all(&formulas),
+                "model {model} does not satisfy {formulas:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn sat_answers_agree_with_brute_force(formulas in conjunction_strategy()) {
+#[test]
+fn sat_answers_agree_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xB055);
+    for _ in 0..CASES {
+        let formulas = random_conjunction(&mut rng);
         let mut solver = Solver::new();
         for f in &formulas {
             solver.assert(f.clone());
@@ -82,14 +103,22 @@ proptest! {
                 // here we only require agreement when the solver says UNSAT.
             }
             SmtResult::Unsat => {
-                prop_assert!(!brute_force_sat(&formulas), "solver said unsat but {formulas:?} has a model");
+                assert!(
+                    !brute_force_sat(&formulas),
+                    "solver said unsat but {formulas:?} has a model"
+                );
             }
             SmtResult::Unknown => {}
         }
     }
+}
 
-    #[test]
-    fn validity_is_never_contradicted_by_a_witness(formulas in conjunction_strategy(), goal in atom_strategy()) {
+#[test]
+fn validity_is_never_contradicted_by_a_witness() {
+    let mut rng = StdRng::seed_from_u64(0xDEC1DE);
+    for _ in 0..CASES {
+        let formulas = random_conjunction(&mut rng);
+        let goal = random_atom(&mut rng);
         let mut solver = Solver::new();
         for f in &formulas {
             solver.assert(f.clone());
@@ -97,8 +126,229 @@ proptest! {
         if solver.check_valid(&goal) == folic::Validity::Valid {
             // Then asserting the negation must be unsatisfiable — double-check
             // by asking for a model.
-            let result = solver.check_with(&[Formula::not(goal.clone())]);
-            prop_assert!(!result.is_sat(), "valid goal {goal} has a countermodel under {formulas:?}");
+            let result = solver.check_assuming(&[Formula::not(goal.clone())]);
+            assert!(
+                !result.is_sat(),
+                "valid goal {goal} has a countermodel under {formulas:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prover-session equivalence
+// ---------------------------------------------------------------------------
+
+mod session_equivalence {
+    use super::*;
+    use cpcf::heap::{CRefinement, CSymExpr, Heap, SVal, Tag};
+    use cpcf::{Loc, Number, ProveConfig, ProverSession};
+
+    /// A random atomic operand: a location or a small constant.
+    fn random_operand(rng: &mut StdRng, locs: &[Loc]) -> CSymExpr {
+        if rng.gen_bool(0.5) && !locs.is_empty() {
+            CSymExpr::loc(locs[rng.gen_range(0..locs.len())])
+        } else {
+            CSymExpr::int(rng.gen_range(-20i64..=20))
+        }
+    }
+
+    /// A random symbolic expression over the heap's locations, kept inside
+    /// the *linear* fragment (multiplication and division only by constants)
+    /// so the bounded LIA search decides every instance quickly — the
+    /// property under test is the incremental encoding bookkeeping, not
+    /// solver completeness on nonlinear arithmetic.
+    fn random_sym_expr(rng: &mut StdRng, locs: &[Loc], depth: u32) -> CSymExpr {
+        if depth == 0 {
+            return random_operand(rng, locs);
+        }
+        match rng.gen_range(0..8) {
+            0..=2 => random_operand(rng, locs),
+            3 => CSymExpr::Add(
+                Box::new(random_operand(rng, locs)),
+                Box::new(random_operand(rng, locs)),
+            ),
+            4 => CSymExpr::Sub(
+                Box::new(random_operand(rng, locs)),
+                Box::new(random_operand(rng, locs)),
+            ),
+            5 => CSymExpr::Mul(
+                Box::new(CSymExpr::int(rng.gen_range(-3i64..=3))),
+                Box::new(random_operand(rng, locs)),
+            ),
+            6 => {
+                let divisor = [-3i64, -2, 2, 3][rng.gen_range(0..4usize)];
+                CSymExpr::Div(
+                    Box::new(random_operand(rng, locs)),
+                    Box::new(CSymExpr::int(divisor)),
+                )
+            }
+            _ => {
+                let divisor = [-3i64, -2, 2, 3][rng.gen_range(0..4usize)];
+                CSymExpr::Mod(
+                    Box::new(random_operand(rng, locs)),
+                    Box::new(CSymExpr::int(divisor)),
+                )
+            }
+        }
+    }
+
+    /// Applies one random mutation to the heap, exercising monotone growth
+    /// (refinements, allocations, memo entries) as well as the non-monotone
+    /// overwrites that force the incremental engine to re-encode.
+    fn random_mutation(rng: &mut StdRng, heap: &mut Heap, locs: &mut Vec<Loc>) {
+        match rng.gen_range(0..10) {
+            // Most often: a numeric refinement, the evaluator's bread and
+            // butter along a path condition.
+            0..=4 => {
+                let loc = locs[rng.gen_range(0..locs.len())];
+                if matches!(heap.get(loc), SVal::Opaque { .. }) {
+                    let rhs = random_sym_expr(rng, locs, 1);
+                    heap.refine(loc, CRefinement::NumCmp(random_cmp(rng), rhs));
+                }
+            }
+            // A fresh opaque or concrete integer allocation.
+            5 | 6 => {
+                let loc = if rng.gen_bool(0.5) {
+                    heap.alloc_fresh_opaque()
+                } else {
+                    heap.alloc(SVal::Num(Number::Int(rng.gen_range(-20i64..=20))))
+                };
+                locs.push(loc);
+            }
+            // A tag refinement (cache-key relevant, encoding-irrelevant).
+            7 => {
+                let loc = locs[rng.gen_range(0..locs.len())];
+                if matches!(heap.get(loc), SVal::Opaque { .. }) {
+                    heap.refine(loc, CRefinement::Is(Tag::Integer));
+                }
+            }
+            // A memo-table entry on an opaque function (functionality).
+            8 => {
+                let f = locs[rng.gen_range(0..locs.len())];
+                let arg = locs[rng.gen_range(0..locs.len())];
+                let res = locs[rng.gen_range(0..locs.len())];
+                if let SVal::Opaque {
+                    refinements,
+                    entries,
+                } = heap.get(f).clone()
+                {
+                    let mut entries = entries;
+                    if !entries.iter().any(|(a, _)| *a == arg) {
+                        entries.push((arg, res));
+                        heap.set(
+                            f,
+                            SVal::Opaque {
+                                refinements,
+                                entries,
+                            },
+                        );
+                    }
+                }
+            }
+            // A non-monotone overwrite: structural refinement to a pair.
+            _ => {
+                let loc = locs[rng.gen_range(0..locs.len())];
+                if matches!(heap.get(loc), SVal::Opaque { .. }) {
+                    let car = heap.alloc_fresh_opaque();
+                    let cdr = heap.alloc_fresh_opaque();
+                    locs.push(car);
+                    locs.push(cdr);
+                    heap.set(loc, SVal::Pair(car, cdr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_session_matches_fresh_baseline() {
+        let mut rng = StdRng::seed_from_u64(0x5E55_1011);
+        for case in 0..CASES / 2 {
+            let mut incremental = ProverSession::new();
+            let mut fresh = ProverSession::with_config(ProveConfig {
+                fresh_per_query: true,
+                ..ProveConfig::default()
+            });
+            // A pool of heaps: mutations sometimes fork a branch (cloning a
+            // pool member), sometimes extend one, so the incremental session
+            // sees the evaluator's real access pattern — interleaved queries
+            // on diverging sibling heaps.
+            let mut base = Heap::new();
+            let locs: Vec<Loc> = (0..rng.gen_range(2usize..5))
+                .map(|_| base.alloc_fresh_opaque())
+                .collect();
+            let mut pool: Vec<(Heap, Vec<Loc>)> = vec![(base, locs)];
+
+            for step in 0..rng.gen_range(4usize..10) {
+                let index = rng.gen_range(0..pool.len());
+                if pool.len() < 4 && rng.gen_bool(0.3) {
+                    let fork = pool[index].clone();
+                    pool.push(fork);
+                }
+                let (heap, locs) = &mut pool[index];
+                random_mutation(&mut rng, heap, locs);
+
+                // Query both engines on a random pool member (not
+                // necessarily the one just mutated).
+                let (query_heap, query_locs) = &pool[rng.gen_range(0..pool.len())];
+                let loc = query_locs[rng.gen_range(0..query_locs.len())];
+                let op = random_cmp(&mut rng);
+                let rhs = random_sym_expr(&mut rng, query_locs, 1);
+                let a = incremental.prove_num(query_heap, loc, op, &rhs);
+                let b = fresh.prove_num(query_heap, loc, op, &rhs);
+                assert_eq!(
+                    a, b,
+                    "case {case} step {step}: incremental {a:?} != fresh {b:?} \
+                     for {loc} {op:?} {rhs} on heap {query_heap}"
+                );
+                // Asking again must be stable (and exercises the cache).
+                let again = incremental.prove_num(query_heap, loc, op, &rhs);
+                assert_eq!(a, again, "case {case} step {step}: unstable cached verdict");
+            }
+            // Every step asked the same question twice on an unchanged heap,
+            // so at least half the numeric queries must be cache hits.
+            let stats = incremental.stats();
+            assert!(
+                stats.cache_hits * 2 >= stats.num_queries,
+                "case {case}: too few cache hits: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_heap_models_satisfy_the_translation() {
+        let mut rng = StdRng::seed_from_u64(0x40DE15);
+        for _ in 0..CASES / 2 {
+            let mut heap = Heap::new();
+            let mut locs: Vec<Loc> = (0..3).map(|_| heap.alloc_fresh_opaque()).collect();
+            for _ in 0..rng.gen_range(2usize..8) {
+                random_mutation(&mut rng, &mut heap, &mut locs);
+            }
+            let mut incremental = ProverSession::new();
+            let mut fresh = ProverSession::with_config(ProveConfig {
+                fresh_per_query: true,
+                ..ProveConfig::default()
+            });
+            let a = incremental.heap_model(&heap);
+            let b = fresh.heap_model(&heap);
+            assert_eq!(
+                a.is_some(),
+                b.is_some(),
+                "model existence diverges on heap {heap}"
+            );
+            if let Some(model) = a {
+                let translation = cpcf::prove::translate_heap(&heap);
+                // Division/modulo introduce existential witness variables
+                // whose numbering differs between the session and baseline
+                // encodings, so the cross-check only applies when the
+                // translation is witness-free.
+                if translation.next_aux() == heap.next_index() {
+                    assert!(
+                        model.satisfies_all(&translation.formulas),
+                        "incremental model {model} does not satisfy the heap translation {heap}"
+                    );
+                }
+            }
         }
     }
 }

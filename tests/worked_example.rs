@@ -17,7 +17,10 @@ fn worked_example() -> spcf::Expr {
 fn spcf_worked_example_produces_validated_higher_order_counterexample() {
     match analyze(&worked_example()) {
         Analysis::Counterexample(cex) => {
-            assert!(cex.validated, "Theorem 1 made operational: the counterexample re-runs");
+            assert!(
+                cex.validated,
+                "Theorem 1 made operational: the counterexample re-runs"
+            );
             // The unknown context is the single opaque value of the program.
             assert_eq!(cex.bindings.len(), 1);
         }
@@ -63,7 +66,9 @@ fn case_maps_keep_the_path_condition_complete() {
     );
 
     let without = Engine::with_options(AnalysisOptions {
-        step: StepOptions { use_case_maps: false },
+        step: StepOptions {
+            use_case_maps: false,
+        },
         ..AnalysisOptions::default()
     })
     .analyze(&program);
@@ -76,10 +81,8 @@ fn case_maps_keep_the_path_condition_complete() {
 #[test]
 fn cpcf_and_spcf_agree_on_the_division_example() {
     // The same bug expressed in both languages is found by both engines.
-    let spcf_program = parse::parse(
-        "((lambda (n : int) (div 1 (- 100 n))) (• int))",
-    )
-    .expect("parses");
+    let spcf_program =
+        parse::parse("((lambda (n : int) (div 1 (- 100 n))) (• int))").expect("parses");
     let spcf_result = analyze(&spcf_program);
     assert!(matches!(spcf_result, Analysis::Counterexample(_)));
 
