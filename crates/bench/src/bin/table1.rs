@@ -8,12 +8,16 @@
 //! ```text
 //! cargo run --release -p bench --bin table1 \
 //!     [--group kobayashi|terauchi|occurrence|games|others] \
-//!     [--fresh-per-query] [--differential] [--json]
+//!     [--workers N] [--fresh-per-query] [--differential] [--json]
 //! ```
 //!
-//! `--fresh-per-query` runs the original solver-per-query engine instead of
-//! the incremental prover session; `--differential` runs both and checks the
-//! verdicts agree; `--json` emits the machine-readable report on stdout.
+//! `--workers N` shards the run over `N` threads (programs across threads,
+//! and a module's exports across threads inside the analyzer; default: the
+//! `ANALYZE_WORKERS` environment variable, or 1); `--fresh-per-query` runs
+//! the original solver-per-query engine instead of the incremental prover
+//! session; `--differential` runs both and checks the verdicts agree;
+//! `--json` emits the machine-readable report (per-row and aggregate stats,
+//! including per-worker and cross-variant cache-hit numbers) on stdout.
 
 use scv_bench::corpus::{all_programs, group_programs, Group};
 use scv_bench::harness::{run_all, run_program_differential, BenchOptions};
@@ -39,16 +43,29 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let differential = args.iter().any(|a| a == "--differential");
     let fresh = args.iter().any(|a| a == "--fresh-per-query");
+    let workers = args.iter().position(|a| a == "--workers").map(|i| {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--workers requires a count");
+            std::process::exit(2);
+        };
+        value.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("invalid worker count `{value}`");
+            std::process::exit(2);
+        })
+    });
 
     let programs = match group {
         Some(group) => group_programs(group),
         None => all_programs(),
     };
-    let options = if fresh {
+    let mut options = if fresh {
         BenchOptions::default().fresh_per_query()
     } else {
         BenchOptions::default()
     };
+    if let Some(workers) = workers {
+        options = options.with_workers(workers);
+    }
 
     if differential {
         let mut mismatches = 0usize;

@@ -1,8 +1,22 @@
 //! Running the analysis on corpus programs and collecting Table 1 rows.
+//!
+//! Parallelism operates at two grains, both driven by
+//! [`AnalyzeOptions::workers`]: inside `cpcf` the per-export analyses of a
+//! module are sharded across worker threads, and here the corpus programs
+//! themselves are sharded across the same number of threads
+//! ([`run_all`]) — the corpus is dominated by single-export modules, so the
+//! program-level grain is where most of the wall-clock saving comes from.
+//! Each program gets one [`SharedVerdictCache`] spanning its correct and
+//! faulty variant runs; the cache's epoch counter makes the cross-variant
+//! verdict reuse measurable ([`ProgramResult::cross_variant_cache_hits`]).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use cpcf::{analyze_module, AnalyzeOptions, EvalOptions, ExportAnalysis, Expr, SessionStats};
+use cpcf::{
+    analyze_module, AnalyzeOptions, EvalOptions, ExportAnalysis, Expr, SessionStats,
+    SharedVerdictCache,
+};
 use serde::{JsonObject, Serialize};
 
 use crate::corpus::{BenchProgram, Group};
@@ -10,7 +24,8 @@ use crate::corpus::{BenchProgram, Group};
 /// Options for a harness run.
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
-    /// Options handed to the analyzer.
+    /// Options handed to the analyzer. `analyze.workers` doubles as the
+    /// program-level shard count of [`run_all`].
     pub analyze: AnalyzeOptions,
 }
 
@@ -26,6 +41,7 @@ impl Default for BenchOptions {
                 },
                 validate: true,
                 context_depth: 2,
+                ..AnalyzeOptions::default()
             },
         }
     }
@@ -46,6 +62,7 @@ impl BenchOptions {
                 },
                 validate: true,
                 context_depth: 1,
+                ..AnalyzeOptions::default()
             },
         }
     }
@@ -54,6 +71,13 @@ impl BenchOptions {
     /// original fresh-solver-per-query engine (the ablation baseline).
     pub fn fresh_per_query(mut self) -> Self {
         self.analyze.eval.prove.fresh_per_query = true;
+        self
+    }
+
+    /// The same budget sharded over `workers` threads (both the per-export
+    /// and the program-level grain).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.analyze.workers = workers.max(1);
         self
     }
 }
@@ -101,6 +125,10 @@ pub struct StatsSummary {
     pub queries: u64,
     /// Queries answered from the verdict cache.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` inherited from a shared cache — verdicts
+    /// computed by another session (a sibling worker or an earlier variant
+    /// run).
+    pub shared_cache_hits: u64,
     /// Whole-heap encodings performed.
     pub full_encodings: u64,
     /// Incremental journal-suffix encodings performed.
@@ -109,6 +137,10 @@ pub struct StatsSummary {
     pub reused_encodings: u64,
     /// Satisfiability checks issued to the first-order solver.
     pub solver_checks: u64,
+    /// Conflicts encountered by the CDCL core.
+    pub solver_conflicts: u64,
+    /// Unit propagations performed by the CDCL core.
+    pub solver_propagations: u64,
     /// Wall-clock milliseconds spent inside the first-order solver.
     pub solver_ms: u128,
 }
@@ -119,10 +151,13 @@ impl StatsSummary {
         StatsSummary {
             queries: stats.queries,
             cache_hits: stats.cache_hits,
+            shared_cache_hits: stats.shared_cache_hits,
             full_encodings: stats.full_encodings,
             delta_encodings: stats.delta_encodings,
             reused_encodings: stats.reused_encodings,
             solver_checks: stats.solver.checks,
+            solver_conflicts: stats.solver.conflicts,
+            solver_propagations: stats.solver.propagations,
             solver_ms: stats.solver.time.as_millis(),
         }
     }
@@ -131,10 +166,13 @@ impl StatsSummary {
     pub fn merge(&mut self, other: &StatsSummary) {
         self.queries += other.queries;
         self.cache_hits += other.cache_hits;
+        self.shared_cache_hits += other.shared_cache_hits;
         self.full_encodings += other.full_encodings;
         self.delta_encodings += other.delta_encodings;
         self.reused_encodings += other.reused_encodings;
         self.solver_checks += other.solver_checks;
+        self.solver_conflicts += other.solver_conflicts;
+        self.solver_propagations += other.solver_propagations;
         self.solver_ms += other.solver_ms;
     }
 }
@@ -144,10 +182,13 @@ impl Serialize for StatsSummary {
         JsonObject::new()
             .field("queries", &self.queries)
             .field("cache_hits", &self.cache_hits)
+            .field("shared_cache_hits", &self.shared_cache_hits)
             .field("full_encodings", &self.full_encodings)
             .field("delta_encodings", &self.delta_encodings)
             .field("reused_encodings", &self.reused_encodings)
             .field("solver_checks", &self.solver_checks)
+            .field("solver_conflicts", &self.solver_conflicts)
+            .field("solver_propagations", &self.solver_propagations)
             .field("solver_ms", &self.solver_ms)
             .finish()
     }
@@ -177,6 +218,14 @@ pub struct ProgramResult {
     pub expected_unsolved: bool,
     /// Prover-session statistics summed over both variants.
     pub stats: StatsSummary,
+    /// Shared-cache hits during the faulty variant run on verdicts computed
+    /// during the correct variant run (both variants share one cache whose
+    /// epoch is advanced between them). Zero when the cache is disabled
+    /// (fresh-per-query mode).
+    pub cross_variant_cache_hits: u64,
+    /// Per-analysis-worker statistics, summed across both variants by
+    /// worker index (a single entry when the analysis ran sequentially).
+    pub worker_summaries: Vec<StatsSummary>,
 }
 
 impl Serialize for ProgramResult {
@@ -192,6 +241,8 @@ impl Serialize for ProgramResult {
             .field("faulty_ms", &self.faulty_ms)
             .field("expected_unsolved", &self.expected_unsolved)
             .field("stats", &self.stats)
+            .field("cross_variant_cache_hits", &self.cross_variant_cache_hits)
+            .field("per_worker", &self.worker_summaries)
             .finish()
     }
 }
@@ -232,10 +283,19 @@ pub fn contract_order(contract: &Expr) -> u32 {
     }
 }
 
-fn analyze_variant(source: &str, options: &BenchOptions) -> (Verdict, u128, u32, StatsSummary) {
+fn analyze_variant(
+    source: &str,
+    options: &BenchOptions,
+) -> (Verdict, u128, u32, StatsSummary, Vec<StatsSummary>) {
     let start = Instant::now();
     let Ok((program, _)) = cpcf::parse_program(source) else {
-        return (Verdict::ParseError, 0, 0, StatsSummary::default());
+        return (
+            Verdict::ParseError,
+            0,
+            0,
+            StatsSummary::default(),
+            Vec::new(),
+        );
     };
     let module_name = program
         .modules
@@ -275,16 +335,43 @@ fn analyze_variant(source: &str, options: &BenchOptions) -> (Verdict, u128, u32,
         elapsed,
         order,
         StatsSummary::from_session(&report.stats),
+        report
+            .worker_stats
+            .iter()
+            .map(StatsSummary::from_session)
+            .collect(),
     )
 }
 
-/// Runs both variants of a corpus program.
+/// Sums two per-worker summary lists by worker index.
+fn merge_worker_summaries(
+    mut left: Vec<StatsSummary>,
+    right: &[StatsSummary],
+) -> Vec<StatsSummary> {
+    if left.len() < right.len() {
+        left.resize(right.len(), StatsSummary::default());
+    }
+    for (slot, summary) in left.iter_mut().zip(right) {
+        slot.merge(summary);
+    }
+    left
+}
+
+/// Runs both variants of a corpus program. The two runs share one
+/// [`SharedVerdictCache`] with an epoch boundary between them, so the faulty
+/// run reuses every verdict the correct run computed on their (large) shared
+/// evaluation prefix — and the reuse is reported as
+/// [`ProgramResult::cross_variant_cache_hits`].
 pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramResult {
     eprintln!("[table1] analysing {} ...", program.name);
-    let (correct_verdict, correct_ms, order, correct_stats) =
-        analyze_variant(program.correct, options);
-    let (faulty_verdict, faulty_ms, faulty_order, faulty_stats) =
-        analyze_variant(program.faulty, options);
+    let cache = SharedVerdictCache::new();
+    let mut options = options.clone();
+    options.analyze.shared_cache = Some(cache.clone());
+    let (correct_verdict, correct_ms, order, correct_stats, correct_workers) =
+        analyze_variant(program.correct, &options);
+    cache.advance_epoch();
+    let (faulty_verdict, faulty_ms, faulty_order, faulty_stats, faulty_workers) =
+        analyze_variant(program.faulty, &options);
     eprintln!(
         "[table1]   {}: correct {:?} in {} ms, faulty {:?} in {} ms",
         program.name, correct_verdict, correct_ms, faulty_verdict, faulty_ms
@@ -302,12 +389,55 @@ pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramRes
         faulty_ms,
         expected_unsolved: program.expected_unsolved,
         stats,
+        cross_variant_cache_hits: cache.cross_epoch_hits(),
+        worker_summaries: merge_worker_summaries(correct_workers, &faulty_workers),
     }
 }
 
-/// Runs a list of programs.
+/// Runs a list of programs, sharding them across `options.analyze.workers`
+/// threads (each program's two variants stay on one thread so the
+/// cross-variant cache sharing is preserved). Results come back in corpus
+/// order regardless of completion order.
 pub fn run_all(programs: &[BenchProgram], options: &BenchOptions) -> Vec<ProgramResult> {
-    programs.iter().map(|p| run_program(p, options)).collect()
+    let workers = options.analyze.workers.clamp(1, programs.len().max(1));
+    if workers <= 1 {
+        return programs.iter().map(|p| run_program(p, options)).collect();
+    }
+    // The thread budget is shared, not multiplied: with the programs already
+    // sharded across `workers` threads, each program's analysis runs its
+    // exports sequentially (export-level sharding pays off when a single
+    // program is analysed in isolation, e.g. via `run_program`).
+    let mut options = options.clone();
+    options.analyze.workers = 1;
+    let options = &options;
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ProgramResult>> = vec![None; programs.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut rows = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::SeqCst);
+                        let Some(program) = programs.get(index) else {
+                            break;
+                        };
+                        rows.push((index, run_program(program, options)));
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, row) in handle.join().expect("bench worker panicked") {
+                slots[index] = Some(row);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every program slot is filled"))
+        .collect()
 }
 
 /// Runs every program of a group.
@@ -441,10 +571,82 @@ mod tests {
                 cache_hits: 3,
                 ..StatsSummary::default()
             },
+            cross_variant_cache_hits: 2,
+            worker_summaries: vec![StatsSummary {
+                queries: 10,
+                ..StatsSummary::default()
+            }],
         };
         let json = result.to_json();
         assert!(json.contains("\"name\":\"a\""));
         assert!(json.contains("\"correct_verdict\":\"ok\""));
         assert!(json.contains("\"cache_hits\":3"));
+        assert!(json.contains("\"cross_variant_cache_hits\":2"));
+        assert!(json.contains("\"per_worker\":[{"));
+    }
+
+    #[test]
+    fn variants_share_verdicts_across_the_epoch_boundary() {
+        let program = group_programs(crate::corpus::Group::Kobayashi)
+            .into_iter()
+            .find(|p| p.name == "intro1")
+            .expect("intro1 exists");
+        let result = run_program(&program, &BenchOptions::quick());
+        assert!(
+            result.cross_variant_cache_hits > 0,
+            "the faulty variant must reuse verdicts from the correct run: {result:?}"
+        );
+        assert!(
+            result.stats.shared_cache_hits >= result.cross_variant_cache_hits,
+            "shared hits include the cross-variant ones: {:?}",
+            result.stats
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_row_verdicts() {
+        let program = group_programs(crate::corpus::Group::Kobayashi)
+            .into_iter()
+            .find(|p| p.name == "intro1")
+            .expect("intro1 exists");
+        let sequential = run_program(&program, &BenchOptions::quick());
+        let sharded = run_program(&program, &BenchOptions::quick().with_workers(4));
+        assert_eq!(sequential.correct_verdict, sharded.correct_verdict);
+        assert_eq!(sequential.faulty_verdict, sharded.faulty_verdict);
+    }
+
+    #[test]
+    fn run_all_keeps_corpus_order_under_program_sharding() {
+        let programs: Vec<_> = group_programs(crate::corpus::Group::Occurrence)
+            .into_iter()
+            .take(3)
+            .collect();
+        let rows = run_all(&programs, &BenchOptions::quick().with_workers(3));
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        let expected: Vec<&str> = programs.iter().map(|p| p.name).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn cdcl_counters_flow_into_row_stats() {
+        // fold-div's division constraints introduce witness variables with
+        // boolean structure (implication/disjunction side conditions), and
+        // its verification queries are UNSAT-heavy — the lazy SMT loop must
+        // run the CDCL core, so its counters must surface as nonzero.
+        let program = group_programs(crate::corpus::Group::Kobayashi)
+            .into_iter()
+            .find(|p| p.name == "fold-div")
+            .expect("fold-div exists");
+        let result = run_program(&program, &BenchOptions::quick());
+        assert!(
+            result.stats.solver_propagations > 0,
+            "no CDCL propagations surfaced: {:?}",
+            result.stats
+        );
+        assert!(
+            result.stats.solver_conflicts > 0,
+            "no CDCL conflicts surfaced: {:?}",
+            result.stats
+        );
     }
 }

@@ -73,19 +73,29 @@ pub fn total_stats(results: &[ProgramResult]) -> StatsSummary {
     total
 }
 
+/// Sums the cross-variant cache hits over all rows.
+pub fn total_cross_variant_hits(results: &[ProgramResult]) -> u64 {
+    results.iter().map(|r| r.cross_variant_cache_hits).sum()
+}
+
 /// A one-line rendering of the aggregated solver statistics: how much work
-/// the incremental prover session saved.
+/// the incremental prover session and the shared verdict cache saved.
 pub fn summarize_stats(results: &[ProgramResult]) -> String {
     let total = total_stats(results);
     format!(
-        "solver stats: {} prover queries, {} cache hits, {} full + {} delta heap encodings \
-         ({} reused), {} solver checks in {} ms",
+        "solver stats: {} prover queries, {} cache hits ({} shared, {} cross-variant), \
+         {} full + {} delta heap encodings ({} reused), {} solver checks \
+         ({} conflicts, {} propagations) in {} ms",
         total.queries,
         total.cache_hits,
+        total.shared_cache_hits,
+        total_cross_variant_hits(results),
         total.full_encodings,
         total.delta_encodings,
         total.reused_encodings,
         total.solver_checks,
+        total.solver_conflicts,
+        total.solver_propagations,
         total.solver_ms,
     )
 }
@@ -96,6 +106,10 @@ pub fn to_json(results: &[ProgramResult]) -> String {
     JsonObject::new()
         .raw_field("rows", results.to_json())
         .field("stats", &total_stats(results))
+        .field(
+            "cross_variant_cache_hits",
+            &total_cross_variant_hits(results),
+        )
         .finish()
 }
 
@@ -117,12 +131,20 @@ mod tests {
             stats: StatsSummary {
                 queries: 20,
                 cache_hits: 4,
+                shared_cache_hits: 2,
                 full_encodings: 2,
                 delta_encodings: 5,
                 reused_encodings: 3,
                 solver_checks: 11,
+                solver_conflicts: 6,
+                solver_propagations: 40,
                 solver_ms: 1,
             },
+            cross_variant_cache_hits: 1,
+            worker_summaries: vec![StatsSummary {
+                queries: 20,
+                ..StatsSummary::default()
+            }],
         }
     }
 

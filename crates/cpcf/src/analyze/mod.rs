@@ -9,14 +9,27 @@
 //! confirmed blame is reported as a counterexample (otherwise the export is
 //! flagged as a *probable* violation, exactly like the paper's tool when the
 //! solver cannot produce a model).
+//!
+//! The driver is split by concern:
+//!
+//! * [`mod@self`] — options, verdicts and the [`ModuleReport`];
+//! * `context` — most-general-context synthesis and counterexample
+//!   instantiation ([`instantiate`]);
+//! * `export` — the single-export analysis and concrete validation;
+//! * `scheduler` — the worker pool sharding per-export analyses across
+//!   threads ([`AnalyzeOptions::workers`]), one long-lived
+//!   [`crate::ProverSession`] per worker.
 
-use std::collections::HashMap;
+mod context;
+mod export;
+mod scheduler;
 
-use crate::cex::{reconstruct_bindings, Counterexample};
-use crate::eval::{eval, Ctx, EvalOptions, Outcome};
-use crate::heap::{empty_env, Heap};
-use crate::prove::SessionStats;
-use crate::syntax::{CBlame, Expr, Label, Module, Program, Provide};
+pub use context::instantiate;
+
+use crate::cex::Counterexample;
+use crate::eval::EvalOptions;
+use crate::prove::{SessionStats, SharedVerdictCache};
+use crate::syntax::{CBlame, Program};
 
 /// The blame party used for the synthesized unknown context.
 pub const CONTEXT_PARTY: &str = "context";
@@ -30,6 +43,25 @@ pub struct AnalyzeOptions {
     pub validate: bool,
     /// How many nested `->` ranges the synthesized context applies.
     pub context_depth: u32,
+    /// How many worker threads shard the per-export analyses. `1` runs the
+    /// exports sequentially (still through the scheduler, with one reused
+    /// session). Defaults to the `ANALYZE_WORKERS` environment variable, or
+    /// `1` when unset or unparsable.
+    pub workers: usize,
+    /// A verdict cache shared across this run's workers and, when the same
+    /// handle is passed to several runs, across runs — e.g. the correct and
+    /// faulty variants of a benchmark program. `None` keeps every session's
+    /// cache private.
+    pub shared_cache: Option<SharedVerdictCache>,
+}
+
+/// The worker count taken from the `ANALYZE_WORKERS` environment variable
+/// (clamped to `1..=64`), or 1 when unset or unparsable.
+pub fn default_workers() -> usize {
+    std::env::var("ANALYZE_WORKERS")
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.clamp(1, 64))
 }
 
 impl Default for AnalyzeOptions {
@@ -38,6 +70,8 @@ impl Default for AnalyzeOptions {
             eval: EvalOptions::default(),
             validate: true,
             context_depth: 3,
+            workers: default_workers(),
+            shared_cache: None,
         }
     }
 }
@@ -77,13 +111,17 @@ impl ExportAnalysis {
 pub struct ModuleReport {
     /// The analysed module.
     pub module: String,
-    /// Per-export verdicts.
+    /// Per-export verdicts, in module (declaration) order regardless of the
+    /// worker count or completion order.
     pub exports: Vec<(String, ExportAnalysis)>,
     /// Aggregated prover-session statistics over every export analysis
     /// (including counterexample validation re-runs): query counts, cache
     /// hits, and how many full versus incremental heap encodings the solver
     /// interaction needed.
     pub stats: SessionStats,
+    /// Per-worker statistics, in worker-index order (one entry when the
+    /// analysis ran sequentially). Summing these gives `stats`.
+    pub worker_stats: Vec<SessionStats>,
 }
 
 impl ModuleReport {
@@ -108,7 +146,8 @@ pub fn analyze(program: &Program) -> ModuleReport {
     analyze_module(program, &name, &AnalyzeOptions::default())
 }
 
-/// Analyzes the named module.
+/// Analyzes the named module, sharding the per-export analyses across
+/// `options.workers` threads.
 pub fn analyze_module(
     program: &Program,
     module_name: &str,
@@ -119,275 +158,15 @@ pub fn analyze_module(
             module: module_name.to_string(),
             exports: Vec::new(),
             stats: SessionStats::default(),
+            worker_stats: Vec::new(),
         };
     };
-    let mut stats = SessionStats::default();
-    let exports = module
-        .provides
-        .iter()
-        .map(|provide| {
-            let (verdict, export_stats) = analyze_export(program, module, provide, options);
-            stats.merge(&export_stats);
-            (provide.name.clone(), verdict)
-        })
-        .collect();
+    let (exports, stats, worker_stats) = scheduler::run_exports(program, module, options);
     ModuleReport {
         module: module_name.to_string(),
         exports,
         stats,
-    }
-}
-
-/// Builds a fresh context and global heap with every module's definitions
-/// loaded. Returns `None` if a definition itself fails to evaluate.
-fn load_globals(program: &Program, options: &AnalyzeOptions) -> Option<(Ctx, Heap)> {
-    let mut ctx = Ctx::new(options.eval.clone());
-    for module in &program.modules {
-        for def in &module.structs {
-            ctx.structs.insert(def.name.clone(), def.clone());
-        }
-    }
-    let mut heap = Heap::new();
-    let env = empty_env();
-    for module in &program.modules {
-        for definition in &module.definitions {
-            let outcomes = eval(&mut ctx, &env, &module.name, &definition.body, &heap);
-            let (loc, new_heap) = outcomes
-                .into_iter()
-                .find_map(|(outcome, h)| match outcome {
-                    Outcome::Val(loc) => Some((loc, h)),
-                    _ => None,
-                })?;
-            heap = new_heap;
-            ctx.globals.insert(definition.name.clone(), loc);
-        }
-    }
-    Some((ctx, heap))
-}
-
-/// The synthesized most-general-context expression for an export, along with
-/// the opaque labels it introduces.
-fn context_expression(
-    module: &Module,
-    provide: &Provide,
-    depth: u32,
-    next_label: &mut u32,
-) -> Expr {
-    let mut fresh = || {
-        let label = Label(*next_label);
-        *next_label += 1;
-        label
-    };
-    let mut expr = Expr::Mon {
-        contract: Box::new(provide.contract.clone()),
-        value: Box::new(Expr::var(&provide.name)),
-        pos: module.name.clone(),
-        neg: CONTEXT_PARTY.to_string(),
-        label: fresh(),
-    };
-    let mut contract = &provide.contract;
-    let mut remaining = depth;
-    while remaining > 0 {
-        match contract {
-            Expr::CArrow(doms, rng) => {
-                let args: Vec<Expr> = doms.iter().map(|_| Expr::Opaque(fresh())).collect();
-                expr = Expr::app(expr, args);
-                contract = rng;
-                remaining -= 1;
-            }
-            Expr::CAnd(parts) => {
-                // Use the first arrow conjunct, if any, to drive the context.
-                match parts.iter().find(|p| matches!(p, Expr::CArrow(_, _))) {
-                    Some(arrow) => contract = arrow,
-                    None => break,
-                }
-            }
-            _ => break,
-        }
-    }
-    expr
-}
-
-fn analyze_export(
-    program: &Program,
-    module: &Module,
-    provide: &Provide,
-    options: &AnalyzeOptions,
-) -> (ExportAnalysis, SessionStats) {
-    let Some((mut ctx, heap)) = load_globals(program, options) else {
-        return (
-            ExportAnalysis::ProbableError(CBlame {
-                party: module.name.clone(),
-                message: "a module-level definition failed to evaluate".to_string(),
-                label: Label(u32::MAX),
-            }),
-            SessionStats::default(),
-        );
-    };
-    let mut next_label = 500_000;
-    let context_expr = context_expression(module, provide, options.context_depth, &mut next_label);
-    let labels = context_expr.opaque_labels();
-    let outcomes = eval(&mut ctx, &empty_env(), CONTEXT_PARTY, &context_expr, &heap);
-
-    let mut stats = SessionStats::default();
-    let mut probable: Option<CBlame> = None;
-    let mut saw_timeout = false;
-    for (outcome, branch_heap) in &outcomes {
-        match outcome {
-            Outcome::Timeout => saw_timeout = true,
-            Outcome::Err(blame) if blame.party == module.name => {
-                match reconstruct_bindings(&mut ctx.prover, branch_heap, &labels) {
-                    None => {
-                        if probable.is_none() {
-                            probable = Some(blame.clone());
-                        }
-                    }
-                    Some(bindings) => {
-                        let mut counterexample = Counterexample {
-                            blame: blame.clone(),
-                            bindings,
-                            validated: false,
-                        };
-                        if options.validate {
-                            let (confirmed, validation_stats) =
-                                validate(program, &context_expr, &counterexample, options);
-                            stats.merge(&validation_stats);
-                            if confirmed {
-                                counterexample.validated = true;
-                                stats.merge(&ctx.prover.stats());
-                                return (ExportAnalysis::Counterexample(counterexample), stats);
-                            }
-                            if probable.is_none() {
-                                probable = Some(blame.clone());
-                            }
-                        } else {
-                            stats.merge(&ctx.prover.stats());
-                            return (ExportAnalysis::Counterexample(counterexample), stats);
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    stats.merge(&ctx.prover.stats());
-    let verdict = if let Some(blame) = probable {
-        ExportAnalysis::ProbableError(blame)
-    } else if saw_timeout {
-        ExportAnalysis::Exhausted
-    } else {
-        ExportAnalysis::Verified
-    };
-    (verdict, stats)
-}
-
-/// Re-runs the context expression with the counterexample's concrete inputs
-/// and checks that the same party is blamed. Returns the verdict together
-/// with the prover statistics of the validation run.
-fn validate(
-    program: &Program,
-    context_expr: &Expr,
-    counterexample: &Counterexample,
-    options: &AnalyzeOptions,
-) -> (bool, SessionStats) {
-    let bindings: HashMap<Label, Expr> = counterexample
-        .bindings
-        .iter()
-        .map(|(l, e)| (*l, e.clone()))
-        .collect();
-    let concrete = instantiate(context_expr, &bindings);
-    let Some((mut ctx, heap)) = load_globals(program, options) else {
-        return (false, SessionStats::default());
-    };
-    let outcomes = eval(&mut ctx, &empty_env(), CONTEXT_PARTY, &concrete, &heap);
-    let confirmed = outcomes.iter().any(|(outcome, _)| {
-        matches!(outcome, Outcome::Err(blame) if blame.party == counterexample.blame.party)
-    });
-    (confirmed, ctx.prover.stats())
-}
-
-/// Replaces opaque sub-expressions by the bindings' concrete expressions.
-pub fn instantiate(expr: &Expr, bindings: &HashMap<Label, Expr>) -> Expr {
-    match expr {
-        Expr::Opaque(label) => bindings.get(label).cloned().unwrap_or_else(|| expr.clone()),
-        Expr::Var(_)
-        | Expr::Int(_)
-        | Expr::Complex(_, _)
-        | Expr::Bool(_)
-        | Expr::Str(_)
-        | Expr::Nil
-        | Expr::CAny => expr.clone(),
-        Expr::Lam { params, body } => Expr::Lam {
-            params: params.clone(),
-            body: Box::new(instantiate(body, bindings)),
-        },
-        Expr::App(f, args) => Expr::App(
-            Box::new(instantiate(f, bindings)),
-            args.iter().map(|a| instantiate(a, bindings)).collect(),
-        ),
-        Expr::If(c, t, e) => Expr::If(
-            Box::new(instantiate(c, bindings)),
-            Box::new(instantiate(t, bindings)),
-            Box::new(instantiate(e, bindings)),
-        ),
-        Expr::And(es) => Expr::And(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::Or(es) => Expr::Or(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::Begin(es) => Expr::Begin(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::Let {
-            bindings: lets,
-            recursive,
-            body,
-        } => Expr::Let {
-            bindings: lets
-                .iter()
-                .map(|(n, e)| (n.clone(), instantiate(e, bindings)))
-                .collect(),
-            recursive: *recursive,
-            body: Box::new(instantiate(body, bindings)),
-        },
-        Expr::Prim(p, args, label) => Expr::Prim(
-            *p,
-            args.iter().map(|a| instantiate(a, bindings)).collect(),
-            *label,
-        ),
-        Expr::CArrow(doms, rng) => Expr::CArrow(
-            doms.iter().map(|d| instantiate(d, bindings)).collect(),
-            Box::new(instantiate(rng, bindings)),
-        ),
-        Expr::CAnd(es) => Expr::CAnd(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::COr(es) => Expr::COr(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::CCons(a, b) => Expr::CCons(
-            Box::new(instantiate(a, bindings)),
-            Box::new(instantiate(b, bindings)),
-        ),
-        Expr::CListOf(c) => Expr::CListOf(Box::new(instantiate(c, bindings))),
-        Expr::COneOf(es) => Expr::COneOf(es.iter().map(|e| instantiate(e, bindings)).collect()),
-        Expr::Mon {
-            contract,
-            value,
-            pos,
-            neg,
-            label,
-        } => Expr::Mon {
-            contract: Box::new(instantiate(contract, bindings)),
-            value: Box::new(instantiate(value, bindings)),
-            pos: pos.clone(),
-            neg: neg.clone(),
-            label: *label,
-        },
-        Expr::StructMake(name, args) => Expr::StructMake(
-            name.clone(),
-            args.iter().map(|a| instantiate(a, bindings)).collect(),
-        ),
-        Expr::StructPred(name, e) => {
-            Expr::StructPred(name.clone(), Box::new(instantiate(e, bindings)))
-        }
-        Expr::StructGet(name, index, e, label) => Expr::StructGet(
-            name.clone(),
-            *index,
-            Box::new(instantiate(e, bindings)),
-            *label,
-        ),
+        worker_stats,
     }
 }
 
@@ -419,6 +198,7 @@ pub fn analyze_source_with(source: &str, options: &AnalyzeOptions) -> Result<Mod
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::syntax::Expr;
 
     #[test]
     fn safe_increment_is_verified() {
@@ -600,5 +380,121 @@ mod tests {
         )
         .expect("parses");
         assert!(report.all_verified(), "report: {report:?}");
+    }
+
+    /// A module with several exports of mixed verdicts, for scheduler tests.
+    const MULTI_EXPORT: &str = r#"
+        (module multi
+          (provide [safe (-> integer? integer?)]
+                   [crash (-> integer? integer?)]
+                   [guarded (-> integer? integer?)]
+                   [wrong-range (-> integer? (and/c integer? (lambda (r) (> r 0))))])
+          (define (safe x) (+ x 1))
+          (define (crash n) (/ 1 (- 100 n)))
+          (define (guarded n) (if (zero? n) 0 (/ 100 n)))
+          (define (wrong-range x) x))
+    "#;
+
+    fn verdict_kind(analysis: &ExportAnalysis) -> &'static str {
+        match analysis {
+            ExportAnalysis::Verified => "verified",
+            ExportAnalysis::Counterexample(_) => "counterexample",
+            ExportAnalysis::ProbableError(_) => "probable",
+            ExportAnalysis::Exhausted => "exhausted",
+        }
+    }
+
+    #[test]
+    fn sharded_analysis_matches_sequential_and_keeps_order() {
+        let sequential = analyze_source_with(
+            MULTI_EXPORT,
+            &AnalyzeOptions {
+                workers: 1,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .expect("parses");
+        let sharded = analyze_source_with(
+            MULTI_EXPORT,
+            &AnalyzeOptions {
+                workers: 4,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .expect("parses");
+        let names: Vec<&str> = sequential.exports.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["safe", "crash", "guarded", "wrong-range"],
+            "export order must follow the module declaration"
+        );
+        assert_eq!(
+            sequential
+                .exports
+                .iter()
+                .map(|(n, a)| (n.as_str(), verdict_kind(a)))
+                .collect::<Vec<_>>(),
+            sharded
+                .exports
+                .iter()
+                .map(|(n, a)| (n.as_str(), verdict_kind(a)))
+                .collect::<Vec<_>>(),
+            "worker count must not change verdicts or their order"
+        );
+        assert_eq!(sequential.worker_stats.len(), 1);
+        assert!(sharded.worker_stats.len() > 1, "several workers ran");
+        // Per-worker stats sum to the merged stats.
+        let mut summed = SessionStats::default();
+        for per_worker in &sharded.worker_stats {
+            summed.merge(per_worker);
+        }
+        assert_eq!(summed, sharded.stats);
+    }
+
+    #[test]
+    fn shared_cache_feeds_sibling_workers_and_later_runs() {
+        let cache = SharedVerdictCache::new();
+        let options = AnalyzeOptions {
+            workers: 4,
+            shared_cache: Some(cache.clone()),
+            ..AnalyzeOptions::default()
+        };
+        let first = analyze_source_with(MULTI_EXPORT, &options).expect("parses");
+        assert!(
+            !cache.is_empty(),
+            "the run must populate the shared cache: {:?}",
+            first.stats
+        );
+        cache.advance_epoch();
+        let second = analyze_source_with(MULTI_EXPORT, &options).expect("parses");
+        assert_eq!(
+            first
+                .exports
+                .iter()
+                .map(|(n, a)| (n.as_str(), verdict_kind(a)))
+                .collect::<Vec<_>>(),
+            second
+                .exports
+                .iter()
+                .map(|(n, a)| (n.as_str(), verdict_kind(a)))
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            cache.cross_epoch_hits() > 0,
+            "the second run must reuse verdicts computed by the first"
+        );
+        assert!(
+            second.stats.shared_cache_hits > 0,
+            "sessions must report shared hits: {:?}",
+            second.stats
+        );
+    }
+
+    #[test]
+    fn workers_env_variable_feeds_the_default() {
+        // `default_workers` clamps and falls back rather than panicking.
+        assert!(default_workers() >= 1);
+        let options = AnalyzeOptions::default();
+        assert!(options.workers >= 1);
     }
 }

@@ -1,0 +1,115 @@
+//! The analysis scheduler: shards a module's per-export analyses across a
+//! pool of `std::thread` workers.
+//!
+//! Per-export analyses are embarrassingly parallel — each export is analyzed
+//! against its own most general context on its own symbolic heap — so the
+//! pool uses the simplest sound work distribution: an atomic claim counter
+//! over the export list. Each worker keeps **one long-lived
+//! [`ProverSession`]** for every export it claims, so the session's verdict
+//! cache (and, when export heaps share a journal prefix, its live solver
+//! frames) stay warm across exports; a [`super::SharedVerdictCache`] in the
+//! options additionally lets verdicts flow *between* workers and across
+//! analysis runs.
+//!
+//! Determinism: the export slot a verdict lands in is fixed by the export's
+//! position in the module, not by completion order, so `ModuleReport`
+//! ordering is stable for any worker count. Verdicts themselves are
+//! scheduling-independent because every cached proof is keyed by heap
+//! content (fingerprint), and the prover is a deterministic function of that
+//! content. Statistics are merged in worker-index order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::prove::SessionStats;
+use crate::syntax::{Module, Program};
+
+use super::export::{analyze_export, new_session};
+use super::{AnalyzeOptions, ExportAnalysis};
+
+/// Runs every export of `module`, sharded over `options.workers` threads.
+/// Returns the per-export verdicts in module order, the merged statistics,
+/// and the per-worker statistics in worker-index order.
+pub(super) fn run_exports(
+    program: &Program,
+    module: &Module,
+    options: &AnalyzeOptions,
+) -> (
+    Vec<(String, ExportAnalysis)>,
+    SessionStats,
+    Vec<SessionStats>,
+) {
+    let export_count = module.provides.len();
+    let worker_count = options.workers.clamp(1, export_count.max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(String, ExportAnalysis)>> = vec![None; export_count];
+    let mut worker_stats: Vec<SessionStats> = Vec::with_capacity(worker_count);
+
+    let place = |slots: &mut Vec<Option<(String, ExportAnalysis)>>,
+                 worker_stats: &mut Vec<SessionStats>,
+                 outcome: WorkerOutcome| {
+        for (index, name, verdict) in outcome.results {
+            slots[index] = Some((name, verdict));
+        }
+        worker_stats.push(outcome.stats);
+    };
+
+    if worker_count <= 1 {
+        let outcome = worker_loop(program, module, options, &next);
+        place(&mut slots, &mut worker_stats, outcome);
+    } else {
+        // The heap's `Rc`-based environments keep evaluator state
+        // thread-local, but the program, options and shared cache are all
+        // `Sync`, so scoped threads borrow them directly.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..worker_count)
+                .map(|_| scope.spawn(|| worker_loop(program, module, options, &next)))
+                .collect();
+            for handle in handles {
+                let outcome = handle.join().expect("analysis worker panicked");
+                place(&mut slots, &mut worker_stats, outcome);
+            }
+        });
+    }
+
+    let exports: Vec<(String, ExportAnalysis)> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every export slot is filled by exactly one worker"))
+        .collect();
+    let mut stats = SessionStats::default();
+    for per_worker in &worker_stats {
+        stats.merge(per_worker);
+    }
+    (exports, stats, worker_stats)
+}
+
+/// What one worker produced: verdicts tagged with their export index, plus
+/// the worker's accumulated session statistics.
+struct WorkerOutcome {
+    results: Vec<(usize, String, ExportAnalysis)>,
+    stats: SessionStats,
+}
+
+/// Claims exports off the shared counter until the list is exhausted,
+/// reusing one prover session for all of them.
+fn worker_loop(
+    program: &Program,
+    module: &Module,
+    options: &AnalyzeOptions,
+    next: &AtomicUsize,
+) -> WorkerOutcome {
+    let mut session = new_session(options);
+    let mut results = Vec::new();
+    let mut stats = SessionStats::default();
+    loop {
+        let index = next.fetch_add(1, Ordering::SeqCst);
+        let Some(provide) = module.provides.get(index) else {
+            break;
+        };
+        let (verdict, export_stats, reusable) =
+            analyze_export(program, module, provide, options, session);
+        session = reusable;
+        stats.merge(&export_stats);
+        results.push((index, provide.name.clone(), verdict));
+    }
+    WorkerOutcome { results, stats }
+}

@@ -128,8 +128,16 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context with the given options.
     pub fn new(options: EvalOptions) -> Self {
-        let fuel = options.fuel;
         let prover = ProverSession::with_config(options.prove.clone());
+        Ctx::with_prover(options, prover)
+    }
+
+    /// Creates a context around an existing prover session, so a long-lived
+    /// session (with its warmed verdict cache and live solver) can be reused
+    /// across several evaluations — e.g. by an analysis worker thread
+    /// claiming one export after another.
+    pub fn with_prover(options: EvalOptions, prover: ProverSession) -> Self {
+        let fuel = options.fuel;
         Ctx {
             prover,
             options,

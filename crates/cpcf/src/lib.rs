@@ -47,7 +47,12 @@
 //!   context ([`Ctx`]) threads the prover session mutably through all of
 //!   them, so neither it nor the option types are `Copy`.
 //! * [`cex`] — counterexample reconstruction from a solver model.
-//! * [`analyze`] — the driver; [`ModuleReport`] carries the aggregated
+//! * [`analyze`] — the driver, split into context synthesis, per-export
+//!   analysis and a work-stealing scheduler that shards exports across
+//!   [`AnalyzeOptions::workers`] threads, one long-lived [`ProverSession`]
+//!   per worker. A [`SharedVerdictCache`] lets verdicts flow between
+//!   workers and across runs (e.g. the correct/faulty variants of a
+//!   benchmark). [`ModuleReport`] carries the aggregated and per-worker
 //!   [`SessionStats`] so harnesses can report solver work per benchmark.
 //!
 //! ## Example
@@ -87,13 +92,13 @@ pub mod prove;
 pub mod syntax;
 
 pub use analyze::{
-    analyze, analyze_module, analyze_source, analyze_source_with, AnalyzeOptions, ExportAnalysis,
-    ModuleReport,
+    analyze, analyze_module, analyze_source, analyze_source_with, default_workers, AnalyzeOptions,
+    ExportAnalysis, ModuleReport,
 };
 pub use cex::Counterexample;
 pub use eval::{Ctx, EvalOptions, Outcome};
 pub use heap::{CRefinement, ContractVal, Env, Heap, Loc, SVal, Tag};
 pub use numeric::Number;
 pub use parse::{parse_expr, parse_program, ParseError, Parser};
-pub use prove::{ProveConfig, ProverSession, SessionStats};
+pub use prove::{ProveConfig, ProverSession, SessionStats, SharedVerdictCache};
 pub use syntax::{CBlame, Definition, Expr, Label, Module, Prim, Program, Provide, StructDef};

@@ -30,6 +30,8 @@
 //! hits and encodings so the saving is measurable.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use folic::{
     CmpOp, Formula, Model, Proof, SmtResult, Solver, SolverConfig, SolverStats, Term, Var,
@@ -82,6 +84,11 @@ pub struct SessionStats {
     pub model_queries: u64,
     /// Queries answered from the verdict cache.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` served by a [`SharedVerdictCache`] — i.e.
+    /// verdicts this session did not compute itself but inherited from
+    /// another session (a sibling worker, or an earlier analysis run sharing
+    /// the cache).
+    pub shared_cache_hits: u64,
     /// Whole-heap encodings (fresh solver + full translation).
     pub full_encodings: u64,
     /// Incremental encodings of a journal suffix only.
@@ -101,6 +108,7 @@ impl SessionStats {
         self.num_queries += other.num_queries;
         self.model_queries += other.model_queries;
         self.cache_hits += other.cache_hits;
+        self.shared_cache_hits += other.shared_cache_hits;
         self.full_encodings += other.full_encodings;
         self.delta_encodings += other.delta_encodings;
         self.reused_encodings += other.reused_encodings;
@@ -113,6 +121,113 @@ impl SessionStats {
 enum Query {
     Tag(Loc, Tag),
     Num(Loc, CmpOp, CSymExpr),
+}
+
+/// A cache key: heap fingerprint, heap generation, and the query itself.
+type CacheKey = (u64, u64, Query);
+
+/// Number of lock shards in a [`SharedVerdictCache`]. Shard selection uses
+/// the heap fingerprint, which is already a well-mixed 64-bit hash.
+const CACHE_SHARDS: usize = 16;
+
+/// Per-shard entry bound, so pathological runs cannot grow without limit
+/// (mirrors the private session cache's crude bound).
+const SHARD_CAPACITY: usize = 1 << 16;
+
+#[derive(Debug, Default)]
+struct SharedCacheInner {
+    shards: [Mutex<HashMap<CacheKey, (u32, Proof)>>; CACHE_SHARDS],
+    /// The current epoch; entries remember the epoch they were stored in.
+    epoch: AtomicU32,
+    /// Total lookups served from this cache.
+    hits: AtomicU64,
+    /// Hits on entries stored in an *earlier* epoch than the lookup's — with
+    /// one [`SharedVerdictCache::advance_epoch`] between the correct and
+    /// faulty variant runs of a benchmark, this counts exactly the
+    /// cross-variant hits.
+    cross_epoch_hits: AtomicU64,
+}
+
+/// A verdict cache sharable across [`ProverSession`]s and across threads:
+/// a sharded, fingerprint-keyed `(heap fingerprint, generation, query) →
+/// Proof` map behind `Arc<Mutex<…>>` shards.
+///
+/// Because the fingerprint identifies heap *content* (the constraint
+/// journal), verdicts computed by one session are valid for any other
+/// session that reaches a heap with the same journal — a sibling worker
+/// thread analyzing another export, or a later analysis of a program variant
+/// sharing the same module-loading prefix. Epochs make the cross-run reuse
+/// measurable: callers bump [`SharedVerdictCache::advance_epoch`] between
+/// runs and read [`SharedVerdictCache::cross_epoch_hits`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedVerdictCache {
+    inner: Arc<SharedCacheInner>,
+}
+
+impl SharedVerdictCache {
+    /// Creates an empty cache (epoch zero).
+    pub fn new() -> Self {
+        SharedVerdictCache::default()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, (u32, Proof)>> {
+        &self.inner.shards[(key.0 as usize) % CACHE_SHARDS]
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<Proof> {
+        let entry = *self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)?;
+        let (stored_epoch, proof) = entry;
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        if stored_epoch < self.inner.epoch.load(Ordering::Relaxed) {
+            self.inner.cross_epoch_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(proof)
+    }
+
+    fn store(&self, key: CacheKey, proof: Proof) {
+        let epoch = self.inner.epoch.load(Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.len() >= SHARD_CAPACITY {
+            shard.clear();
+        }
+        // Keep the oldest epoch tag: re-storing an entry in a later run must
+        // not mask its cross-run provenance.
+        shard.entry(key).or_insert((epoch, proof));
+    }
+
+    /// Starts a new epoch. Entries stored before the call count as
+    /// cross-epoch when hit afterwards.
+    pub fn advance_epoch(&self) {
+        self.inner.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total lookups served from this cache, over all sessions and epochs.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits on entries stored in an earlier epoch than the lookup's.
+    pub fn cross_epoch_hits(&self) -> u64 {
+        self.inner.cross_epoch_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized verdicts currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True if no verdict is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// A synchronized prefix of some heap's journal: the solver's assertion
@@ -154,7 +269,11 @@ pub struct ProverSession {
     /// solver-backed query; `frames[0]` is the base (scope-0) encoding.
     frames: Vec<Frame>,
     /// Memoized verdicts keyed by heap fingerprint + generation + query.
-    cache: HashMap<(u64, u64, Query), Proof>,
+    cache: HashMap<CacheKey, Proof>,
+    /// Optional second-level cache shared with other sessions (sibling
+    /// worker threads, other analysis runs). Checked after the private
+    /// cache; hits are copied into the private cache.
+    shared: Option<SharedVerdictCache>,
     /// Work counters.
     stats: SessionStats,
     /// Statistics of solvers that have been retired (fresh-mode solvers and
@@ -184,10 +303,26 @@ impl ProverSession {
             solver,
             frames: Vec::new(),
             cache: HashMap::new(),
+            shared: None,
             stats: SessionStats::default(),
             retired_solver_stats: SolverStats::default(),
             aux_next: SESSION_AUX_BASE,
         }
+    }
+
+    /// Creates a session backed by a [`SharedVerdictCache`] in addition to
+    /// its private cache. Sessions sharing a cache exchange verdicts keyed
+    /// by heap fingerprint, which is safe across threads and runs because
+    /// the fingerprint identifies constraint content, not session state.
+    pub fn with_config_and_cache(config: ProveConfig, shared: SharedVerdictCache) -> Self {
+        let mut session = ProverSession::with_config(config);
+        session.shared = Some(shared);
+        session
+    }
+
+    /// The shared cache backing this session, if any.
+    pub fn shared_cache(&self) -> Option<&SharedVerdictCache> {
+        self.shared.as_ref()
     }
 
     /// The session's configuration.
@@ -220,11 +355,19 @@ impl ProverSession {
             return None;
         }
         let key = (heap.fingerprint(), heap.generation(), query.clone());
-        let hit = self.cache.get(&key).copied();
-        if hit.is_some() {
+        if let Some(proof) = self.cache.get(&key).copied() {
             self.stats.cache_hits += 1;
+            return Some(proof);
         }
-        hit
+        if let Some(shared) = &self.shared {
+            if let Some(proof) = shared.lookup(&key) {
+                self.stats.cache_hits += 1;
+                self.stats.shared_cache_hits += 1;
+                self.cache.insert(key, proof);
+                return Some(proof);
+            }
+        }
+        None
     }
 
     fn cache_store(&mut self, heap: &Heap, query: Query, proof: Proof) {
@@ -235,8 +378,11 @@ impl ProverSession {
         if self.cache.len() >= 1 << 20 {
             self.cache.clear();
         }
-        self.cache
-            .insert((heap.fingerprint(), heap.generation(), query), proof);
+        let key = (heap.fingerprint(), heap.generation(), query);
+        if let Some(shared) = &self.shared {
+            shared.store(key.clone(), proof);
+        }
+        self.cache.insert(key, proof);
     }
 
     /// Does the value at `loc` have tag `tag`? Three-valued, using concrete
@@ -832,6 +978,80 @@ mod tests {
             stats.full_encodings, 1,
             "the heap is encoded once, not twice"
         );
+    }
+
+    #[test]
+    fn shared_cache_exchanges_verdicts_between_sessions() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let cache = SharedVerdictCache::new();
+        let mut first = ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+        let mut second =
+            ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+        let a = first.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        let b = second.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        assert_eq!(a, b);
+        assert_eq!(first.stats().shared_cache_hits, 0, "first session computed");
+        assert_eq!(
+            second.stats().shared_cache_hits,
+            1,
+            "second session inherited the verdict"
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(
+            second.stats().full_encodings + second.stats().delta_encodings,
+            0,
+            "the inherited verdict needed no solver work"
+        );
+    }
+
+    #[test]
+    fn shared_cache_counts_cross_epoch_hits() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let cache = SharedVerdictCache::new();
+        let mut first = ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+        first.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        cache.advance_epoch();
+        // A later run (new session, same heap content) hits the entry
+        // planted before the epoch boundary.
+        let mut second =
+            ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+        second.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        assert_eq!(cache.cross_epoch_hits(), 1);
+        // Same-epoch hits do not count as cross-epoch.
+        let mut third = ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+        third.prove_num(&heap, l, CmpOp::Le, &CSymExpr::int(4));
+        let mut fourth =
+            ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+        fourth.prove_num(&heap, l, CmpOp::Le, &CSymExpr::int(4));
+        assert_eq!(cache.cross_epoch_hits(), 1, "same-epoch hit not counted");
+        assert!(cache.hits() >= 2);
+    }
+
+    #[test]
+    fn shared_cache_is_bypassed_in_fresh_mode() {
+        let mut heap = Heap::new();
+        let l = heap.alloc_fresh_opaque();
+        heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(5)));
+        let cache = SharedVerdictCache::new();
+        let config = ProveConfig {
+            fresh_per_query: true,
+            ..ProveConfig::default()
+        };
+        let mut session = ProverSession::with_config_and_cache(config, cache.clone());
+        session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        session.prove_num(&heap, l, CmpOp::Gt, &CSymExpr::int(0));
+        assert!(cache.is_empty(), "fresh mode must not populate the cache");
+        assert_eq!(session.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn shared_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedVerdictCache>();
     }
 
     #[test]

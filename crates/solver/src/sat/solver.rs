@@ -17,6 +17,17 @@ pub struct SatStats {
     pub learned: u64,
 }
 
+impl SatStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &SatStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+    }
+}
+
 const UNASSIGNED: u8 = 2;
 
 #[derive(Debug, Clone)]

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use crate::formula::Formula;
 use crate::term::Var;
-use crate::theory::{check_conjunction, SmtResult, TheoryConfig};
+use crate::theory::{check_conjunction_counted, SmtResult, TheoryConfig};
 
 pub use crate::theory::SmtResult as CheckResult;
 
@@ -31,6 +31,12 @@ pub struct SolverStats {
     pub unknown: u64,
     /// Formulas asserted over the solver's lifetime (pops do not subtract).
     pub assertions: u64,
+    /// Conflicts encountered by the CDCL core across all checks (zero for
+    /// checks decided by the atom-conjunction fast path, which bypasses the
+    /// propositional search entirely).
+    pub conflicts: u64,
+    /// Unit propagations performed by the CDCL core across all checks.
+    pub propagations: u64,
     /// Total wall-clock time spent inside satisfiability checks.
     pub time: Duration,
 }
@@ -43,6 +49,8 @@ impl SolverStats {
         self.unsat += other.unsat;
         self.unknown += other.unknown;
         self.assertions += other.assertions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
         self.time += other.time;
     }
 }
@@ -167,9 +175,11 @@ impl Solver {
     /// Runs one counted satisfiability check over `formulas`.
     fn run_check(&self, formulas: &[Formula]) -> SmtResult {
         let start = Instant::now();
-        let result = check_conjunction(formulas, &self.config.theory);
+        let (result, sat_stats) = check_conjunction_counted(formulas, &self.config.theory);
         let mut stats = self.stats.get();
         stats.checks += 1;
+        stats.conflicts += sat_stats.conflicts;
+        stats.propagations += sat_stats.propagations;
         stats.time += start.elapsed();
         match &result {
             SmtResult::Sat(_) => stats.sat += 1,
@@ -327,6 +337,27 @@ mod tests {
         assert_eq!(stats.assertions, 1);
         solver.reset_stats();
         assert_eq!(solver.stats(), SolverStats::default());
+    }
+
+    #[test]
+    fn cdcl_counters_surface_on_boolean_structure() {
+        // A disjunctive constraint forces the lazy SMT loop through the CDCL
+        // core: each disjunct conflicts with the bound, so the search must
+        // propagate and learn before concluding UNSAT.
+        let mut solver = Solver::new();
+        solver.assert(Formula::or(vec![
+            Formula::eq(x(0), Term::int(0)),
+            Formula::eq(x(0), Term::int(1)),
+        ]));
+        solver.assert(Formula::ge(x(0), Term::int(5)));
+        assert!(solver.check().is_unsat());
+        let stats = solver.stats();
+        assert!(stats.propagations > 0, "no propagations counted: {stats:?}");
+        // A pure atom conjunction takes the fast path and counts nothing.
+        let atoms_only = Solver::new();
+        assert!(atoms_only.check().is_sat());
+        assert_eq!(atoms_only.stats().conflicts, 0);
+        assert_eq!(atoms_only.stats().propagations, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::cnf::{assert_formula, AtomMap};
 use crate::formula::{Atom, Formula};
 use crate::lia::{check_atoms, LiaConfig, LiaResult};
 use crate::model::Model;
-use crate::sat::{Lit, SatResult as PropResult, SatSolver};
+use crate::sat::{Lit, SatResult as PropResult, SatSolver, SatStats};
 use crate::term::Var;
 
 /// The outcome of an SMT satisfiability check.
@@ -60,9 +60,19 @@ impl Default for TheoryConfig {
 
 /// Checks the conjunction of `formulas` for satisfiability.
 pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResult {
+    check_conjunction_counted(formulas, config).0
+}
+
+/// [`check_conjunction`] together with the CDCL search statistics of the
+/// underlying propositional solver. The counters are all zero when the
+/// atom-conjunction fast path decided the query without any SAT solving.
+pub fn check_conjunction_counted(
+    formulas: &[Formula],
+    config: &TheoryConfig,
+) -> (SmtResult, SatStats) {
     // Fast path: a pure conjunction of atoms needs no SAT solving at all.
     if let Some(atoms) = as_atom_conjunction(formulas) {
-        return lia_to_smt(&atoms, formulas, config);
+        return (lia_to_smt(&atoms, formulas, config), SatStats::default());
     }
 
     let mut sat = SatSolver::new();
@@ -71,15 +81,21 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
         assert_formula(&mut sat, &mut atom_map, formula);
     }
 
+    // `SatSolver::solve` resets its counters per call, so accumulate across
+    // the SMT loop's iterations.
+    let mut sat_stats = SatStats::default();
     let mut saw_unknown = false;
     for _iteration in 0..config.max_iterations {
-        match sat.solve() {
+        let propositional = sat.solve();
+        sat_stats.merge(&sat.stats());
+        match propositional {
             PropResult::Unsat => {
-                return if saw_unknown {
+                let verdict = if saw_unknown {
                     SmtResult::Unknown
                 } else {
                     SmtResult::Unsat
                 };
+                return (verdict, sat_stats);
             }
             PropResult::Sat(assignment) => {
                 // Collect the theory literals chosen by the boolean model.
@@ -102,7 +118,7 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
                         }
                         complete_model(&mut model, formulas);
                         if model.satisfies_all(formulas) {
-                            return SmtResult::Sat(model);
+                            return (SmtResult::Sat(model), sat_stats);
                         }
                         // The theory model does not extend to the boolean
                         // structure (should not happen); treat as a blocked
@@ -114,14 +130,14 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
                         if blocking.is_empty() {
                             // No theory atoms at all, yet the theory says
                             // inconsistent: impossible, but guard anyway.
-                            return SmtResult::Unsat;
+                            return (SmtResult::Unsat, sat_stats);
                         }
                         sat.add_clause(blocking);
                     }
                     LiaResult::Unknown => {
                         saw_unknown = true;
                         if blocking.is_empty() {
-                            return SmtResult::Unknown;
+                            return (SmtResult::Unknown, sat_stats);
                         }
                         sat.add_clause(blocking);
                     }
@@ -129,7 +145,7 @@ pub fn check_conjunction(formulas: &[Formula], config: &TheoryConfig) -> SmtResu
             }
         }
     }
-    SmtResult::Unknown
+    (SmtResult::Unknown, sat_stats)
 }
 
 /// Checks whether `formula` is entailed by `background` (i.e. `background ∧

@@ -316,6 +316,94 @@ mod session_equivalence {
     }
 
     #[test]
+    fn shared_cache_across_runs_preserves_verdicts_and_grows_hits() {
+        use cpcf::SharedVerdictCache;
+
+        // Property: replaying the same query sequence over randomized
+        // branching heaps through a *shared* cross-run verdict cache gives
+        // exactly the verdicts of a cold-cache run, and the second replay's
+        // cache hits are at least the first's (monotone non-decrease: the
+        // second run inherits every verdict the first computed).
+        let mut rng = StdRng::seed_from_u64(0x5AFE_CAFE);
+        for case in 0..CASES / 2 {
+            // Build a pool of branching heaps and a query trace over them.
+            let mut base = Heap::new();
+            let locs: Vec<Loc> = (0..rng.gen_range(2usize..5))
+                .map(|_| base.alloc_fresh_opaque())
+                .collect();
+            let mut pool: Vec<(Heap, Vec<Loc>)> = vec![(base, locs)];
+            let mut trace: Vec<(usize, Loc, CmpOp, CSymExpr)> = Vec::new();
+            for _ in 0..rng.gen_range(4usize..10) {
+                let index = rng.gen_range(0..pool.len());
+                if pool.len() < 4 && rng.gen_bool(0.3) {
+                    let fork = pool[index].clone();
+                    pool.push(fork);
+                }
+                let (heap, locs) = &mut pool[index];
+                random_mutation(&mut rng, heap, locs);
+                let query_index = rng.gen_range(0..pool.len());
+                let (_, query_locs) = &pool[query_index];
+                let loc = query_locs[rng.gen_range(0..query_locs.len())];
+                let op = random_cmp(&mut rng);
+                let rhs = random_sym_expr(&mut rng, query_locs, 1);
+                trace.push((query_index, loc, op, rhs));
+            }
+
+            let replay = |session: &mut ProverSession| -> Vec<folic::Proof> {
+                trace
+                    .iter()
+                    .map(|(heap_index, loc, op, rhs)| {
+                        session.prove_num(&pool[*heap_index].0, *loc, *op, rhs)
+                    })
+                    .collect()
+            };
+
+            // Control: a cold session with a private cache only.
+            let mut cold = ProverSession::new();
+            let cold_verdicts = replay(&mut cold);
+
+            // First run against the shared cache (populates it) ...
+            let cache = SharedVerdictCache::new();
+            let mut first =
+                ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+            let first_verdicts = replay(&mut first);
+            let first_hits = first.stats().cache_hits;
+            cache.advance_epoch();
+            // ... then a second, fresh session replaying through the now
+            // warm cache.
+            let mut second =
+                ProverSession::with_config_and_cache(ProveConfig::default(), cache.clone());
+            let second_verdicts = replay(&mut second);
+            let second_stats = second.stats();
+
+            assert_eq!(
+                cold_verdicts, first_verdicts,
+                "case {case}: shared-cache run diverges from the cold run"
+            );
+            assert_eq!(
+                cold_verdicts, second_verdicts,
+                "case {case}: warm-cache replay diverges from the cold run"
+            );
+            assert!(
+                second_stats.cache_hits >= first_hits,
+                "case {case}: cache hits decreased across the second run \
+                 ({} < {first_hits})",
+                second_stats.cache_hits
+            );
+            assert_eq!(
+                second_stats.cache_hits, second_stats.queries,
+                "case {case}: the warm replay must answer every query from \
+                 the cache: {second_stats:?}"
+            );
+            assert!(
+                cache.cross_epoch_hits() >= second_stats.shared_cache_hits,
+                "case {case}: every shared hit of the second run crosses the \
+                 epoch boundary"
+            );
+        }
+    }
+
+    #[test]
     fn session_heap_models_satisfy_the_translation() {
         let mut rng = StdRng::seed_from_u64(0x40DE15);
         for _ in 0..CASES / 2 {
