@@ -8,16 +8,20 @@
 //! ```text
 //! cargo run --release -p bench --bin table1 \
 //!     [--group kobayashi|terauchi|occurrence|games|others] \
-//!     [--workers N] [--fresh-per-query] [--differential] [--json]
+//!     [--workers N] [--fresh-per-query] [--rebase] [--differential] [--json]
 //! ```
 //!
 //! `--workers N` shards the run over `N` threads (programs across threads,
-//! and a module's exports across threads inside the analyzer; default: the
-//! `ANALYZE_WORKERS` environment variable, or 1); `--fresh-per-query` runs
-//! the original solver-per-query engine instead of the incremental prover
-//! session; `--differential` runs both and checks the verdicts agree;
-//! `--json` emits the machine-readable report (per-row and aggregate stats,
-//! including per-worker and cross-variant cache-hit numbers) on stdout.
+//! and a module's exports across threads inside the analyzer; `0` means one
+//! worker per hardware thread; default: the `ANALYZE_WORKERS` environment
+//! variable, or 1); `--fresh-per-query` runs the original solver-per-query
+//! engine instead of the incremental prover session; `--rebase` keeps the
+//! incremental session but disables pop-to-write-point retraction (every
+//! non-monotone overwrite re-encodes the heap, the pre-retraction engine);
+//! `--differential` runs both the incremental and fresh engines and checks
+//! the verdicts agree; `--json` emits the machine-readable report (per-row
+//! and aggregate stats, including retraction, per-worker and cross-variant
+//! cache-hit numbers) on stdout.
 
 use scv_bench::corpus::{all_programs, group_programs, Group};
 use scv_bench::harness::{run_all, run_program_differential, BenchOptions};
@@ -43,6 +47,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let differential = args.iter().any(|a| a == "--differential");
     let fresh = args.iter().any(|a| a == "--fresh-per-query");
+    let rebase = args.iter().any(|a| a == "--rebase");
     let workers = args.iter().position(|a| a == "--workers").map(|i| {
         let Some(value) = args.get(i + 1) else {
             eprintln!("--workers requires a count");
@@ -60,6 +65,8 @@ fn main() {
     };
     let mut options = if fresh {
         BenchOptions::default().fresh_per_query()
+    } else if rebase {
+        BenchOptions::default().rebase()
     } else {
         BenchOptions::default()
     };

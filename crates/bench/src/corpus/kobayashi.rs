@@ -297,6 +297,36 @@ pub fn programs() -> Vec<BenchProgram> {
             diff: "acquires the lock twice without releasing",
             expected_unsolved: false,
         },
+        // The step-contract port of the r-file/r-lock resource protocol:
+        // instead of hiding the 0/1 automaton state in a module-local box
+        // behind a fixed call sequence, the transition function itself is
+        // exported and the state crosses the module boundary guarded by an
+        // enumeration contract. This is the benchmark family's "unknown
+        // client" reading — any state/command the contract admits may come
+        // in — and its `and/c`-guarded `one-of/c` domains are the corpus's
+        // exercise of non-monotone contract concretization: the flat lambda
+        // check refines the opaque state numerically, then the enumeration
+        // check overwrites it with each literal, retracting solver state.
+        BenchProgram {
+            name: "r-proto-step",
+            group: Group::Kobayashi,
+            correct: r#"
+(module r-proto-step
+  (provide [step (-> (and/c integer? (lambda (s) (>= s 0)) (one-of/c 0 1))
+                     (and/c integer? (lambda (c) (>= c 0)) (one-of/c 0 1))
+                     (one-of/c 0 1))])
+  (define (step s c) (if (= c 0) s (if (= s 0) 1 0))))
+"#,
+            faulty: r#"
+(module r-proto-step
+  (provide [step (-> (and/c integer? (lambda (s) (>= s 0)) (one-of/c 0 1))
+                     (and/c integer? (lambda (c) (>= c 0)) (one-of/c 0 1))
+                     (one-of/c 0 1))])
+  (define (step s c) (+ s c)))
+"#,
+            diff: "adds the command to the state instead of toggling, stepping to 2 on (1, 1)",
+            expected_unsolved: false,
+        },
         BenchProgram {
             name: "reverse",
             group: Group::Kobayashi,

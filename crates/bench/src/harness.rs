@@ -74,10 +74,30 @@ impl BenchOptions {
         self
     }
 
+    /// The same budget with pop-to-write-point retraction disabled: every
+    /// non-monotone overwrite discards the live solver and re-encodes the
+    /// heap (the pre-retraction engine, the second ablation baseline).
+    /// Pins the incremental session explicitly so the comparison against the
+    /// default engine holds even under `CPCF_PROVE_MODE=fresh`.
+    pub fn rebase(mut self) -> Self {
+        self.analyze.eval.prove.fresh_per_query = false;
+        self.analyze.eval.prove.retraction = false;
+        self
+    }
+
+    /// The same budget with pop-to-write-point retraction explicitly on
+    /// (the default engine), regardless of `CPCF_PROVE_MODE`.
+    pub fn retraction(mut self) -> Self {
+        self.analyze.eval.prove.fresh_per_query = false;
+        self.analyze.eval.prove.retraction = true;
+        self
+    }
+
     /// The same budget sharded over `workers` threads (both the per-export
-    /// and the program-level grain).
+    /// and the program-level grain). `0` means "auto": one worker per
+    /// hardware thread.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.analyze.workers = workers.max(1);
+        self.analyze.workers = workers;
         self
     }
 }
@@ -135,6 +155,14 @@ pub struct StatsSummary {
     pub delta_encodings: u64,
     /// Solver-backed queries that reused the live solver state unchanged.
     pub reused_encodings: u64,
+    /// Non-monotone overwrites absorbed by pop-to-write-point retraction
+    /// instead of a whole-heap re-encode.
+    pub retractions: u64,
+    /// Solver frames popped by retractions.
+    pub frames_popped: u64,
+    /// Formulas re-asserted while replaying journal suffixes after
+    /// retraction pops.
+    pub assertions_replayed: u64,
     /// Satisfiability checks issued to the first-order solver.
     pub solver_checks: u64,
     /// Conflicts encountered by the CDCL core.
@@ -155,6 +183,9 @@ impl StatsSummary {
             full_encodings: stats.full_encodings,
             delta_encodings: stats.delta_encodings,
             reused_encodings: stats.reused_encodings,
+            retractions: stats.retractions,
+            frames_popped: stats.frames_popped,
+            assertions_replayed: stats.assertions_replayed,
             solver_checks: stats.solver.checks,
             solver_conflicts: stats.solver.conflicts,
             solver_propagations: stats.solver.propagations,
@@ -170,6 +201,9 @@ impl StatsSummary {
         self.full_encodings += other.full_encodings;
         self.delta_encodings += other.delta_encodings;
         self.reused_encodings += other.reused_encodings;
+        self.retractions += other.retractions;
+        self.frames_popped += other.frames_popped;
+        self.assertions_replayed += other.assertions_replayed;
         self.solver_checks += other.solver_checks;
         self.solver_conflicts += other.solver_conflicts;
         self.solver_propagations += other.solver_propagations;
@@ -186,6 +220,9 @@ impl Serialize for StatsSummary {
             .field("full_encodings", &self.full_encodings)
             .field("delta_encodings", &self.delta_encodings)
             .field("reused_encodings", &self.reused_encodings)
+            .field("retractions", &self.retractions)
+            .field("frames_popped", &self.frames_popped)
+            .field("assertions_replayed", &self.assertions_replayed)
             .field("solver_checks", &self.solver_checks)
             .field("solver_conflicts", &self.solver_conflicts)
             .field("solver_propagations", &self.solver_propagations)
@@ -399,7 +436,9 @@ pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramRes
 /// cross-variant cache sharing is preserved). Results come back in corpus
 /// order regardless of completion order.
 pub fn run_all(programs: &[BenchProgram], options: &BenchOptions) -> Vec<ProgramResult> {
-    let workers = options.analyze.workers.clamp(1, programs.len().max(1));
+    // `workers: 0` means "auto" (one per hardware thread), then capped by
+    // the number of programs there actually are to run.
+    let workers = cpcf::resolve_workers(options.analyze.workers).clamp(1, programs.len().max(1));
     if workers <= 1 {
         return programs.iter().map(|p| run_program(p, options)).collect();
     }
@@ -464,12 +503,17 @@ impl DifferentialResult {
 }
 
 /// Runs a program with the incremental session and with the
-/// `fresh_per_query` ablation, for differential comparison.
+/// `fresh_per_query` ablation, for differential comparison. The incremental
+/// leg pins `fresh_per_query = false` (keeping the caller's retraction
+/// setting), so the two legs genuinely run different engines even when
+/// `CPCF_PROVE_MODE=fresh` has flipped the configuration default.
 pub fn run_program_differential(
     program: &BenchProgram,
     options: &BenchOptions,
 ) -> DifferentialResult {
-    let incremental = run_program(program, options);
+    let mut incremental_options = options.clone();
+    incremental_options.analyze.eval.prove.fresh_per_query = false;
+    let incremental = run_program(program, &incremental_options);
     let fresh = run_program(program, &options.clone().fresh_per_query());
     DifferentialResult { incremental, fresh }
 }

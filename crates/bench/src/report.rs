@@ -84,7 +84,8 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
     let total = total_stats(results);
     format!(
         "solver stats: {} prover queries, {} cache hits ({} shared, {} cross-variant), \
-         {} full + {} delta heap encodings ({} reused), {} solver checks \
+         {} full + {} delta heap encodings ({} reused), {} retractions \
+         ({} frames popped, {} assertions replayed), {} solver checks \
          ({} conflicts, {} propagations) in {} ms",
         total.queries,
         total.cache_hits,
@@ -93,6 +94,9 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
         total.full_encodings,
         total.delta_encodings,
         total.reused_encodings,
+        total.retractions,
+        total.frames_popped,
+        total.assertions_replayed,
         total.solver_checks,
         total.solver_conflicts,
         total.solver_propagations,
@@ -135,6 +139,9 @@ mod tests {
                 full_encodings: 2,
                 delta_encodings: 5,
                 reused_encodings: 3,
+                retractions: 2,
+                frames_popped: 3,
+                assertions_replayed: 4,
                 solver_checks: 11,
                 solver_conflicts: 6,
                 solver_propagations: 40,

@@ -45,8 +45,12 @@ pub struct AnalyzeOptions {
     pub context_depth: u32,
     /// How many worker threads shard the per-export analyses. `1` runs the
     /// exports sequentially (still through the scheduler, with one reused
-    /// session). Defaults to the `ANALYZE_WORKERS` environment variable, or
-    /// `1` when unset or unparsable.
+    /// session); `0` means "auto": one worker per hardware thread, as
+    /// reported by [`std::thread::available_parallelism`] (resolved by
+    /// [`resolve_workers`] at scheduling time, so the same options value
+    /// adapts to the machine it runs on). Defaults to the `ANALYZE_WORKERS`
+    /// environment variable — which follows the same convention, `0` for
+    /// auto — or `1` when unset or unparsable.
     pub workers: usize,
     /// A verdict cache shared across this run's workers and, when the same
     /// handle is passed to several runs, across runs — e.g. the correct and
@@ -55,13 +59,25 @@ pub struct AnalyzeOptions {
     pub shared_cache: Option<SharedVerdictCache>,
 }
 
-/// The worker count taken from the `ANALYZE_WORKERS` environment variable
-/// (clamped to `1..=64`), or 1 when unset or unparsable.
+/// The worker count taken from the `ANALYZE_WORKERS` environment variable,
+/// or 1 when unset or unparsable. `0` is passed through (it means "auto",
+/// see [`AnalyzeOptions::workers`]); positive values are clamped to `1..=64`.
 pub fn default_workers() -> usize {
     std::env::var("ANALYZE_WORKERS")
         .ok()
         .and_then(|value| value.trim().parse::<usize>().ok())
-        .map_or(1, |n| n.clamp(1, 64))
+        .map_or(1, |n| if n == 0 { 0 } else { n.clamp(1, 64) })
+}
+
+/// Resolves a requested worker count to an actual one: `0` ("auto") becomes
+/// the machine's available parallelism (1 when that cannot be determined),
+/// any other value is taken as-is.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
 }
 
 impl Default for AnalyzeOptions {
@@ -492,9 +508,62 @@ mod tests {
 
     #[test]
     fn workers_env_variable_feeds_the_default() {
-        // `default_workers` clamps and falls back rather than panicking.
-        assert!(default_workers() >= 1);
-        let options = AnalyzeOptions::default();
-        assert!(options.workers >= 1);
+        // `default_workers` clamps and falls back rather than panicking; it
+        // may legitimately return 0 ("auto") when ANALYZE_WORKERS=0.
+        let workers = default_workers();
+        assert!(workers <= 64);
+        assert_eq!(AnalyzeOptions::default().workers, workers);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_available_parallelism() {
+        let auto = resolve_workers(0);
+        assert!(auto >= 1, "auto never resolves below one worker");
+        assert_eq!(
+            auto,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        // Positive requests pass through unchanged.
+        assert_eq!(resolve_workers(1), 1);
+        assert_eq!(resolve_workers(7), 7);
+    }
+
+    #[test]
+    fn zero_workers_analysis_runs_with_auto_parallelism() {
+        let report = analyze_source_with(
+            MULTI_EXPORT,
+            &AnalyzeOptions {
+                workers: 0,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .expect("parses");
+        let expected_workers = resolve_workers(0).clamp(1, report.exports.len());
+        assert_eq!(
+            report.worker_stats.len(),
+            expected_workers,
+            "workers: 0 must spawn one worker per hardware thread (capped by exports)"
+        );
+        // Verdicts are unchanged versus the sequential run.
+        let sequential = analyze_source_with(
+            MULTI_EXPORT,
+            &AnalyzeOptions {
+                workers: 1,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .expect("parses");
+        assert_eq!(
+            sequential
+                .exports
+                .iter()
+                .map(|(n, a)| (n.as_str(), verdict_kind(a)))
+                .collect::<Vec<_>>(),
+            report
+                .exports
+                .iter()
+                .map(|(n, a)| (n.as_str(), verdict_kind(a)))
+                .collect::<Vec<_>>(),
+        );
     }
 }

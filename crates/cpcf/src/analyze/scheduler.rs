@@ -39,7 +39,9 @@ pub(super) fn run_exports(
     Vec<SessionStats>,
 ) {
     let export_count = module.provides.len();
-    let worker_count = options.workers.clamp(1, export_count.max(1));
+    // `workers: 0` means "auto" (one worker per hardware thread); whatever
+    // the request resolves to is then capped by the amount of actual work.
+    let worker_count = super::resolve_workers(options.workers).clamp(1, export_count.max(1));
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<(String, ExportAnalysis)>> = vec![None; export_count];
     let mut worker_stats: Vec<SessionStats> = Vec::with_capacity(worker_count);

@@ -92,13 +92,13 @@ pub mod prove;
 pub mod syntax;
 
 pub use analyze::{
-    analyze, analyze_module, analyze_source, analyze_source_with, default_workers, AnalyzeOptions,
-    ExportAnalysis, ModuleReport,
+    analyze, analyze_module, analyze_source, analyze_source_with, default_workers, resolve_workers,
+    AnalyzeOptions, ExportAnalysis, ModuleReport,
 };
 pub use cex::Counterexample;
 pub use eval::{Ctx, EvalOptions, Outcome};
 pub use heap::{CRefinement, ContractVal, Env, Heap, Loc, SVal, Tag};
 pub use numeric::Number;
 pub use parse::{parse_expr, parse_program, ParseError, Parser};
-pub use prove::{ProveConfig, ProverSession, SessionStats, SharedVerdictCache};
+pub use prove::{default_prove_mode, ProveConfig, ProverSession, SessionStats, SharedVerdictCache};
 pub use syntax::{CBlame, Definition, Expr, Label, Module, Prim, Program, Provide, StructDef};

@@ -1,0 +1,314 @@
+//! A seeded random generator of CPCF **heap traces**: sequences of symbolic
+//! heap snapshots and numeric queries, in the access pattern the evaluator
+//! produces — interleaved monotone refinements, memo-entry additions and
+//! non-monotone `set` overwrites on randomized branching shapes.
+//!
+//! The generator is the random-input half of the differential oracle for the
+//! prover engines: replaying one trace through the pop-to-write-point
+//! retraction engine, the whole-journal rebase ablation and the
+//! fresh-solver-per-query baseline must produce identical verdict sequences
+//! (`tests/solver_properties.rs` asserts this over hundreds of seeds). It
+//! plays the same methodological role as the QuickCheck baseline in the
+//! paper's §5.2: randomized inputs probing a claimed equivalence — here the
+//! engine-independence of verdicts that the relative-completeness argument
+//! rests on.
+
+use cpcf::heap::{CRefinement, CSymExpr, Heap, JournalEvent, SVal, Tag};
+use cpcf::{Loc, Number, ProverSession};
+use folic::{CmpOp, Proof};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for [`HeapTrace::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Inclusive range the number of mutation/query steps is drawn from.
+    pub steps: (usize, usize),
+    /// Maximum number of live branch heaps (clones sharing a journal
+    /// prefix, as sibling evaluation branches do).
+    pub max_branches: usize,
+    /// Probability that a step forks a new branch before mutating.
+    pub fork_probability: f64,
+    /// Inclusive range the initial opaque allocation count is drawn from.
+    pub initial_locs: (usize, usize),
+    /// Inclusive range integer constants are drawn from.
+    pub int_range: (i64, i64),
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            steps: (5, 12),
+            max_branches: 4,
+            fork_probability: 0.3,
+            initial_locs: (2, 4),
+            int_range: (-20, 20),
+        }
+    }
+}
+
+/// One step of a trace: the heap snapshot visible to the prover at query
+/// time, and the numeric query asked of it. Snapshots taken on the same
+/// branch share journal prefixes, so an incremental session replaying the
+/// trace synchronizes by deltas exactly as it would under the evaluator.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The heap state at query time.
+    pub heap: Heap,
+    /// The queried location.
+    pub loc: Loc,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The right-hand side of the comparison.
+    pub rhs: CSymExpr,
+}
+
+/// A generated heap trace: an ordered list of snapshot/query steps.
+#[derive(Debug, Clone)]
+pub struct HeapTrace {
+    /// The seed the trace was generated from (for failure reporting).
+    pub seed: u64,
+    /// The snapshot/query steps, in replay order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl HeapTrace {
+    /// Generates the trace for `seed` under the given shape parameters.
+    /// Identical inputs produce identical traces.
+    pub fn generate(seed: u64, config: &TraceConfig) -> HeapTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut base = Heap::new();
+        let initial = rng.gen_range(config.initial_locs.0..=config.initial_locs.1);
+        let locs: Vec<Loc> = (0..initial.max(1))
+            .map(|_| base.alloc_fresh_opaque())
+            .collect();
+        let mut pool: Vec<(Heap, Vec<Loc>)> = vec![(base, locs)];
+        let mut steps = Vec::new();
+        for _ in 0..rng.gen_range(config.steps.0..=config.steps.1) {
+            let index = rng.gen_range(0..pool.len());
+            if pool.len() < config.max_branches && rng.gen_bool(config.fork_probability) {
+                let fork = pool[index].clone();
+                pool.push(fork);
+            }
+            {
+                let (heap, locs) = &mut pool[index];
+                mutate(&mut rng, config, heap, locs);
+            }
+            // Query a random pool member — not necessarily the branch just
+            // mutated, so replays interleave branch switches with growth.
+            let (query_heap, query_locs) = &pool[rng.gen_range(0..pool.len())];
+            steps.push(TraceStep {
+                heap: query_heap.clone(),
+                loc: query_locs[rng.gen_range(0..query_locs.len())],
+                op: random_cmp(&mut rng),
+                rhs: random_sym_expr(&mut rng, config, query_locs),
+            });
+        }
+        HeapTrace { seed, steps }
+    }
+
+    /// The largest number of non-monotone overwrites (journalled
+    /// [`JournalEvent::Rebase`] events) visible in any single step's
+    /// snapshot — how hard this trace exercises the retraction machinery.
+    pub fn rebases(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|step| {
+                step.heap
+                    .journal()
+                    .iter()
+                    .filter(|entry| matches!(entry.event, JournalEvent::Rebase { .. }))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Replays every step's query through `session`, returning the verdict
+    /// sequence. Two engines are observationally equivalent on this trace
+    /// exactly when their replay results are equal.
+    pub fn replay(&self, session: &mut ProverSession) -> Vec<Proof> {
+        self.steps
+            .iter()
+            .map(|step| session.prove_num(&step.heap, step.loc, step.op, &step.rhs))
+            .collect()
+    }
+}
+
+fn random_cmp(rng: &mut StdRng) -> CmpOp {
+    match rng.gen_range(0..6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+/// A random atomic operand: a location or a small constant.
+fn random_operand(rng: &mut StdRng, config: &TraceConfig, locs: &[Loc]) -> CSymExpr {
+    if rng.gen_bool(0.5) && !locs.is_empty() {
+        CSymExpr::loc(locs[rng.gen_range(0..locs.len())])
+    } else {
+        CSymExpr::int(rng.gen_range(config.int_range.0..=config.int_range.1))
+    }
+}
+
+/// A random symbolic expression over the heap's locations, kept inside the
+/// *linear* fragment (multiplication and division only by constants) so the
+/// bounded LIA search decides every instance quickly — the property under
+/// test is the engines' encoding bookkeeping, not solver completeness on
+/// nonlinear arithmetic.
+fn random_sym_expr(rng: &mut StdRng, config: &TraceConfig, locs: &[Loc]) -> CSymExpr {
+    match rng.gen_range(0..8) {
+        0..=2 => random_operand(rng, config, locs),
+        3 => CSymExpr::Add(
+            Box::new(random_operand(rng, config, locs)),
+            Box::new(random_operand(rng, config, locs)),
+        ),
+        4 => CSymExpr::Sub(
+            Box::new(random_operand(rng, config, locs)),
+            Box::new(random_operand(rng, config, locs)),
+        ),
+        5 => CSymExpr::Mul(
+            Box::new(CSymExpr::int(rng.gen_range(-3i64..=3))),
+            Box::new(random_operand(rng, config, locs)),
+        ),
+        6 => {
+            let divisor = [-3i64, -2, 2, 3][rng.gen_range(0..4usize)];
+            CSymExpr::Div(
+                Box::new(random_operand(rng, config, locs)),
+                Box::new(CSymExpr::int(divisor)),
+            )
+        }
+        _ => {
+            let divisor = [-3i64, -2, 2, 3][rng.gen_range(0..4usize)];
+            CSymExpr::Mod(
+                Box::new(random_operand(rng, config, locs)),
+                Box::new(CSymExpr::int(divisor)),
+            )
+        }
+    }
+}
+
+/// Applies one random mutation to a branch heap: mostly monotone growth
+/// (numeric and tag refinements, allocations, memo entries), with a solid
+/// share of the non-monotone structural overwrites that force engines to
+/// retract or re-encode solver state.
+fn mutate(rng: &mut StdRng, config: &TraceConfig, heap: &mut Heap, locs: &mut Vec<Loc>) {
+    match rng.gen_range(0..12) {
+        // Numeric refinements: the evaluator's bread and butter along a
+        // path condition, and what gives overwrites formulas to retract.
+        0..=4 => {
+            let loc = locs[rng.gen_range(0..locs.len())];
+            if matches!(heap.get(loc), SVal::Opaque { .. }) {
+                let rhs = random_sym_expr(rng, config, locs);
+                heap.refine(loc, CRefinement::NumCmp(random_cmp(rng), rhs));
+            }
+        }
+        // A fresh opaque or concrete integer allocation.
+        5 | 6 => {
+            let loc = if rng.gen_bool(0.5) {
+                heap.alloc_fresh_opaque()
+            } else {
+                heap.alloc(SVal::Num(Number::Int(
+                    rng.gen_range(config.int_range.0..=config.int_range.1),
+                )))
+            };
+            locs.push(loc);
+        }
+        // A tag refinement (cache-key relevant, encoding-irrelevant).
+        7 => {
+            let loc = locs[rng.gen_range(0..locs.len())];
+            if matches!(heap.get(loc), SVal::Opaque { .. }) {
+                heap.refine(loc, CRefinement::Is(Tag::Integer));
+            }
+        }
+        // A memo-table entry on an opaque function (functionality).
+        8 | 9 => {
+            let f = locs[rng.gen_range(0..locs.len())];
+            let arg = locs[rng.gen_range(0..locs.len())];
+            let res = locs[rng.gen_range(0..locs.len())];
+            if let SVal::Opaque {
+                refinements,
+                entries,
+            } = heap.get(f).clone()
+            {
+                let mut entries = entries;
+                if !entries.iter().any(|(a, _)| *a == arg) {
+                    entries.push((arg, res));
+                    heap.set(
+                        f,
+                        SVal::Opaque {
+                            refinements,
+                            entries,
+                        },
+                    );
+                }
+            }
+        }
+        // A non-monotone overwrite: structural refinement to a pair, as a
+        // `pair?` tag test does to an opaque value. When the victim already
+        // contributed formulas (a numeric refinement, a memo table, or a
+        // memo reference), this journals a rebase.
+        _ => {
+            let loc = locs[rng.gen_range(0..locs.len())];
+            if matches!(heap.get(loc), SVal::Opaque { .. }) {
+                let car = heap.alloc_fresh_opaque();
+                let cdr = heap.alloc_fresh_opaque();
+                locs.push(car);
+                locs.push(cdr);
+                heap.set(loc, SVal::Pair(car, cdr));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_reproducible_per_seed() {
+        let config = TraceConfig::default();
+        let a = HeapTrace::generate(42, &config);
+        let b = HeapTrace::generate(42, &config);
+        assert_eq!(a.steps.len(), b.steps.len());
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.heap.fingerprint(), y.heap.fingerprint());
+            assert_eq!((x.loc, x.op), (y.loc, y.op));
+            assert_eq!(x.rhs, y.rhs);
+        }
+        let c = HeapTrace::generate(43, &config);
+        assert!(
+            a.steps.len() != c.steps.len()
+                || a.steps
+                    .iter()
+                    .zip(&c.steps)
+                    .any(|(x, y)| x.heap.fingerprint() != y.heap.fingerprint()),
+            "different seeds should produce different traces"
+        );
+    }
+
+    #[test]
+    fn the_seed_corpus_exercises_non_monotone_overwrites() {
+        let config = TraceConfig::default();
+        let rebasing = (0..50)
+            .filter(|&seed| HeapTrace::generate(seed, &config).rebases() > 0)
+            .count();
+        assert!(
+            rebasing >= 10,
+            "only {rebasing}/50 seeds journalled a rebase; the generator no \
+             longer exercises the retraction machinery"
+        );
+    }
+
+    #[test]
+    fn replay_answers_every_query() {
+        let trace = HeapTrace::generate(7, &TraceConfig::default());
+        let mut session = ProverSession::new();
+        let verdicts = trace.replay(&mut session);
+        assert_eq!(verdicts.len(), trace.steps.len());
+    }
+}

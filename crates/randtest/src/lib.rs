@@ -11,9 +11,19 @@
 //! derived from the contract (integers, booleans, lists, pairs and constant
 //! random functions), runs the module concretely, and reports the first
 //! input on which the module itself is blamed.
+//!
+//! The [`heaptrace`] module applies the same methodology one level down: a
+//! seeded generator of random symbolic-heap mutation/query traces, used as
+//! the differential oracle proving the prover engines (pop-to-write-point
+//! retraction, whole-journal rebase, fresh-solver-per-query) observationally
+//! equivalent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod heaptrace;
+
+pub use heaptrace::{HeapTrace, TraceConfig, TraceStep};
 
 use std::collections::HashMap;
 

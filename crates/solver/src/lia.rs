@@ -705,9 +705,21 @@ fn propagate_product(product: &ProductConstraint, state: &mut SearchState) -> Op
     Some(changed)
 }
 
-/// Runs propagation to a fixpoint. Returns `false` on conflict.
+/// Ceiling on interval-propagation rounds per search node. Interval
+/// propagation diverges on difference-cycle contradictions (`y ≥ x ∧ y ≤
+/// x - 12` tightens the lower bounds by 12 forever without ever emptying a
+/// domain), so the fixpoint loop must be cut off. Stopping early is sound:
+/// propagation only narrows domains, so the wider domains kept by an early
+/// exit never lose models, and a variable left unbounded routes the final
+/// verdict through the `truncated` flag to `Unknown` rather than `Unsat`.
+/// Any genuinely convergent propagation that would need this many rounds is
+/// far outside the solver's value bound anyway.
+const MAX_PROPAGATION_ROUNDS: usize = 4096;
+
+/// Runs propagation to a fixpoint (or the round ceiling). Returns `false`
+/// on conflict.
 fn propagate(problem: &LiaProblem, state: &mut SearchState) -> bool {
-    loop {
+    for _ in 0..MAX_PROPAGATION_ROUNDS {
         let mut changed = false;
         for constraint in &problem.linear {
             let step = match constraint.op {
@@ -756,6 +768,9 @@ fn propagate(problem: &LiaProblem, state: &mut SearchState) -> bool {
             return true;
         }
     }
+    // Round ceiling reached without conflict: proceed with the (sound,
+    // possibly still-wide) domains narrowed so far.
+    true
 }
 
 /// Candidate values for branching on `var`, ordered small-magnitude first.

@@ -67,6 +67,6 @@ pub mod theory;
 
 pub use formula::{Atom, CmpOp, Formula};
 pub use model::Model;
-pub use solver::{Proof, Solver, SolverConfig, SolverStats, Validity};
+pub use solver::{Proof, Solver, SolverConfig, SolverStats, UnbalancedPop, Validity};
 pub use term::{Term, Var};
 pub use theory::{SmtResult, TheoryConfig};

@@ -1,7 +1,9 @@
 //! Corpus-wide differential test for the sharded analysis scheduler: for
 //! every program in every corpus group, analyzing with `workers = 1` and
-//! `workers = 4` must produce identical per-export verdicts in identical
-//! report order, for both the correct and the faulty variant.
+//! `workers = 4` under the pop-to-write-point retraction engine must produce
+//! identical per-export verdicts in identical report order, for both the
+//! correct and the faulty variant — and every counterexample the analysis
+//! reports must carry a concrete, re-run-confirmed validation.
 //!
 //! The equivalence compares verdict *classifications* (plus blame and
 //! validation status), not counterexample bindings: bindings come from a
@@ -14,11 +16,31 @@ use scv_bench::harness::BenchOptions;
 
 /// The harness's reduced `quick` budget, small enough that walking the whole
 /// corpus four times stays fast, with a private (non-shared) cache so the
-/// two worker counts start from identical state.
+/// two worker counts start from identical state, and the retraction engine
+/// pinned explicitly so the corpus equivalence covers it regardless of what
+/// `CPCF_PROVE_MODE` makes the default.
 fn quick_options(workers: usize) -> AnalyzeOptions {
-    let mut options = BenchOptions::quick().with_workers(workers).analyze;
+    let mut options = BenchOptions::quick()
+        .retraction()
+        .with_workers(workers)
+        .analyze;
     options.shared_cache = None;
     options
+}
+
+/// Asserts the invariant the analyzer promises for `validate: true` runs:
+/// a `Counterexample` verdict is only ever reported after the concrete
+/// re-run confirmed the blame, so `validated` must be set on every row.
+fn assert_counterexamples_validated(report: &ModuleReport, program: &str, variant: &str) {
+    for (export, analysis) in &report.exports {
+        if let ExportAnalysis::Counterexample(cex) = analysis {
+            assert!(
+                cex.validated,
+                "{program} ({variant} variant), export {export}: \
+                 unvalidated counterexample reported: {cex:?}"
+            );
+        }
+    }
 }
 
 /// The scheduling-independent portion of an export verdict.
@@ -67,6 +89,8 @@ fn sequential_and_sharded_analyses_agree_corpus_wide() {
                 "{} ({variant} variant): workers=1 and workers=4 disagree",
                 program.name,
             );
+            assert_counterexamples_validated(&sequential, program.name, variant);
+            assert_counterexamples_validated(&sharded, program.name, variant);
             checked += 1;
         }
     }

@@ -1,7 +1,7 @@
 //! Property-based integration tests, driven by a seeded [`StdRng`] so runs
 //! are reproducible without any external property-testing framework.
 //!
-//! Two families of properties:
+//! Three families of properties:
 //!
 //! 1. **Solver soundness** — every model the first-order solver reports
 //!    satisfies the asserted formulas, UNSAT answers agree with brute-force
@@ -12,6 +12,12 @@
 //!    non-monotone overwrites), the incremental [`cpcf::ProverSession`]
 //!    returns exactly the verdicts of the `fresh_per_query` baseline that
 //!    re-encodes the heap on every query.
+//! 3. **Engine-equivalence fuzzing** — replaying seeded
+//!    [`randtest::HeapTrace`]s through the pop-to-write-point retraction
+//!    engine, the whole-journal rebase ablation and the
+//!    fresh-solver-per-query baseline produces bit-identical verdict
+//!    sequences, and retraction performs strictly fewer whole-heap
+//!    re-encodings than rebase over the corpus.
 
 use folic::{CmpOp, Formula, Model, SmtResult, Solver, Term, Var};
 use rand::rngs::StdRng;
@@ -401,6 +407,71 @@ mod session_equivalence {
                  epoch boundary"
             );
         }
+    }
+
+    #[test]
+    fn retraction_rebase_and_fresh_engines_agree_on_seeded_traces() {
+        use cpcf::SessionStats;
+        use randtest::{HeapTrace, TraceConfig};
+
+        // The differential oracle for pop-to-write-point retraction, in the
+        // spirit of the paper's QuickCheck baseline (§5.2): over seeded
+        // random heap traces, all three prover engines must return exactly
+        // the same verdicts. Engines are configured explicitly so the
+        // property holds regardless of the CPCF_PROVE_MODE default.
+        let engine = |fresh_per_query: bool, retraction: bool| ProveConfig {
+            fresh_per_query,
+            retraction,
+            ..ProveConfig::default()
+        };
+        const TRACES: u64 = 200;
+        let config = TraceConfig::default();
+        let mut retraction_total = SessionStats::default();
+        let mut rebase_total = SessionStats::default();
+        let mut traces_with_rebases = 0usize;
+        for seed in 0..TRACES {
+            let trace = HeapTrace::generate(seed, &config);
+            if trace.rebases() > 0 {
+                traces_with_rebases += 1;
+            }
+            let mut retraction = ProverSession::with_config(engine(false, true));
+            let mut rebase = ProverSession::with_config(engine(false, false));
+            let mut fresh = ProverSession::with_config(engine(true, false));
+            let retraction_verdicts = trace.replay(&mut retraction);
+            let rebase_verdicts = trace.replay(&mut rebase);
+            let fresh_verdicts = trace.replay(&mut fresh);
+            assert_eq!(
+                retraction_verdicts, rebase_verdicts,
+                "seed {seed}: retraction and rebase engines disagree"
+            );
+            assert_eq!(
+                rebase_verdicts, fresh_verdicts,
+                "seed {seed}: rebase and fresh-per-query engines disagree"
+            );
+            retraction_total.merge(&retraction.stats());
+            rebase_total.merge(&rebase.stats());
+        }
+        // The corpus must actually exercise the machinery under test …
+        assert!(
+            traces_with_rebases >= TRACES as usize / 10,
+            "only {traces_with_rebases}/{TRACES} traces journalled a rebase"
+        );
+        assert!(
+            retraction_total.retractions > 0,
+            "no trace triggered a retraction: {retraction_total:?}"
+        );
+        assert_eq!(
+            rebase_total.retractions, 0,
+            "the ablation must never retract: {rebase_total:?}"
+        );
+        // … and retraction must beat rebase where it counts: strictly fewer
+        // whole-heap re-encodings for the same queries.
+        assert!(
+            retraction_total.full_encodings < rebase_total.full_encodings,
+            "retraction ({}) did not reduce full re-encodings versus rebase ({})",
+            retraction_total.full_encodings,
+            rebase_total.full_encodings
+        );
     }
 
     #[test]
