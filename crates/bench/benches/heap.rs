@@ -1,0 +1,123 @@
+//! Microbenchmark: heap snapshot (+ mutate) throughput, old vs new
+//! representation.
+//!
+//! The persistent copy-on-write `cpcf::Heap` promises O(1) snapshots: the
+//! cost of `clone` (and of clone-then-mutate, the evaluator's branch-split
+//! pattern) should stay flat as the heap and its constraint journal grow,
+//! while the old deep-clone representation — preserved bit-for-bit as
+//! `randtest::ShadowHeap` — scales linearly with heap size. Run with
+//! `cargo bench -p bench --bench heap`; each heap of size N holds N opaque
+//! locations with one numeric refinement each (journal length 2N).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cpcf::heap::{CRefinement, CSymExpr, Heap, SVal};
+use cpcf::{Loc, Number};
+use folic::CmpOp;
+use randtest::ShadowHeap;
+
+const SIZES: [usize; 3] = [10, 100, 1000];
+/// Snapshots taken per sample, so one sample amortizes timer overhead.
+const SNAPSHOTS_PER_SAMPLE: usize = 256;
+
+fn build_persistent(size: usize) -> (Heap, Vec<Loc>) {
+    let mut heap = Heap::new();
+    let locs: Vec<Loc> = (0..size)
+        .map(|i| {
+            let loc = heap.alloc_fresh_opaque();
+            heap.refine(
+                loc,
+                CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(-(i as i64))),
+            );
+            loc
+        })
+        .collect();
+    // A concrete value so the store is not purely opaque.
+    heap.alloc(SVal::Num(Number::Int(7)));
+    (heap, locs)
+}
+
+fn build_shadow(size: usize) -> (ShadowHeap, Vec<Loc>) {
+    let mut heap = ShadowHeap::new();
+    let locs: Vec<Loc> = (0..size)
+        .map(|i| {
+            let loc = heap.alloc_fresh_opaque();
+            heap.refine(
+                loc,
+                CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(-(i as i64))),
+            );
+            loc
+        })
+        .collect();
+    heap.alloc(SVal::Num(Number::Int(7)));
+    (heap, locs)
+}
+
+/// The branch-split pattern: snapshot the heap, then refine one location on
+/// the snapshot (leaving the original untouched, as sibling branches do).
+fn bench_snapshot_mutate(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("heap_snapshot_mutate");
+    group.sample_size(20);
+    for size in SIZES {
+        let (heap, locs) = build_persistent(size);
+        group.bench_function(format!("persistent/{size}"), |bencher| {
+            bencher.iter(|| {
+                let mut mix = 0u64;
+                for i in 0..SNAPSHOTS_PER_SAMPLE {
+                    let mut snapshot = heap.clone();
+                    snapshot.refine(
+                        locs[i % locs.len()],
+                        CRefinement::NumCmp(CmpOp::Le, CSymExpr::int(1_000 + i as i64)),
+                    );
+                    mix ^= snapshot.fingerprint();
+                }
+                black_box(mix)
+            });
+        });
+        let (shadow, locs) = build_shadow(size);
+        group.bench_function(format!("deep_clone/{size}"), |bencher| {
+            bencher.iter(|| {
+                let mut mix = 0u64;
+                for i in 0..SNAPSHOTS_PER_SAMPLE {
+                    let mut snapshot = shadow.clone();
+                    snapshot.refine(
+                        locs[i % locs.len()],
+                        CRefinement::NumCmp(CmpOp::Le, CSymExpr::int(1_000 + i as i64)),
+                    );
+                    mix ^= snapshot.fingerprint();
+                }
+                black_box(mix)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Pure snapshot cost, no mutation: O(1) for the persistent heap, O(n) for
+/// the deep clone.
+fn bench_snapshot_only(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("heap_snapshot");
+    group.sample_size(20);
+    for size in SIZES {
+        let (heap, _) = build_persistent(size);
+        group.bench_function(format!("persistent/{size}"), |bencher| {
+            bencher.iter(|| {
+                for _ in 0..SNAPSHOTS_PER_SAMPLE {
+                    black_box(heap.clone());
+                }
+            });
+        });
+        let (shadow, _) = build_shadow(size);
+        group.bench_function(format!("deep_clone/{size}"), |bencher| {
+            bencher.iter(|| {
+                for _ in 0..SNAPSHOTS_PER_SAMPLE {
+                    black_box(shadow.clone());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(heap_benches, bench_snapshot_mutate, bench_snapshot_only);
+criterion_main!(heap_benches);

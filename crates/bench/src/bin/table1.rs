@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run --release -p bench --bin table1 \
 //!     [--group kobayashi|terauchi|occurrence|games|others] \
-//!     [--workers N] [--fresh-per-query] [--rebase] [--differential] [--json]
+//!     [--workers N] [--fresh-per-query] [--rebase] [--differential] \
+//!     [--timing] [--json]
 //! ```
 //!
 //! `--workers N` shards the run over `N` threads (programs across threads,
@@ -19,13 +20,17 @@
 //! incremental session but disables pop-to-write-point retraction (every
 //! non-monotone overwrite re-encodes the heap, the pre-retraction engine);
 //! `--differential` runs both the incremental and fresh engines and checks
-//! the verdicts agree; `--json` emits the machine-readable report (per-row
-//! and aggregate stats, including retraction, per-worker and cross-variant
-//! cache-hit numbers) on stdout.
+//! the verdicts agree; `--timing` appends a per-row and aggregate
+//! wall-clock table (monotonic clock); `--json` emits the machine-readable
+//! report (per-row and aggregate stats — including retraction, heap
+//! snapshot/sharing, per-worker and cross-variant cache-hit numbers — plus
+//! `analysis_ms`/`wall_ms` timing) on stdout.
+
+use std::time::Instant;
 
 use scv_bench::corpus::{all_programs, group_programs, Group};
 use scv_bench::harness::{run_all, run_program_differential, BenchOptions};
-use scv_bench::report::{render_table, summarize, summarize_stats, to_json};
+use scv_bench::report::{render_table, summarize, summarize_stats, timing_table, to_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +50,7 @@ fn main() {
             }
         });
     let json = args.iter().any(|a| a == "--json");
+    let timing = args.iter().any(|a| a == "--timing");
     let differential = args.iter().any(|a| a == "--differential");
     let fresh = args.iter().any(|a| a == "--fresh-per-query");
     let rebase = args.iter().any(|a| a == "--rebase");
@@ -111,12 +117,17 @@ fn main() {
         return;
     }
 
+    let start = Instant::now();
     let results = run_all(&programs, &options);
+    let wall_ms = start.elapsed().as_millis();
     if json {
-        println!("{}", to_json(&results));
+        println!("{}", to_json(&results, wall_ms));
         return;
     }
     println!("{}", render_table(&results));
+    if timing {
+        println!("{}", timing_table(&results, wall_ms));
+    }
     println!("{}", summarize(&results));
     println!("{}", summarize_stats(&results));
 }

@@ -163,6 +163,16 @@ pub struct StatsSummary {
     /// Formulas re-asserted while replaying journal suffixes after
     /// retraction pops.
     pub assertions_replayed: u64,
+    /// Heap snapshots (cheap copy-on-write `Heap::clone`s) taken by the
+    /// evaluator's state splits.
+    pub snapshots: u64,
+    /// Persistent-map nodes structurally copied by writes that hit
+    /// snapshot-shared state — the entire copying cost of the heap's
+    /// copy-on-write representation.
+    pub nodes_copied: u64,
+    /// Journal bytes snapshots shared by reference instead of deep-copying
+    /// (what the old `Vec`-journal representation memcpy'd per split).
+    pub journal_bytes_shared: u64,
     /// Satisfiability checks issued to the first-order solver.
     pub solver_checks: u64,
     /// Conflicts encountered by the CDCL core.
@@ -186,6 +196,9 @@ impl StatsSummary {
             retractions: stats.retractions,
             frames_popped: stats.frames_popped,
             assertions_replayed: stats.assertions_replayed,
+            snapshots: stats.snapshots,
+            nodes_copied: stats.nodes_copied,
+            journal_bytes_shared: stats.journal_bytes_shared,
             solver_checks: stats.solver.checks,
             solver_conflicts: stats.solver.conflicts,
             solver_propagations: stats.solver.propagations,
@@ -204,6 +217,9 @@ impl StatsSummary {
         self.retractions += other.retractions;
         self.frames_popped += other.frames_popped;
         self.assertions_replayed += other.assertions_replayed;
+        self.snapshots += other.snapshots;
+        self.nodes_copied += other.nodes_copied;
+        self.journal_bytes_shared += other.journal_bytes_shared;
         self.solver_checks += other.solver_checks;
         self.solver_conflicts += other.solver_conflicts;
         self.solver_propagations += other.solver_propagations;
@@ -223,6 +239,9 @@ impl Serialize for StatsSummary {
             .field("retractions", &self.retractions)
             .field("frames_popped", &self.frames_popped)
             .field("assertions_replayed", &self.assertions_replayed)
+            .field("snapshots", &self.snapshots)
+            .field("nodes_copied", &self.nodes_copied)
+            .field("journal_bytes_shared", &self.journal_bytes_shared)
             .field("solver_checks", &self.solver_checks)
             .field("solver_conflicts", &self.solver_conflicts)
             .field("solver_propagations", &self.solver_propagations)

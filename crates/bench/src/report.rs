@@ -85,7 +85,8 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
     format!(
         "solver stats: {} prover queries, {} cache hits ({} shared, {} cross-variant), \
          {} full + {} delta heap encodings ({} reused), {} retractions \
-         ({} frames popped, {} assertions replayed), {} solver checks \
+         ({} frames popped, {} assertions replayed), {} heap snapshots \
+         ({} map nodes copied, {} journal bytes shared), {} solver checks \
          ({} conflicts, {} propagations) in {} ms",
         total.queries,
         total.cache_hits,
@@ -97,6 +98,9 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
         total.retractions,
         total.frames_popped,
         total.assertions_replayed,
+        total.snapshots,
+        total.nodes_copied,
+        total.journal_bytes_shared,
         total.solver_checks,
         total.solver_conflicts,
         total.solver_propagations,
@@ -104,9 +108,49 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
     )
 }
 
+/// Per-row and aggregate wall-clock timing (the `--timing` view): analysis
+/// milliseconds for each variant and their sum per row, the aggregate
+/// analysis time across rows, and the harness's end-to-end monotonic
+/// wall-clock (which also covers parsing and, under `--workers`, reflects
+/// thread-level overlap).
+pub fn timing_table(results: &[ProgramResult], wall_ms: u128) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>12}",
+        "Program", "Correct(ms)", "Faulty(ms)", "Total(ms)"
+    );
+    let mut aggregate = 0u128;
+    for result in results {
+        let total = result.correct_ms + result.faulty_ms;
+        aggregate += total;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>12}",
+            result.name, result.correct_ms, result.faulty_ms, total
+        );
+    }
+    let _ = writeln!(
+        out,
+        "timing: {} rows, {} ms analysis time, {} ms wall-clock",
+        results.len(),
+        aggregate,
+        wall_ms
+    );
+    out
+}
+
+/// The summed per-row analysis time (correct + faulty variants), in
+/// milliseconds.
+pub fn total_analysis_ms(results: &[ProgramResult]) -> u128 {
+    results.iter().map(|r| r.correct_ms + r.faulty_ms).sum()
+}
+
 /// Renders the full result set as a JSON document (an object with a `rows`
-/// array and aggregate `stats`), for downstream tooling.
-pub fn to_json(results: &[ProgramResult]) -> String {
+/// array, aggregate `stats`, and monotonic wall-clock timing), for
+/// downstream tooling. `wall_ms` is the harness's end-to-end run time as
+/// measured by a monotonic clock ([`std::time::Instant`]).
+pub fn to_json(results: &[ProgramResult], wall_ms: u128) -> String {
     JsonObject::new()
         .raw_field("rows", results.to_json())
         .field("stats", &total_stats(results))
@@ -114,6 +158,8 @@ pub fn to_json(results: &[ProgramResult]) -> String {
             "cross_variant_cache_hits",
             &total_cross_variant_hits(results),
         )
+        .field("analysis_ms", &total_analysis_ms(results))
+        .field("wall_ms", &wall_ms)
         .finish()
 }
 
@@ -142,6 +188,9 @@ mod tests {
                 retractions: 2,
                 frames_popped: 3,
                 assertions_replayed: 4,
+                snapshots: 9,
+                nodes_copied: 11,
+                journal_bytes_shared: 13,
                 solver_checks: 11,
                 solver_conflicts: 6,
                 solver_propagations: 40,
@@ -194,9 +243,30 @@ mod tests {
     #[test]
     fn json_report_carries_rows_and_stats() {
         let rows = vec![sample("a", Verdict::Counterexample)];
-        let json = to_json(&rows);
+        let json = to_json(&rows, 123);
         assert!(json.starts_with('{'));
         assert!(json.contains("\"rows\":[{"));
         assert!(json.contains("\"stats\":{\"queries\":20"));
+        assert!(json.contains("\"snapshots\":9"));
+        assert!(json.contains("\"nodes_copied\":11"));
+        assert!(json.contains("\"journal_bytes_shared\":13"));
+        assert!(json.contains("\"analysis_ms\":12"), "5 + 7 ms of analysis");
+        assert!(json.contains("\"wall_ms\":123"));
+    }
+
+    #[test]
+    fn timing_table_reports_rows_and_aggregates() {
+        let rows = vec![
+            sample("a", Verdict::Counterexample),
+            sample("b", Verdict::Verified),
+        ];
+        let table = timing_table(&rows, 99);
+        assert!(table.contains("Correct(ms)"));
+        assert!(table.contains("a"));
+        assert!(
+            table.contains("2 rows, 24 ms analysis time, 99 ms wall-clock"),
+            "{table}"
+        );
+        assert_eq!(total_analysis_ms(&rows), 24);
     }
 }

@@ -107,8 +107,13 @@ fn worker_loop(
         let Some(provide) = module.provides.get(index) else {
             break;
         };
-        let (verdict, export_stats, reusable) =
+        // Heaps are thread-local (Rc-based environments), so the per-thread
+        // sharing counters attribute this export's snapshot/copy-on-write
+        // work exactly; the delta rides along in the export's SessionStats.
+        let sharing_before = crate::pmap::sharing_totals();
+        let (verdict, mut export_stats, reusable) =
             analyze_export(program, module, provide, options, session);
+        export_stats.add_sharing(&crate::pmap::sharing_totals().since(&sharing_before));
         session = reusable;
         stats.merge(&export_stats);
         results.push((index, provide.name.clone(), verdict));

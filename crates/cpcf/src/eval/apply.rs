@@ -1,5 +1,9 @@
 //! Function application: closures, guarded (contracted) functions, and the
 //! paper's demonic-context rules for opaque functions and escaped values.
+//!
+//! Havoc and opaque application are the evaluator's most snapshot-hungry
+//! sites — every demonic interaction forks the heap — and rely on
+//! `Heap::clone` being an O(1) copy-on-write snapshot.
 
 use folic::Proof;
 

@@ -12,6 +12,13 @@ use super::{alloc_value, Ctx, Outcome};
 
 /// The possible truth values of the value at `loc` (Racket-style: only `#f`
 /// is false).
+///
+/// An opaque value only splits when it could actually be `#f`: besides the
+/// direct `IsFalse`/`IsTruthy` refinements, any value carrying a numeric
+/// refinement is a number (hence truthy), and the prover is consulted for
+/// the rest — a location provably not a boolean (e.g. refined `Is` some
+/// disjoint tag, or `IsNot(boolean?)`) cannot be `#f`, so the contradictory
+/// falsy branch is never materialized.
 pub fn truthiness(ctx: &mut Ctx, heap: &Heap, loc: Loc) -> Vec<(bool, Heap)> {
     match heap.get(loc) {
         SVal::Bool(false) => vec![(false, heap.clone())],
@@ -20,14 +27,15 @@ pub fn truthiness(ctx: &mut Ctx, heap: &Heap, loc: Loc) -> Vec<(bool, Heap)> {
                 return vec![(false, heap.clone())];
             }
             if refinements.contains(&CRefinement::IsTruthy)
-                || refinements.iter().any(|r| {
-                    matches!(r, CRefinement::Is(tag) if *tag != Tag::Boolean)
-                        || matches!(r, CRefinement::NumCmp(_, _))
-                })
+                || refinements
+                    .iter()
+                    .any(|r| matches!(r, CRefinement::NumCmp(_, _)))
             {
                 return vec![(true, heap.clone())];
             }
-            let _ = ctx;
+            if ctx.prover.prove_tag(heap, loc, &Tag::Boolean) == Proof::Refuted {
+                return vec![(true, heap.clone())];
+            }
             let mut truthy = heap.clone();
             truthy.refine(loc, CRefinement::IsTruthy);
             let mut falsy = heap.clone();

@@ -1,5 +1,9 @@
 //! Contract monitoring (§4): flat checks, higher-order wrapping with blame,
 //! conjunction/disjunction, pair, list and literal-set contracts.
+//!
+//! Contract branches (or/c, flat-check outcomes) fork the heap via the O(1)
+//! copy-on-write `Heap::clone`; each branch then writes only its own path's
+//! refinements, sharing the rest of the state structurally.
 
 use folic::Proof;
 

@@ -10,6 +10,14 @@
 //! Each evaluation returns *all* possible outcomes, each paired with the
 //! heap (path condition) it holds in.
 //!
+//! Every state split below — truthiness, tag predicates, contract branches,
+//! the demonic context — forks the machine state with `heap.clone()`.
+//! `Heap::clone` is an O(1) *snapshot* of a persistent copy-on-write
+//! structure (see [`crate::heap`]), so the evaluator branches freely: the
+//! old representation deep-copied the entire store and the O(path-length)
+//! constraint journal at each of these sites, which made splitting the
+//! dominant cost on deep paths.
+//!
 //! The evaluator is split by concern:
 //!
 //! * [`mod@self`] — the expression dispatcher, continuation plumbing

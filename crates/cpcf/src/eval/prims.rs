@@ -1,5 +1,8 @@
 //! Primitive operations: tag tests, pair/box/string operations, equality,
 //! and concrete + symbolic arithmetic with division-by-zero branching.
+//!
+//! Division-by-zero and equality splits snapshot the heap per branch; like
+//! all state splits this costs O(1) under the copy-on-write heap.
 
 use folic::{CmpOp, Proof};
 

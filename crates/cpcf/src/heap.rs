@@ -7,15 +7,44 @@
 //! structurally refined in place when a tag test determines its shape (an
 //! opaque value known to be a pair becomes a pair of fresh opaque values, as
 //! §4.2 of the paper describes for user-defined data structures).
+//!
+//! ## Snapshot representation
+//!
+//! The symbolic evaluator returns *all* outcomes, each paired with its own
+//! heap, so every state split (`truthiness`, tag predicates, contract
+//! branches, havoc) snapshots the entire heap via [`Heap::clone`]. The heap
+//! is therefore built for **O(1) snapshots with structural sharing** rather
+//! than for deep copies:
+//!
+//! * the location store, the opaque-label table, the memo-reference set and
+//!   the write-point ledger are persistent copy-on-write maps
+//!   ([`crate::pmap::PMap`]) — a snapshot copies one pointer per map, and a
+//!   later write copies only the tree path still shared with other
+//!   snapshots;
+//! * the constraint journal is an **`Arc`-shared chain of immutable
+//!   chunks**: a snapshot captures `(chain, len)` and keeps appending on
+//!   either side cheap — an append copies at most the unsealed tail chunk
+//!   (and only when that tail is still shared), never the O(path-length)
+//!   prefix the old `Vec` journal cloned at every branch split.
+//!
+//! The journal's *content* — event order, fingerprint chain, write-points —
+//! is bit-identical to the old deep-clone representation (a property fuzzed
+//! by `randtest`'s shadow-heap differential), so incremental prover
+//! sessions, retraction and the fingerprint-keyed verdict caches are
+//! unaffected consumers. Sharing is observable through the thread-local
+//! counters in [`crate::pmap::sharing_totals`]: snapshots taken, map nodes
+//! copied by shared-path writes, and journal bytes shared instead of
+//! copied.
 
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use folic::CmpOp;
+
+use crate::pmap::PMap;
 
 use crate::numeric::Number;
 use crate::syntax::{Expr, Label};
@@ -367,13 +396,150 @@ pub struct JournalEntry {
     pub fingerprint: u64,
 }
 
+/// Entries per sealed journal chunk. Small enough that the worst-case
+/// append (copying a shared, nearly-full tail chunk) stays cheap; large
+/// enough that the chain walk per journal access is short.
+const JOURNAL_CHUNK: usize = 64;
+
+/// One immutable chunk of the journal chain. `prev` chunks are always
+/// sealed (exactly [`JOURNAL_CHUNK`] entries, `base` a multiple of it); the
+/// tail chunk grows in place while it is uniquely owned and is copied —
+/// alone — when a snapshot still shares it.
+#[derive(Debug, Clone)]
+struct JournalChunk {
+    prev: Option<Arc<JournalChunk>>,
+    /// Journal position of `entries[0]`.
+    base: usize,
+    entries: Vec<JournalEntry>,
+}
+
+/// The persistent journal: an `Arc`-shared chunk chain plus a length. A
+/// snapshot clones the tail pointer and the length — O(1) regardless of how
+/// long the path is — and appends after a snapshot copy at most one chunk.
+///
+/// Invariant: `len == tail.base + tail.entries.len()` (0 for the empty
+/// journal). Appends to a shared tail copy it first, so no holder ever
+/// observes entries beyond its own `len`.
+#[derive(Debug, Clone, Default)]
+struct PJournal {
+    tail: Option<Arc<JournalChunk>>,
+    len: usize,
+}
+
+impl PJournal {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, entry: JournalEntry) {
+        match &mut self.tail {
+            None => {
+                self.tail = Some(Arc::new(JournalChunk {
+                    prev: None,
+                    base: 0,
+                    entries: vec![entry],
+                }));
+            }
+            Some(arc) => {
+                let filled = self.len - arc.base;
+                debug_assert_eq!(filled, arc.entries.len());
+                if filled == JOURNAL_CHUNK {
+                    // Seal the full tail and chain a fresh chunk onto it.
+                    let prev = self.tail.take();
+                    self.tail = Some(Arc::new(JournalChunk {
+                        prev,
+                        base: self.len,
+                        entries: vec![entry],
+                    }));
+                } else if let Some(chunk) = Arc::get_mut(arc) {
+                    chunk.entries.push(entry);
+                } else {
+                    // The tail is still shared with a snapshot: copy this
+                    // one chunk (bounded by JOURNAL_CHUNK) and append to the
+                    // copy; the sealed prefix stays shared.
+                    let mut entries = Vec::with_capacity((filled + 1).max(8));
+                    entries.extend_from_slice(&arc.entries[..filled]);
+                    entries.push(entry);
+                    self.tail = Some(Arc::new(JournalChunk {
+                        prev: arc.prev.clone(),
+                        base: arc.base,
+                        entries,
+                    }));
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// The entry at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `position >= len`.
+    fn entry(&self, position: usize) -> JournalEntry {
+        assert!(
+            position < self.len,
+            "journal position {position} out of bounds (len {})",
+            self.len
+        );
+        let mut chunk = self.tail.as_deref().expect("non-empty journal");
+        while position < chunk.base {
+            chunk = chunk
+                .prev
+                .as_deref()
+                .expect("chunk chain covers every journal position");
+        }
+        chunk.entries[position - chunk.base]
+    }
+
+    /// Iterates entries from position `from` (inclusive) to the end, in
+    /// order. `from` values at or beyond the length yield nothing.
+    fn iter_from(&self, from: usize) -> impl Iterator<Item = JournalEntry> + '_ {
+        let mut chunks: Vec<&JournalChunk> = Vec::new();
+        let mut link = self.tail.as_deref();
+        while let Some(chunk) = link {
+            chunks.push(chunk);
+            if chunk.base <= from {
+                break;
+            }
+            link = chunk.prev.as_deref();
+        }
+        chunks.reverse();
+        chunks.into_iter().flat_map(move |chunk| {
+            let skip = from.saturating_sub(chunk.base);
+            chunk.entries[skip.min(chunk.entries.len())..]
+                .iter()
+                .copied()
+        })
+    }
+}
+
+impl PartialEq for PJournal {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        match (&self.tail, &other.tail) {
+            (None, None) => true,
+            // Snapshots sharing their tail chunk are equal without a walk.
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => true,
+            _ => self.iter_from(0).eq(other.iter_from(0)),
+        }
+    }
+}
+
 /// The symbolic heap.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// `Clone` is an O(1) *snapshot*: every component is either `Copy` or a
+/// persistent structure sharing its nodes with the clone (see the module
+/// docs). The evaluator clones heaps at every state split, so this is the
+/// hottest path in the whole analysis.
+#[derive(Debug, PartialEq, Default)]
 pub struct Heap {
-    entries: BTreeMap<Loc, SVal>,
-    opaque_locs: BTreeMap<Label, Loc>,
+    entries: PMap<Loc, SVal>,
+    opaque_locs: PMap<Label, Loc>,
     next: u32,
-    journal: Vec<JournalEntry>,
+    journal: PJournal,
     fingerprint: u64,
     /// Locations referenced (as argument or result) by some memo-table
     /// entry. The functionality encoding emits implications over these
@@ -381,7 +547,7 @@ pub struct Heap {
     /// time — so overwriting one with a non-base value invalidates formulas
     /// held *elsewhere* and must rebase incremental consumers. Grows
     /// monotonically (a conservative over-approximation).
-    memo_refs: BTreeSet<Loc>,
+    memo_refs: PMap<Loc, ()>,
     /// Per-location *write-points*: the journal position at which the
     /// earliest formula depending on the location entered the formula
     /// stream. A formula depends on a location when it constrains the
@@ -394,13 +560,39 @@ pub struct Heap {
     /// of the location, because the rebase itself retracts the older
     /// formulas and the location's new constraints enter at the rebase
     /// position.
-    write_points: BTreeMap<Loc, usize>,
+    write_points: PMap<Loc, usize>,
+}
+
+impl Clone for Heap {
+    /// Takes an O(1) snapshot: pointer copies into every persistent
+    /// component, no journal or entry copying. Also feeds the thread-local
+    /// sharing counters ([`crate::pmap::sharing_totals`]) so harnesses can
+    /// report how many snapshots were taken and how many journal bytes the
+    /// sharing avoided copying.
+    fn clone(&self) -> Self {
+        crate::pmap::note_snapshot(
+            (self.journal.len() * std::mem::size_of::<JournalEntry>()) as u64,
+        );
+        Heap {
+            entries: self.entries.clone(),
+            opaque_locs: self.opaque_locs.clone(),
+            next: self.next,
+            journal: self.journal.clone(),
+            fingerprint: self.fingerprint,
+            memo_refs: self.memo_refs.clone(),
+            write_points: self.write_points.clone(),
+        }
+    }
 }
 
 /// A cheap, deterministic summary of a storeable value, mixed into the
 /// fingerprint chain so that sibling branches that mutate the same location
 /// differently end up with different fingerprints.
-fn content_hash(value: &SVal) -> u64 {
+///
+/// Exposed (hidden) for `randtest`'s shadow heap, which replays the same
+/// algebra on the old deep-clone representation for differential testing.
+#[doc(hidden)]
+pub fn content_hash(value: &SVal) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     std::mem::discriminant(value).hash(&mut hasher);
     match value {
@@ -427,7 +619,10 @@ fn content_hash(value: &SVal) -> u64 {
 
 /// True if the value contributes formulas to the heap's first-order
 /// encoding, so overwriting it is a non-monotone change.
-fn encodes_formulas(value: &SVal) -> bool {
+///
+/// Exposed (hidden) for `randtest`'s shadow heap; see [`content_hash`].
+#[doc(hidden)]
+pub fn encodes_formulas(value: &SVal) -> bool {
     match value {
         SVal::Num(Number::Int(_)) => true,
         SVal::Opaque {
@@ -474,9 +669,17 @@ impl Heap {
     fn note_memo_refs(&mut self, value: &SVal) {
         if let SVal::Opaque { entries, .. } = value {
             for &(arg, res) in entries {
-                self.memo_refs.insert(arg);
-                self.memo_refs.insert(res);
+                self.memo_refs.insert(arg, ());
+                self.memo_refs.insert(res, ());
             }
+        }
+    }
+
+    /// Sets `loc`'s write-point to `position` unless an earlier one exists
+    /// (the `BTreeMap::entry(..).or_insert(..)` of the old representation).
+    fn write_point_if_absent(&mut self, loc: Loc, position: usize) {
+        if !self.write_points.contains_key(&loc) {
+            self.write_points.insert(loc, position);
         }
     }
 
@@ -558,7 +761,7 @@ impl Heap {
             // implication of some memo table, justified by this location
             // being base-valued; a non-base overwrite retracts that formula.
             (Some(_), new)
-                if self.memo_refs.contains(&loc)
+                if self.memo_refs.contains_key(&loc)
                     && !matches!(new, SVal::Num(_) | SVal::Opaque { .. }) =>
             {
                 Change::Rebase
@@ -591,22 +794,28 @@ impl Heap {
     ///
     /// Panics if the location does not hold an opaque value.
     pub fn refine(&mut self, loc: Loc, refinement: CRefinement) {
-        let appended = match self.entries.get_mut(&loc) {
+        // Immutable probe first: a duplicate refinement is a documented
+        // no-op and must not path-copy snapshot-shared map nodes the way a
+        // `get_mut` walk would.
+        match self.entries.get(&loc) {
             Some(SVal::Opaque { refinements, .. }) => {
                 if refinements.contains(&refinement) {
-                    None
-                } else {
-                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-                    refinement.hash(&mut hasher);
-                    refinements.push(refinement);
-                    Some((refinements.len() - 1, hasher.finish()))
+                    return;
                 }
             }
             other => panic!("refining non-opaque location {loc}: {other:?}"),
-        };
-        if let Some((index, hash)) = appended {
-            self.record(JournalEvent::Refined(loc, index), hash);
         }
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        refinement.hash(&mut hasher);
+        let hash = hasher.finish();
+        let index = match self.entries.get_mut(&loc) {
+            Some(SVal::Opaque { refinements, .. }) => {
+                refinements.push(refinement);
+                refinements.len() - 1
+            }
+            _ => unreachable!("probed opaque above"),
+        };
+        self.record(JournalEvent::Refined(loc, index), hash);
     }
 
     /// Appends a journal event, advancing the fingerprint chain (FNV-1a
@@ -660,7 +869,7 @@ impl Heap {
                         if matches!(refinements.get(index), Some(CRefinement::NumCmp(_, _)))
                 );
                 if numeric {
-                    self.write_points.entry(loc).or_insert(position);
+                    self.write_point_if_absent(loc, position);
                 }
             }
             JournalEvent::EntryAdded(loc, index) => {
@@ -668,10 +877,10 @@ impl Heap {
                     Some(SVal::Opaque { entries, .. }) => entries.get(index).copied(),
                     _ => None,
                 };
-                self.write_points.entry(loc).or_insert(position);
+                self.write_point_if_absent(loc, position);
                 if let Some((arg, res)) = entry {
-                    self.write_points.entry(arg).or_insert(position);
-                    self.write_points.entry(res).or_insert(position);
+                    self.write_point_if_absent(arg, position);
+                    self.write_point_if_absent(res, position);
                 }
             }
         }
@@ -692,17 +901,58 @@ impl Heap {
             _ => Vec::new(),
         };
         if !skip_self && encodes {
-            self.write_points.entry(loc).or_insert(position);
+            self.write_point_if_absent(loc, position);
         }
         for (arg, res) in memo {
-            self.write_points.entry(arg).or_insert(position);
-            self.write_points.entry(res).or_insert(position);
+            self.write_point_if_absent(arg, position);
+            self.write_point_if_absent(res, position);
         }
     }
 
-    /// The constraint journal, oldest event first.
-    pub fn journal(&self) -> &[JournalEntry] {
-        &self.journal
+    /// Number of events in the constraint journal.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// The journal entry at `position` (0-based, oldest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `position >= journal_len()`.
+    pub fn journal_entry(&self, position: usize) -> JournalEntry {
+        self.journal.entry(position)
+    }
+
+    /// Iterates the journal suffix starting at `from` (inclusive), oldest
+    /// first. `from` values at or beyond the length yield nothing. This is
+    /// the accessor incremental consumers use to read the delta between a
+    /// synchronized prefix and the heap's current state; it walks the shared
+    /// chunk chain without copying entries.
+    pub fn journal_suffix(&self, from: usize) -> impl Iterator<Item = JournalEntry> + '_ {
+        self.journal.iter_from(from)
+    }
+
+    /// The most recent journal event, if any (a test convenience).
+    pub fn last_journal_event(&self) -> Option<JournalEvent> {
+        self.journal
+            .len()
+            .checked_sub(1)
+            .map(|last| self.journal.entry(last).event)
+    }
+
+    /// The fingerprint of the journal prefix of length `len`: 0 for the
+    /// empty prefix (matching a fresh heap's fingerprint), otherwise the
+    /// chain value after the prefix's last event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len > journal_len()`.
+    pub fn journal_fingerprint_at(&self, len: usize) -> u64 {
+        if len == 0 {
+            0
+        } else {
+            self.journal.entry(len - 1).fingerprint
+        }
     }
 
     /// The heap's generation: how many journalled mutations produced it.
@@ -832,12 +1082,12 @@ mod tests {
         assert_eq!(heap.generation(), 0);
         let l = heap.alloc_fresh_opaque();
         assert!(matches!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::Touched(_)
         ));
         heap.refine(l, CRefinement::NumCmp(CmpOp::Ge, CSymExpr::int(0)));
         assert_eq!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::Refined(l, 0)
         );
         // Duplicate refinements do not advance the journal.
@@ -855,11 +1105,15 @@ mod tests {
         let mut no = parent.clone();
         no.refine(l, CRefinement::IsNot(Tag::Integer));
         // Both children extend the parent's journal prefix...
-        assert_eq!(
-            yes.journal()[..parent.journal().len()],
-            parent.journal()[..]
-        );
-        assert_eq!(no.journal()[..parent.journal().len()], parent.journal()[..]);
+        let parent_len = parent.journal_len();
+        assert!(yes
+            .journal_suffix(0)
+            .take(parent_len)
+            .eq(parent.journal_suffix(0)));
+        assert!(no
+            .journal_suffix(0)
+            .take(parent_len)
+            .eq(parent.journal_suffix(0)));
         // ...but diverge in fingerprint at the first differing event.
         assert_ne!(yes.fingerprint(), no.fingerprint());
         assert_ne!(yes.fingerprint(), parent.fingerprint());
@@ -889,7 +1143,7 @@ mod tests {
             );
         }
         assert_eq!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::EntryAdded(f, 0)
         );
     }
@@ -906,7 +1160,7 @@ mod tests {
         let cdr = heap.alloc_fresh_opaque();
         heap.set(l, SVal::Pair(car, cdr));
         assert_eq!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::Rebase {
                 loc: l,
                 retract_to: 1
@@ -916,7 +1170,7 @@ mod tests {
         let fresh = heap.alloc_fresh_opaque();
         heap.set(fresh, SVal::Bool(true));
         assert_eq!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::Touched(fresh)
         );
     }
@@ -962,7 +1216,7 @@ mod tests {
         // rebases, telling consumers to retract back to that entry add.
         heap.set(a, SVal::Bool(true));
         assert_eq!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::Rebase {
                 loc: a,
                 retract_to: 3

@@ -30,7 +30,15 @@
 //!   heap's first-order encoding is recorded in a **constraint journal**
 //!   ([`heap::JournalEvent`]) with a running fingerprint; a branch-cloned
 //!   heap extends its parent's journal, so consumers can compute exactly
-//!   the delta between two states on the same path.
+//!   the delta between two states on the same path. `Heap::clone` is an
+//!   O(1) snapshot: the stores are persistent copy-on-write maps
+//!   ([`pmap`]) and the journal an `Arc`-shared chunk chain, so the
+//!   evaluator's pervasive state splits share structure instead of deep
+//!   copying.
+//! * [`pmap`] — the persistent map (path-copying AVL over `Arc` nodes)
+//!   backing the heap, plus the thread-local sharing counters
+//!   ([`sharing_totals`]) that make the copy-on-write machinery's work
+//!   observable in [`SessionStats`] and the bench reports.
 //! * [`prove`] — the prover. [`ProverSession`] is a *stateful, incremental*
 //!   query engine: it keeps one live `folic` solver whose assertion stack
 //!   mirrors a journal prefix, asserts only unseen journal suffixes
@@ -88,6 +96,7 @@ pub mod eval;
 pub mod heap;
 pub mod numeric;
 pub mod parse;
+pub mod pmap;
 pub mod prove;
 pub mod syntax;
 
@@ -100,5 +109,6 @@ pub use eval::{Ctx, EvalOptions, Outcome};
 pub use heap::{CRefinement, ContractVal, Env, Heap, Loc, SVal, Tag};
 pub use numeric::Number;
 pub use parse::{parse_expr, parse_program, ParseError, Parser};
+pub use pmap::{sharing_totals, PMap, SharingStats};
 pub use prove::{default_prove_mode, ProveConfig, ProverSession, SessionStats, SharedVerdictCache};
 pub use syntax::{CBlame, Definition, Expr, Label, Module, Prim, Program, Provide, StructDef};

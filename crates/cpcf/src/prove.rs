@@ -13,7 +13,8 @@
 //! it with an incremental query engine:
 //!
 //! * it keeps one **live solver** whose assertion stack mirrors a prefix of
-//!   the heap's constraint journal ([`Heap::journal`]);
+//!   the heap's constraint journal (read incrementally via
+//!   [`Heap::journal_suffix`]);
 //! * each query **asserts only the journal suffix** the solver has not seen,
 //!   bracketed in `push`/`pop` scopes so sibling branches of the evaluator
 //!   pop back to the shared prefix instead of re-encoding it;
@@ -149,6 +150,22 @@ pub struct SessionStats {
     /// Formulas re-asserted while replaying the surviving journal suffix
     /// after a retraction pop.
     pub assertions_replayed: u64,
+    /// Heap snapshots ([`Heap::clone`]) taken while this session's work ran.
+    /// Sessions do not snapshot heaps themselves; the analysis scheduler
+    /// fills this from the thread-local sharing counters
+    /// ([`crate::pmap::sharing_totals`]) around each export run, so the
+    /// counter attributes the evaluator's branch splits to the session that
+    /// answered their queries.
+    pub snapshots: u64,
+    /// Persistent-map nodes structurally copied because a heap write hit a
+    /// node still shared with another snapshot (the entire per-write cost of
+    /// copy-on-write, in place of the old whole-map deep clones). Filled by
+    /// the scheduler like `snapshots`.
+    pub nodes_copied: u64,
+    /// Journal bytes snapshots shared by reference instead of deep-copying —
+    /// exactly the bytes the old `Vec`-journal representation memcpy'd at
+    /// every branch split. Filled by the scheduler like `snapshots`.
+    pub journal_bytes_shared: u64,
     /// Aggregated statistics of the underlying first-order solver(s).
     pub solver: SolverStats,
 }
@@ -168,7 +185,20 @@ impl SessionStats {
         self.retractions += other.retractions;
         self.frames_popped += other.frames_popped;
         self.assertions_replayed += other.assertions_replayed;
+        self.snapshots += other.snapshots;
+        self.nodes_copied += other.nodes_copied;
+        self.journal_bytes_shared += other.journal_bytes_shared;
         self.solver.merge(&other.solver);
+    }
+
+    /// Adds a reading of the heap-sharing counters (snapshots taken, map
+    /// nodes copied, journal bytes shared) to this session's stats. Called
+    /// by the analysis scheduler with the per-export delta of
+    /// [`crate::pmap::sharing_totals`].
+    pub fn add_sharing(&mut self, sharing: &crate::pmap::SharingStats) {
+        self.snapshots += sharing.snapshots;
+        self.nodes_copied += sharing.nodes_copied;
+        self.journal_bytes_shared += sharing.journal_bytes_shared;
     }
 }
 
@@ -295,19 +325,9 @@ struct Frame {
     fingerprint: u64,
 }
 
-/// The fingerprint of `heap`'s journal prefix of length `len` (zero for the
-/// empty prefix, matching [`Heap`]'s initial fingerprint).
-fn fingerprint_at(heap: &Heap, len: usize) -> u64 {
-    if len == 0 {
-        0
-    } else {
-        heap.journal()[len - 1].fingerprint
-    }
-}
-
 /// Does `heap`'s journal extend the synchronized prefix `frame`?
 fn extends(heap: &Heap, frame: &Frame) -> bool {
-    heap.journal().len() >= frame.len && fingerprint_at(heap, frame.len) == frame.fingerprint
+    heap.journal_len() >= frame.len && heap.journal_fingerprint_at(frame.len) == frame.fingerprint
 }
 
 /// A stateful prover: tag reasoning on refinements plus incremental numeric
@@ -563,8 +583,8 @@ impl ProverSession {
         // after the location's write-point (carried by the rebase event), so
         // popping every frame that covers the earliest such write-point
         // retracts all of them — the rest of the solver state stays alive.
-        let retract_to = heap.journal()[frame.len..]
-            .iter()
+        let retract_to = heap
+            .journal_suffix(frame.len)
             .filter_map(|entry| match entry.event {
                 JournalEvent::Rebase { retract_to, .. } => Some(retract_to),
                 _ => None,
@@ -600,8 +620,7 @@ impl ProverSession {
             self.stats.frames_popped += popped as u64;
         }
         let frame_len = self.frames.last().expect("a frame survives").len;
-        let suffix = &heap.journal()[frame_len..];
-        if suffix.is_empty() {
+        if heap.journal_len() == frame_len {
             self.stats.reused_encodings += 1;
             return;
         }
@@ -612,15 +631,15 @@ impl ProverSession {
         // state), and repeated events encode only once. A rebased location
         // is safe to encode wholesale precisely because the retraction pop
         // above removed every formula its older states contributed.
-        let wholesale: std::collections::HashSet<Loc> = suffix
-            .iter()
+        let wholesale: std::collections::HashSet<Loc> = heap
+            .journal_suffix(frame_len)
             .filter_map(|entry| match entry.event {
                 JournalEvent::Touched(loc) | JournalEvent::Rebase { loc, .. } => Some(loc),
                 _ => None,
             })
             .collect();
         let mut pending = wholesale.clone();
-        for (offset, entry) in suffix.iter().enumerate() {
+        for (offset, entry) in heap.journal_suffix(frame_len).enumerate() {
             let before = translation.formulas.len();
             match entry.event {
                 JournalEvent::Touched(loc) | JournalEvent::Rebase { loc, .. } => {
@@ -652,7 +671,7 @@ impl ProverSession {
         }
         self.stats.delta_encodings += 1;
         self.frames.push(Frame {
-            len: heap.journal().len(),
+            len: heap.journal_len(),
             fingerprint: heap.fingerprint(),
         });
     }
@@ -672,7 +691,7 @@ impl ProverSession {
         }
         self.stats.full_encodings += 1;
         self.frames = vec![Frame {
-            len: heap.journal().len(),
+            len: heap.journal_len(),
             fingerprint: heap.fingerprint(),
         }];
     }
@@ -1268,7 +1287,7 @@ mod tests {
         heap.set(a, SVal::Pair(car, cdr));
         assert!(
             matches!(
-                heap.journal().last().unwrap().event,
+                heap.last_journal_event().unwrap(),
                 crate::heap::JournalEvent::Rebase { loc, .. } if loc == a
             ),
             "a non-base overwrite of a memo-referenced location must rebase"
@@ -1350,7 +1369,7 @@ mod tests {
         let cdr = heap.alloc_fresh_opaque();
         heap.set(l1, SVal::Pair(car, cdr));
         assert!(matches!(
-            heap.journal().last().unwrap().event,
+            heap.last_journal_event().unwrap(),
             JournalEvent::Rebase { loc, retract_to: 3 } if loc == l1
         ));
         (heap, l0, l1, l2)

@@ -19,6 +19,8 @@ use folic::{CmpOp, Proof};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::shadow::{assert_heaps_agree, ShadowHeap};
+
 /// Shape parameters for [`HeapTrace::generate`].
 #[derive(Debug, Clone, Copy)]
 pub struct TraceConfig {
@@ -76,32 +78,76 @@ impl HeapTrace {
     /// Generates the trace for `seed` under the given shape parameters.
     /// Identical inputs produce identical traces.
     pub fn generate(seed: u64, config: &TraceConfig) -> HeapTrace {
+        HeapTrace::generate_impl(seed, config, false)
+    }
+
+    /// [`HeapTrace::generate`] with the shadow-heap differential check
+    /// enabled: every branch in the pool additionally maintains a
+    /// [`ShadowHeap`] (the old deep-clone representation) replaying the
+    /// exact same mutation sequence, and after every mutation the persistent
+    /// heap is asserted to agree with it on journals, fingerprints, stored
+    /// values and write-points. The generated trace is identical to
+    /// `generate`'s for the same seed — both modes consume the RNG
+    /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the first divergence between the representations.
+    pub fn generate_checked(seed: u64, config: &TraceConfig) -> HeapTrace {
+        HeapTrace::generate_impl(seed, config, true)
+    }
+
+    fn generate_impl(seed: u64, config: &TraceConfig, check: bool) -> HeapTrace {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut base = Heap::new();
+        let mut base_shadow = check.then(ShadowHeap::new);
         let initial = rng.gen_range(config.initial_locs.0..=config.initial_locs.1);
         let locs: Vec<Loc> = (0..initial.max(1))
-            .map(|_| base.alloc_fresh_opaque())
+            .map(|_| {
+                if let Some(shadow) = &mut base_shadow {
+                    shadow.alloc_fresh_opaque();
+                }
+                base.alloc_fresh_opaque()
+            })
             .collect();
-        let mut pool: Vec<(Heap, Vec<Loc>)> = vec![(base, locs)];
+        let mut pool: Vec<Branch> = vec![Branch {
+            heap: base,
+            shadow: base_shadow,
+            locs,
+        }];
         let mut steps = Vec::new();
-        for _ in 0..rng.gen_range(config.steps.0..=config.steps.1) {
+        for step in 0..rng.gen_range(config.steps.0..=config.steps.1) {
             let index = rng.gen_range(0..pool.len());
             if pool.len() < config.max_branches && rng.gen_bool(config.fork_probability) {
                 let fork = pool[index].clone();
                 pool.push(fork);
             }
             {
-                let (heap, locs) = &mut pool[index];
-                mutate(&mut rng, config, heap, locs);
+                let branch = &mut pool[index];
+                let op = random_op(&mut rng, config, &branch.heap, &branch.locs);
+                let new_locs = apply_op(&mut branch.heap, &op);
+                if let Some(shadow) = &mut branch.shadow {
+                    let shadow_locs = apply_op(shadow, &op);
+                    assert_eq!(
+                        new_locs, shadow_locs,
+                        "seed {seed} step {step}: allocation sequences diverge"
+                    );
+                    assert_heaps_agree(
+                        &branch.heap,
+                        shadow,
+                        &format!("seed {seed} step {step} ({op:?})"),
+                    );
+                }
+                branch.locs.extend(new_locs);
             }
             // Query a random pool member — not necessarily the branch just
             // mutated, so replays interleave branch switches with growth.
-            let (query_heap, query_locs) = &pool[rng.gen_range(0..pool.len())];
+            let branch = &pool[rng.gen_range(0..pool.len())];
             steps.push(TraceStep {
-                heap: query_heap.clone(),
-                loc: query_locs[rng.gen_range(0..query_locs.len())],
+                heap: branch.heap.clone(),
+                loc: branch.locs[rng.gen_range(0..branch.locs.len())],
                 op: random_cmp(&mut rng),
-                rhs: random_sym_expr(&mut rng, config, query_locs),
+                rhs: random_sym_expr(&mut rng, config, &branch.locs),
             });
         }
         HeapTrace { seed, steps }
@@ -115,8 +161,7 @@ impl HeapTrace {
             .iter()
             .map(|step| {
                 step.heap
-                    .journal()
-                    .iter()
+                    .journal_suffix(0)
                     .filter(|entry| matches!(entry.event, JournalEvent::Rebase { .. }))
                     .count()
             })
@@ -192,11 +237,92 @@ fn random_sym_expr(rng: &mut StdRng, config: &TraceConfig, locs: &[Loc]) -> CSym
     }
 }
 
-/// Applies one random mutation to a branch heap: mostly monotone growth
-/// (numeric and tag refinements, allocations, memo entries), with a solid
-/// share of the non-monotone structural overwrites that force engines to
-/// retract or re-encode solver state.
-fn mutate(rng: &mut StdRng, config: &TraceConfig, heap: &mut Heap, locs: &mut Vec<Loc>) {
+/// One branch of the generator's heap pool: the persistent heap, its
+/// optional deep-clone shadow (differential mode only), and the locations
+/// allocated on the branch so far.
+#[derive(Debug, Clone)]
+struct Branch {
+    heap: Heap,
+    shadow: Option<ShadowHeap>,
+    locs: Vec<Loc>,
+}
+
+/// One generated mutation, replayable against any [`TraceHeap`]. Keeping
+/// the mutation as data (instead of applying it inline) is what lets the
+/// differential mode drive the persistent heap and the deep-clone shadow
+/// with the *same* operation sequence.
+#[derive(Debug, Clone)]
+enum TraceOp {
+    /// Append a numeric refinement to an opaque location.
+    RefineNum(Loc, CmpOp, CSymExpr),
+    /// Append a tag refinement to a location (skipped if not opaque).
+    RefineTag(Loc, Tag),
+    /// Allocate a fresh opaque value.
+    AllocOpaque,
+    /// Allocate a concrete integer.
+    AllocInt(i64),
+    /// Append `(arg, res)` to the memo table at `f` (skipped if `f` is not
+    /// opaque or already maps `arg`).
+    MemoEntry { f: Loc, arg: Loc, res: Loc },
+    /// Structurally overwrite an opaque location with a pair of fresh
+    /// opaques — the non-monotone mutation that journals rebases.
+    OverwritePair(Loc),
+    /// The drawn mutation target turned out ineligible; mutate nothing.
+    Nop,
+}
+
+/// The mutation interface shared by [`Heap`] and [`ShadowHeap`], so one
+/// [`TraceOp`] stream drives both representations.
+pub(crate) trait TraceHeap {
+    fn th_alloc(&mut self, value: SVal) -> Loc;
+    fn th_alloc_fresh_opaque(&mut self) -> Loc;
+    fn th_refine(&mut self, loc: Loc, refinement: CRefinement);
+    fn th_set(&mut self, loc: Loc, value: SVal);
+    fn th_get(&self, loc: Loc) -> &SVal;
+}
+
+impl TraceHeap for Heap {
+    fn th_alloc(&mut self, value: SVal) -> Loc {
+        self.alloc(value)
+    }
+    fn th_alloc_fresh_opaque(&mut self) -> Loc {
+        self.alloc_fresh_opaque()
+    }
+    fn th_refine(&mut self, loc: Loc, refinement: CRefinement) {
+        self.refine(loc, refinement);
+    }
+    fn th_set(&mut self, loc: Loc, value: SVal) {
+        self.set(loc, value);
+    }
+    fn th_get(&self, loc: Loc) -> &SVal {
+        self.get(loc)
+    }
+}
+
+impl TraceHeap for ShadowHeap {
+    fn th_alloc(&mut self, value: SVal) -> Loc {
+        self.alloc(value)
+    }
+    fn th_alloc_fresh_opaque(&mut self) -> Loc {
+        self.alloc_fresh_opaque()
+    }
+    fn th_refine(&mut self, loc: Loc, refinement: CRefinement) {
+        self.refine(loc, refinement);
+    }
+    fn th_set(&mut self, loc: Loc, value: SVal) {
+        self.set(loc, value);
+    }
+    fn th_get(&self, loc: Loc) -> &SVal {
+        self.get(loc)
+    }
+}
+
+/// Draws one random mutation: mostly monotone growth (numeric and tag
+/// refinements, allocations, memo entries), with a solid share of the
+/// non-monotone structural overwrites that force engines to retract or
+/// re-encode solver state. Inspects `heap` (the primary representation)
+/// only to preserve the historical RNG consumption per case.
+fn random_op(rng: &mut StdRng, config: &TraceConfig, heap: &Heap, locs: &[Loc]) -> TraceOp {
     match rng.gen_range(0..12) {
         // Numeric refinements: the evaluator's bread and butter along a
         // path condition, and what gives overwrites formulas to retract.
@@ -204,42 +330,65 @@ fn mutate(rng: &mut StdRng, config: &TraceConfig, heap: &mut Heap, locs: &mut Ve
             let loc = locs[rng.gen_range(0..locs.len())];
             if matches!(heap.get(loc), SVal::Opaque { .. }) {
                 let rhs = random_sym_expr(rng, config, locs);
-                heap.refine(loc, CRefinement::NumCmp(random_cmp(rng), rhs));
+                TraceOp::RefineNum(loc, random_cmp(rng), rhs)
+            } else {
+                TraceOp::Nop
             }
         }
         // A fresh opaque or concrete integer allocation.
         5 | 6 => {
-            let loc = if rng.gen_bool(0.5) {
-                heap.alloc_fresh_opaque()
+            if rng.gen_bool(0.5) {
+                TraceOp::AllocOpaque
             } else {
-                heap.alloc(SVal::Num(Number::Int(
-                    rng.gen_range(config.int_range.0..=config.int_range.1),
-                )))
-            };
-            locs.push(loc);
-        }
-        // A tag refinement (cache-key relevant, encoding-irrelevant).
-        7 => {
-            let loc = locs[rng.gen_range(0..locs.len())];
-            if matches!(heap.get(loc), SVal::Opaque { .. }) {
-                heap.refine(loc, CRefinement::Is(Tag::Integer));
+                TraceOp::AllocInt(rng.gen_range(config.int_range.0..=config.int_range.1))
             }
         }
+        // A tag refinement (cache-key relevant, encoding-irrelevant).
+        7 => TraceOp::RefineTag(locs[rng.gen_range(0..locs.len())], Tag::Integer),
         // A memo-table entry on an opaque function (functionality).
-        8 | 9 => {
-            let f = locs[rng.gen_range(0..locs.len())];
-            let arg = locs[rng.gen_range(0..locs.len())];
-            let res = locs[rng.gen_range(0..locs.len())];
+        8 | 9 => TraceOp::MemoEntry {
+            f: locs[rng.gen_range(0..locs.len())],
+            arg: locs[rng.gen_range(0..locs.len())],
+            res: locs[rng.gen_range(0..locs.len())],
+        },
+        // A non-monotone overwrite: structural refinement to a pair, as a
+        // `pair?` tag test does to an opaque value. When the victim already
+        // contributed formulas (a numeric refinement, a memo table, or a
+        // memo reference), this journals a rebase.
+        _ => TraceOp::OverwritePair(locs[rng.gen_range(0..locs.len())]),
+    }
+}
+
+/// Applies one mutation, returning the locations it allocated (identical
+/// across representations because allocation counters stay in lockstep).
+/// Eligibility checks (is the target opaque, is the memo argument fresh) run
+/// against `heap`'s state at application time; in differential mode both
+/// representations hold the same state, so they decide identically.
+fn apply_op<H: TraceHeap>(heap: &mut H, op: &TraceOp) -> Vec<Loc> {
+    match op {
+        TraceOp::RefineNum(loc, cmp, rhs) => {
+            heap.th_refine(*loc, CRefinement::NumCmp(*cmp, rhs.clone()));
+            Vec::new()
+        }
+        TraceOp::RefineTag(loc, tag) => {
+            if matches!(heap.th_get(*loc), SVal::Opaque { .. }) {
+                heap.th_refine(*loc, CRefinement::Is(tag.clone()));
+            }
+            Vec::new()
+        }
+        TraceOp::AllocOpaque => vec![heap.th_alloc_fresh_opaque()],
+        TraceOp::AllocInt(n) => vec![heap.th_alloc(SVal::Num(Number::Int(*n)))],
+        TraceOp::MemoEntry { f, arg, res } => {
             if let SVal::Opaque {
                 refinements,
                 entries,
-            } = heap.get(f).clone()
+            } = heap.th_get(*f).clone()
             {
                 let mut entries = entries;
-                if !entries.iter().any(|(a, _)| *a == arg) {
-                    entries.push((arg, res));
-                    heap.set(
-                        f,
+                if !entries.iter().any(|(a, _)| *a == *arg) {
+                    entries.push((*arg, *res));
+                    heap.th_set(
+                        *f,
                         SVal::Opaque {
                             refinements,
                             entries,
@@ -247,21 +396,19 @@ fn mutate(rng: &mut StdRng, config: &TraceConfig, heap: &mut Heap, locs: &mut Ve
                     );
                 }
             }
+            Vec::new()
         }
-        // A non-monotone overwrite: structural refinement to a pair, as a
-        // `pair?` tag test does to an opaque value. When the victim already
-        // contributed formulas (a numeric refinement, a memo table, or a
-        // memo reference), this journals a rebase.
-        _ => {
-            let loc = locs[rng.gen_range(0..locs.len())];
-            if matches!(heap.get(loc), SVal::Opaque { .. }) {
-                let car = heap.alloc_fresh_opaque();
-                let cdr = heap.alloc_fresh_opaque();
-                locs.push(car);
-                locs.push(cdr);
-                heap.set(loc, SVal::Pair(car, cdr));
+        TraceOp::OverwritePair(loc) => {
+            if matches!(heap.th_get(*loc), SVal::Opaque { .. }) {
+                let car = heap.th_alloc_fresh_opaque();
+                let cdr = heap.th_alloc_fresh_opaque();
+                heap.th_set(*loc, SVal::Pair(car, cdr));
+                vec![car, cdr]
+            } else {
+                Vec::new()
             }
         }
+        TraceOp::Nop => Vec::new(),
     }
 }
 
@@ -310,5 +457,33 @@ mod tests {
         let mut session = ProverSession::new();
         let verdicts = trace.replay(&mut session);
         assert_eq!(verdicts.len(), trace.steps.len());
+    }
+
+    #[test]
+    fn checked_generation_produces_the_same_traces() {
+        // The differential mode must not perturb the RNG: its traces are
+        // exactly the plain generator's.
+        let config = TraceConfig::default();
+        for seed in [0u64, 7, 42] {
+            let plain = HeapTrace::generate(seed, &config);
+            let checked = HeapTrace::generate_checked(seed, &config);
+            assert_eq!(plain.steps.len(), checked.steps.len());
+            for (a, b) in plain.steps.iter().zip(&checked.steps) {
+                assert_eq!(a.heap.fingerprint(), b.heap.fingerprint());
+                assert_eq!((a.loc, a.op), (b.loc, b.op));
+                assert_eq!(a.rhs, b.rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_generation_exercises_rebases() {
+        // The shadow comparison must cover the non-monotone path, not just
+        // append-only growth.
+        let config = TraceConfig::default();
+        let rebasing = (0..50)
+            .filter(|&seed| HeapTrace::generate_checked(seed, &config).rebases() > 0)
+            .count();
+        assert!(rebasing >= 10, "only {rebasing}/50 checked seeds rebased");
     }
 }

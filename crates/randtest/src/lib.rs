@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod heaptrace;
+pub mod shadow;
 
 pub use heaptrace::{HeapTrace, TraceConfig, TraceStep};
+pub use shadow::ShadowHeap;
 
 use std::collections::HashMap;
 

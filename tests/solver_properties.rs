@@ -475,6 +475,46 @@ mod session_equivalence {
     }
 
     #[test]
+    fn persistent_heap_matches_the_deep_clone_shadow_over_200_seeds() {
+        use randtest::{HeapTrace, TraceConfig};
+
+        // The representation-differential oracle for the copy-on-write heap:
+        // `generate_checked` replays every mutation on both the persistent
+        // heap and the deep-clone `ShadowHeap` (the seed semantics), and
+        // panics unless journals, fingerprints, stored values and
+        // write-points stay bit-identical after every single step. On top of
+        // the representation check, the persistent trace's verdicts must
+        // agree between the incremental engine and the fresh-per-query
+        // baseline — i.e. the cheaper snapshots change no answer.
+        const TRACES: u64 = 200;
+        let config = TraceConfig::default();
+        let engine = |fresh_per_query: bool, retraction: bool| ProveConfig {
+            fresh_per_query,
+            retraction,
+            ..ProveConfig::default()
+        };
+        let mut traces_with_rebases = 0usize;
+        for seed in 0..TRACES {
+            let trace = HeapTrace::generate_checked(seed, &config);
+            if trace.rebases() > 0 {
+                traces_with_rebases += 1;
+            }
+            let mut incremental = ProverSession::with_config(engine(false, true));
+            let mut fresh = ProverSession::with_config(engine(true, false));
+            assert_eq!(
+                trace.replay(&mut incremental),
+                trace.replay(&mut fresh),
+                "seed {seed}: verdicts diverge on the persistent heap"
+            );
+        }
+        assert!(
+            traces_with_rebases >= TRACES as usize / 10,
+            "only {traces_with_rebases}/{TRACES} traces journalled a rebase; \
+             the differential no longer covers the non-monotone path"
+        );
+    }
+
+    #[test]
     fn session_heap_models_satisfy_the_translation() {
         let mut rng = StdRng::seed_from_u64(0x40DE15);
         for _ in 0..CASES / 2 {
