@@ -179,6 +179,15 @@ pub struct StatsSummary {
     pub solver_conflicts: u64,
     /// Unit propagations performed by the CDCL core.
     pub solver_propagations: u64,
+    /// Clauses the persistent solver core reused across checks (already in
+    /// the database when a CDCL check started; zero under
+    /// `CPCF_SOLVER_CORE=scratch`).
+    pub clauses_reused: u64,
+    /// Distinct atoms interned into the persistent core's hash-consing
+    /// arena.
+    pub atoms_interned: u64,
+    /// Variables excluded from queries' searches by per-query cone slicing.
+    pub cone_vars_pruned: u64,
     /// Wall-clock milliseconds spent inside the first-order solver.
     pub solver_ms: u128,
 }
@@ -202,6 +211,9 @@ impl StatsSummary {
             solver_checks: stats.solver.checks,
             solver_conflicts: stats.solver.conflicts,
             solver_propagations: stats.solver.propagations,
+            clauses_reused: stats.solver.clauses_reused,
+            atoms_interned: stats.solver.atoms_interned,
+            cone_vars_pruned: stats.solver.cone_vars_pruned,
             solver_ms: stats.solver.time.as_millis(),
         }
     }
@@ -223,6 +235,9 @@ impl StatsSummary {
         self.solver_checks += other.solver_checks;
         self.solver_conflicts += other.solver_conflicts;
         self.solver_propagations += other.solver_propagations;
+        self.clauses_reused += other.clauses_reused;
+        self.atoms_interned += other.atoms_interned;
+        self.cone_vars_pruned += other.cone_vars_pruned;
         self.solver_ms += other.solver_ms;
     }
 }
@@ -245,6 +260,9 @@ impl Serialize for StatsSummary {
             .field("solver_checks", &self.solver_checks)
             .field("solver_conflicts", &self.solver_conflicts)
             .field("solver_propagations", &self.solver_propagations)
+            .field("clauses_reused", &self.clauses_reused)
+            .field("atoms_interned", &self.atoms_interned)
+            .field("cone_vars_pruned", &self.cone_vars_pruned)
             .field("solver_ms", &self.solver_ms)
             .finish()
     }

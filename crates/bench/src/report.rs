@@ -87,7 +87,8 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
          {} full + {} delta heap encodings ({} reused), {} retractions \
          ({} frames popped, {} assertions replayed), {} heap snapshots \
          ({} map nodes copied, {} journal bytes shared), {} solver checks \
-         ({} conflicts, {} propagations) in {} ms",
+         ({} conflicts, {} propagations, {} clauses reused, {} atoms interned, \
+         {} cone vars pruned) in {} ms",
         total.queries,
         total.cache_hits,
         total.shared_cache_hits,
@@ -104,6 +105,9 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
         total.solver_checks,
         total.solver_conflicts,
         total.solver_propagations,
+        total.clauses_reused,
+        total.atoms_interned,
+        total.cone_vars_pruned,
         total.solver_ms,
     )
 }
@@ -194,6 +198,9 @@ mod tests {
                 solver_checks: 11,
                 solver_conflicts: 6,
                 solver_propagations: 40,
+                clauses_reused: 15,
+                atoms_interned: 17,
+                cone_vars_pruned: 19,
                 solver_ms: 1,
             },
             cross_variant_cache_hits: 1,

@@ -39,6 +39,16 @@
 //! measurable. The `CPCF_PROVE_MODE` environment variable (`incremental`,
 //! `rebase` or `fresh`) selects the default engine, so CI can run the whole
 //! suite under each.
+//!
+//! Beneath the session sits the solver-core axis (`CPCF_SOLVER_CORE`,
+//! [`folic::default_core_mode`]): by default every [`Solver`] a session
+//! drives is backed by `folic`'s persistent incremental core (hash-consed
+//! atoms, a CDCL clause database that survives across queries with frames
+//! retracting by activation literals, per-query cone slicing), so the
+//! session's `push`/`pop`/`pop_to` frames map directly onto core
+//! retractions, and a whole-session rebase ([`Solver::clear_assertions`])
+//! keeps the interned atoms, Tseitin encodings and learned theory lemmas
+//! alive instead of discarding the solver.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -676,10 +686,14 @@ impl ProverSession {
         });
     }
 
-    /// Discards the live solver and encodes the whole heap as the new base.
+    /// Retracts the live solver's assertions and encodes the whole heap as
+    /// the new base. Under the persistent solver core the solver object
+    /// itself survives — its interned atoms, Tseitin encodings and theory
+    /// lemmas carry over, so the re-encode pays hash lookups where the old
+    /// engine paid fresh allocations (under `CPCF_SOLVER_CORE=scratch` the
+    /// retraction is equivalent to the historical solver swap).
     fn full_sync(&mut self, heap: &Heap) {
-        self.retired_solver_stats.merge(&self.solver.stats());
-        self.solver = Solver::with_config(self.config.solver);
+        self.solver.clear_assertions();
         self.aux_next = SESSION_AUX_BASE;
         let mut translation = Translation::with_next_aux(self.aux_next);
         for (loc, _) in heap.iter() {

@@ -1,0 +1,297 @@
+//! Hash-consing arena for terms and atoms.
+//!
+//! The persistent solver core ([`crate::core::TheoryCore`]) sees the same
+//! atoms over and over: every query against a symbolic heap re-asserts the
+//! translation of refinements that have not changed since the last query.
+//! With the boxed-tree [`Term`]/[`Atom`] representation, each occurrence
+//! pays a full structural hash, a fresh `vars()` walk and (on the SAT side)
+//! a fresh Tseitin variable. The arena interns both layers once:
+//!
+//! * structurally equal **terms** share one [`TermId`], with their free
+//!   variables computed a single time;
+//! * structurally equal **atoms** share one [`AtomId`], with their variable
+//!   sets and negations cached — so the atom → SAT-literal map and the
+//!   theory-literal collection of the lazy SMT loop work on `u32` ids
+//!   instead of cloning trees.
+//!
+//! Ids are indices into append-only vectors: interning never invalidates an
+//! id, which is what lets the persistent core keep atom ids alive across
+//! queries, `push`/`pop` retractions and whole-session rebases.
+
+use std::collections::HashMap;
+
+use crate::formula::{Atom, CmpOp};
+use crate::term::{Term, Var};
+
+/// The id of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The dense index of the term.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The id of an interned atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomId(u32);
+
+impl AtomId {
+    /// The dense index of the atom.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned term node: children are ids, so structural equality of
+/// arbitrarily deep trees is a fixed-size comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TermNode {
+    Int(i64),
+    Var(Var),
+    Add(TermId, TermId),
+    Sub(TermId, TermId),
+    Mul(TermId, TermId),
+    Neg(TermId),
+}
+
+/// One interned atom: two term ids and a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AtomNode {
+    lhs: TermId,
+    op: CmpOp,
+    rhs: TermId,
+}
+
+/// The hash-consing arena.
+#[derive(Debug, Default)]
+pub struct Arena {
+    term_ids: HashMap<TermNode, TermId>,
+    /// Sorted distinct free variables per term id.
+    term_vars: Vec<Vec<Var>>,
+    atom_ids: HashMap<AtomNode, AtomId>,
+    atom_nodes: Vec<AtomNode>,
+    /// The materialized atom per id, for handing `&Atom` to the theory.
+    atoms: Vec<Atom>,
+    /// Sorted distinct free variables per atom id.
+    atom_vars: Vec<Vec<Var>>,
+    /// Cached complement per atom id (`negations[a] = ¬a`), filled lazily.
+    negations: Vec<Option<AtomId>>,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Number of distinct atoms interned so far.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn term_count(&self) -> usize {
+        self.term_vars.len()
+    }
+
+    fn intern_node(&mut self, node: TermNode) -> TermId {
+        if let Some(&id) = self.term_ids.get(&node) {
+            return id;
+        }
+        let vars = match node {
+            TermNode::Int(_) => Vec::new(),
+            TermNode::Var(v) => vec![v],
+            TermNode::Add(a, b) | TermNode::Sub(a, b) | TermNode::Mul(a, b) => {
+                let mut vars = self.term_vars[a.index()].clone();
+                merge_sorted(&mut vars, &self.term_vars[b.index()]);
+                vars
+            }
+            TermNode::Neg(a) => self.term_vars[a.index()].clone(),
+        };
+        let id = TermId(self.term_vars.len() as u32);
+        self.term_vars.push(vars);
+        self.term_ids.insert(node, id);
+        id
+    }
+
+    /// Interns a term, returning its id. Structurally equal terms (and all
+    /// their shared subterms) map to the same id.
+    pub fn intern_term(&mut self, term: &Term) -> TermId {
+        let node = match term {
+            Term::Int(n) => TermNode::Int(*n),
+            Term::Var(v) => TermNode::Var(*v),
+            Term::Add(a, b) => TermNode::Add(self.intern_term(a), self.intern_term(b)),
+            Term::Sub(a, b) => TermNode::Sub(self.intern_term(a), self.intern_term(b)),
+            Term::Mul(a, b) => TermNode::Mul(self.intern_term(a), self.intern_term(b)),
+            Term::Neg(a) => TermNode::Neg(self.intern_term(a)),
+        };
+        self.intern_node(node)
+    }
+
+    /// Interns an atom, returning its id. The first interning materializes
+    /// the atom's variable set; later occurrences are a hash lookup over two
+    /// term ids and an operator.
+    pub fn intern_atom(&mut self, atom: &Atom) -> AtomId {
+        let node = AtomNode {
+            lhs: self.intern_term(&atom.lhs),
+            op: atom.op,
+            rhs: self.intern_term(&atom.rhs),
+        };
+        if let Some(&id) = self.atom_ids.get(&node) {
+            return id;
+        }
+        let mut vars = self.term_vars[node.lhs.index()].clone();
+        merge_sorted(&mut vars, &self.term_vars[node.rhs.index()]);
+        let id = AtomId(self.atoms.len() as u32);
+        self.atom_ids.insert(node, id);
+        self.atom_nodes.push(node);
+        self.atoms.push(atom.clone());
+        self.atom_vars.push(vars);
+        self.negations.push(None);
+        id
+    }
+
+    /// The interned atom behind an id.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.index()]
+    }
+
+    /// The sorted distinct free variables of an atom.
+    pub fn atom_free_vars(&self, id: AtomId) -> &[Var] {
+        &self.atom_vars[id.index()]
+    }
+
+    /// The id of the complementary atom (`negate(a ≤ b) = a > b`), interned
+    /// on first request and cached both ways.
+    pub fn negate(&mut self, id: AtomId) -> AtomId {
+        if let Some(neg) = self.negations[id.index()] {
+            return neg;
+        }
+        let node = self.atom_nodes[id.index()];
+        let negated_node = AtomNode {
+            lhs: node.lhs,
+            op: node.op.negate(),
+            rhs: node.rhs,
+        };
+        let neg = match self.atom_ids.get(&negated_node) {
+            Some(&existing) => existing,
+            None => {
+                let atom = self.atoms[id.index()].negate();
+                let vars = self.atom_vars[id.index()].clone();
+                let neg = AtomId(self.atoms.len() as u32);
+                self.atom_ids.insert(negated_node, neg);
+                self.atom_nodes.push(negated_node);
+                self.atoms.push(atom);
+                self.atom_vars.push(vars);
+                self.negations.push(Some(id));
+                neg
+            }
+        };
+        self.negations[id.index()] = Some(neg);
+        self.negations[neg.index()] = Some(id);
+        neg
+    }
+}
+
+/// Merges the sorted distinct `extra` variables into the sorted distinct
+/// `vars`, keeping the result sorted and distinct.
+fn merge_sorted(vars: &mut Vec<Var>, extra: &[Var]) {
+    if extra.is_empty() {
+        return;
+    }
+    if vars.is_empty() {
+        vars.extend_from_slice(extra);
+        return;
+    }
+    let mut merged = Vec::with_capacity(vars.len() + extra.len());
+    let (mut i, mut j) = (0, 0);
+    while i < vars.len() && j < extra.len() {
+        match vars[i].cmp(&extra[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(vars[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(extra[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(vars[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&vars[i..]);
+    merged.extend_from_slice(&extra[j..]);
+    *vars = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u32) -> Term {
+        Term::var(Var::new(i))
+    }
+
+    #[test]
+    fn equal_terms_share_an_id() {
+        let mut arena = Arena::new();
+        let t1 = Term::add(x(0), Term::int(1));
+        let t2 = Term::add(x(0), Term::int(1));
+        assert_eq!(arena.intern_term(&t1), arena.intern_term(&t2));
+        // x0, 1, x0 + 1: three distinct nodes in total.
+        assert_eq!(arena.term_count(), 3);
+    }
+
+    #[test]
+    fn subterms_are_shared() {
+        let mut arena = Arena::new();
+        let shared = Term::add(x(0), x(1));
+        arena.intern_term(&Term::mul(shared.clone(), Term::int(2)));
+        let before = arena.term_count();
+        // Re-interning a tree whose every node is known adds nothing.
+        arena.intern_term(&Term::sub(shared, x(0)));
+        assert_eq!(arena.term_count(), before + 1, "only the Sub node is new");
+    }
+
+    #[test]
+    fn atoms_intern_once_with_cached_vars() {
+        let mut arena = Arena::new();
+        let atom = Atom::new(Term::add(x(2), x(0)), CmpOp::Le, Term::int(5));
+        let id = arena.intern_atom(&atom);
+        assert_eq!(arena.intern_atom(&atom.clone()), id);
+        assert_eq!(arena.atom_count(), 1);
+        assert_eq!(arena.atom_free_vars(id), &[Var::new(0), Var::new(2)]);
+        assert_eq!(arena.atom(id), &atom);
+    }
+
+    #[test]
+    fn negation_round_trips_and_is_cached() {
+        let mut arena = Arena::new();
+        let atom = Atom::new(x(0).clone(), CmpOp::Lt, Term::int(3));
+        let id = arena.intern_atom(&atom);
+        let neg = arena.negate(id);
+        assert_ne!(id, neg);
+        assert_eq!(arena.atom(neg).op, CmpOp::Ge);
+        assert_eq!(arena.negate(neg), id, "negation is an involution");
+        // Interning the negated atom from scratch finds the cached id.
+        assert_eq!(arena.intern_atom(&atom.negate()), neg);
+        assert_eq!(arena.atom_count(), 2);
+    }
+
+    #[test]
+    fn distinct_atoms_get_distinct_ids() {
+        let mut arena = Arena::new();
+        let a = arena.intern_atom(&Atom::new(x(0), CmpOp::Eq, Term::int(1)));
+        let b = arena.intern_atom(&Atom::new(x(0), CmpOp::Eq, Term::int(2)));
+        let c = arena.intern_atom(&Atom::new(x(1), CmpOp::Eq, Term::int(1)));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -93,43 +93,57 @@ fn encode(sat: &mut SatSolver, atoms: &mut AtomMap, formula: &Formula) -> Lit {
         Formula::Not(inner) => encode(sat, atoms, inner).negate(),
         Formula::And(parts) => {
             let lits: Vec<Lit> = parts.iter().map(|p| encode(sat, atoms, p)).collect();
-            let out = sat.new_var();
-            // out → each lit
-            for &lit in &lits {
-                sat.add_clause(vec![out.negative(), lit]);
-            }
-            // all lits → out
-            let mut clause: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
-            clause.push(out.positive());
-            sat.add_clause(clause);
-            out.positive()
+            encode_and_gate(sat, lits)
         }
         Formula::Or(parts) => {
             let lits: Vec<Lit> = parts.iter().map(|p| encode(sat, atoms, p)).collect();
-            let out = sat.new_var();
-            // each lit → out
-            for &lit in &lits {
-                sat.add_clause(vec![lit.negate(), out.positive()]);
-            }
-            // out → some lit
-            let mut clause: Vec<Lit> = lits.clone();
-            clause.push(out.negative());
-            sat.add_clause(clause);
-            out.positive()
+            encode_or_gate(sat, lits)
         }
-        // NNF conversion eliminates these.
+        // NNF conversion eliminates these; encode the gates over the
+        // subformulas' literals directly instead of cloning the subtrees
+        // into an expanded formula first.
         Formula::Implies(a, b) => {
-            let expanded = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
-            encode(sat, atoms, &expanded)
+            let lits = vec![encode(sat, atoms, a).negate(), encode(sat, atoms, b)];
+            encode_or_gate(sat, lits)
         }
         Formula::Iff(a, b) => {
-            let expanded = Formula::And(vec![
-                Formula::Implies(a.clone(), b.clone()),
-                Formula::Implies(b.clone(), a.clone()),
-            ]);
-            encode(sat, atoms, &expanded)
+            let lit_a = encode(sat, atoms, a);
+            let lit_b = encode(sat, atoms, b);
+            let forward = encode_or_gate(sat, vec![lit_a.negate(), lit_b]);
+            let backward = encode_or_gate(sat, vec![lit_b.negate(), lit_a]);
+            encode_and_gate(sat, vec![forward, backward])
         }
     }
+}
+
+/// Introduces `out ⇔ (l₁ ∧ … ∧ lₙ)` and returns `out`. Shared with the
+/// persistent core's encoder so the two engines emit identical gates.
+pub(crate) fn encode_and_gate(sat: &mut SatSolver, lits: Vec<Lit>) -> Lit {
+    let out = sat.new_var();
+    // out → each lit
+    for &lit in &lits {
+        sat.add_clause(vec![out.negative(), lit]);
+    }
+    // all lits → out
+    let mut clause: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+    clause.push(out.positive());
+    sat.add_clause(clause);
+    out.positive()
+}
+
+/// Introduces `out ⇔ (l₁ ∨ … ∨ lₙ)` and returns `out`. Shared with the
+/// persistent core's encoder so the two engines emit identical gates.
+pub(crate) fn encode_or_gate(sat: &mut SatSolver, lits: Vec<Lit>) -> Lit {
+    let out = sat.new_var();
+    // each lit → out
+    for &lit in &lits {
+        sat.add_clause(vec![lit.negate(), out.positive()]);
+    }
+    // out → some lit
+    let mut clause: Vec<Lit> = lits.clone();
+    clause.push(out.negative());
+    sat.add_clause(clause);
+    out.positive()
 }
 
 #[cfg(test)]

@@ -1,0 +1,825 @@
+//! The persistent solver core: hash-consed atoms, a long-lived CDCL
+//! instance, and per-query cone slicing.
+//!
+//! [`crate::theory::check_conjunction_counted`] — the *scratch* engine —
+//! rebuilds a SAT solver, re-runs Tseitin encoding and restarts the lazy SMT
+//! loop from nothing on every satisfiability check. [`TheoryCore`] is the
+//! incremental replacement owned by [`crate::solver::Solver`]:
+//!
+//! * **Hash-consed atoms** ([`crate::arena::Arena`]): every distinct atom is
+//!   interned once; its free variables, its negation and its SAT variable
+//!   are computed the first time and reused by every later query.
+//! * **Persistent CDCL state**: the clause database survives across checks.
+//!   Each asserted formula is Tseitin-encoded once into *definitional*
+//!   clauses (pure definitions of auxiliary variables, valid in any frame)
+//!   plus a **root literal** that acts as the formula's activation literal:
+//!   a check assumes the root literals of the formulas that are live, so
+//!   `push`/`pop`/`pop_to` retract by no longer assuming a frame's literals
+//!   instead of discarding clauses. Theory conflict clauses are valid
+//!   lemmas over the interned atoms, so they are added unguarded and keep
+//!   pruning the search in every later check whose cone they touch; clauses
+//!   blocking merely-undecided (`Unknown`) candidates are guarded by a
+//!   per-check query literal and become inert once the check returns.
+//! * **Per-query cone slicing**: before searching, the active formulas are
+//!   partitioned into variable-connected components (union–find over each
+//!   formula's cached variable set). A query only solves the components its
+//!   assumptions touch; the untouched components are checked separately —
+//!   with their verdicts memoized across queries — only when a model must
+//!   be produced, and a query about one heap location never pays for the
+//!   propositional search of unrelated locations' constraints.
+//!
+//! The core is deliberately conservative about its own incompleteness:
+//! whenever the sliced/persistent pipeline cannot decide a check
+//! (`Unknown`), it falls back to the scratch engine on the full formula
+//! set, so its answers can only be *more* decided than the scratch
+//! engine's, never different on decided verdicts — `Sat` answers carry a
+//! model verified against every live formula, and `Unsat` answers follow
+//! from sound clauses alone.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use crate::arena::{Arena, AtomId};
+use crate::cnf::{encode_and_gate, encode_or_gate};
+use crate::formula::Formula;
+use crate::lia::{check_atom_refs, LiaResult};
+use crate::model::Model;
+use crate::sat::{BVar, Lit, SatResult as PropResult, SatSolver, SatStats};
+use crate::term::Var;
+use crate::theory::{check_conjunction_counted, collect_atoms, SmtResult, TheoryConfig};
+
+/// Bound on memoized formula analyses and component verdicts; the caches are
+/// cleared wholesale when they outgrow it (correctness never depends on a
+/// cache hit).
+const CACHE_BOUND: usize = 1 << 20;
+
+/// Counters describing the work the persistent core has saved, surfaced
+/// through [`crate::solver::SolverStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Distinct atoms interned into the arena (since the last reset).
+    pub atoms_interned: u64,
+    /// Clauses already in the persistent database at the start of a CDCL
+    /// check — encoding, theory lemmas and learned clauses the scratch
+    /// engine would have had to rebuild or re-derive.
+    pub clauses_reused: u64,
+    /// Variables excluded from a query's search because they lay outside
+    /// the dependency cone of its assumptions.
+    pub cone_vars_pruned: u64,
+    /// Checks the persistent pipeline handed to the scratch engine because
+    /// it could not decide them itself.
+    pub scratch_fallbacks: u64,
+}
+
+/// Everything the core ever needs to know about one distinct formula,
+/// computed once and shared by every assertion of that formula (`Rc`).
+#[derive(Debug)]
+struct FormulaInfo {
+    /// Content id: one per distinct formula analyzed by this core. Used to
+    /// key component verdicts, so a component re-asserted on a sibling
+    /// branch hits the memo even after pops.
+    id: u64,
+    formula: Formula,
+    /// The negation-normal form, computed once (atoms carry the polarity).
+    nnf: Formula,
+    /// Sorted distinct free variables of the original formula.
+    vars: Vec<Var>,
+    /// Distinct atoms of the NNF, in first-occurrence order.
+    atoms: Vec<AtomId>,
+    /// When the formula is a pure conjunction of atoms: the atom ids in the
+    /// scratch engine's collection order (negations folded into operators).
+    conjunction: Option<Vec<AtomId>>,
+    /// The Tseitin root literal — the formula's activation literal —
+    /// encoded on first use by a CDCL check.
+    root: Cell<Option<Lit>>,
+    /// The SAT variables this formula's encoding branches on (its atoms'
+    /// variables plus the auxiliary gate variables), filled at encode time.
+    sat_vars: RefCell<Vec<BVar>>,
+}
+
+/// The persistent core. One instance lives inside each [`crate::Solver`]
+/// and sees every assertion, retraction and check of that solver's life.
+#[derive(Debug)]
+pub struct TheoryCore {
+    config: TheoryConfig,
+    arena: Arena,
+    sat: SatSolver,
+    /// Atom id → SAT variable, allocated once per atom.
+    atom_lit: HashMap<AtomId, BVar>,
+    /// Memoized analyses, one per distinct formula.
+    analyzed: HashMap<Formula, Rc<FormulaInfo>>,
+    next_formula_id: u64,
+    /// The live assertions, mirroring `Solver::assertions` element-wise.
+    formulas: Vec<Rc<FormulaInfo>>,
+    /// Memoized verdicts for out-of-cone components, keyed by their sorted
+    /// distinct formula-id sets.
+    component_cache: HashMap<Vec<u64>, SmtResult>,
+    /// Arena size at the last stats reset (`atoms_interned` is a delta).
+    atoms_at_reset: usize,
+    clauses_reused: u64,
+    cone_vars_pruned: u64,
+    scratch_fallbacks: u64,
+}
+
+impl TheoryCore {
+    /// Creates an empty core.
+    pub fn new(config: TheoryConfig) -> Self {
+        TheoryCore {
+            config,
+            arena: Arena::new(),
+            sat: SatSolver::new(),
+            atom_lit: HashMap::new(),
+            analyzed: HashMap::new(),
+            next_formula_id: 0,
+            formulas: Vec::new(),
+            component_cache: HashMap::new(),
+            atoms_at_reset: 0,
+            clauses_reused: 0,
+            cone_vars_pruned: 0,
+            scratch_fallbacks: 0,
+        }
+    }
+
+    /// The core's cumulative counters.
+    pub fn stats(&self) -> CoreStats {
+        CoreStats {
+            atoms_interned: (self.arena.atom_count() - self.atoms_at_reset) as u64,
+            clauses_reused: self.clauses_reused,
+            cone_vars_pruned: self.cone_vars_pruned,
+            scratch_fallbacks: self.scratch_fallbacks,
+        }
+    }
+
+    /// Resets the counters; interned state and clauses are untouched.
+    pub fn reset_stats(&mut self) {
+        self.atoms_at_reset = self.arena.atom_count();
+        self.clauses_reused = 0;
+        self.cone_vars_pruned = 0;
+        self.scratch_fallbacks = 0;
+    }
+
+    /// Number of live assertions (must mirror the owning solver's).
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// True when no assertion is live.
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    /// Registers one asserted formula (interning atoms and memoizing its
+    /// analysis if this is the first time the formula is seen).
+    pub fn assert(&mut self, formula: &Formula) {
+        let info = self.analyze(formula);
+        self.formulas.push(info);
+    }
+
+    /// Retracts assertions beyond `len` — the frame pop. The retracted
+    /// formulas' clauses stay in the database; their activation (root)
+    /// literals are simply never assumed again.
+    pub fn truncate(&mut self, len: usize) {
+        self.formulas.truncate(len);
+    }
+
+    /// Retracts every assertion while keeping the interned atoms, the
+    /// Tseitin encodings, the theory lemmas and the component memos — the
+    /// whole-session rebase entry point.
+    pub fn clear(&mut self) {
+        self.formulas.clear();
+    }
+
+    /// Memoized per-formula analysis.
+    fn analyze(&mut self, formula: &Formula) -> Rc<FormulaInfo> {
+        if let Some(info) = self.analyzed.get(formula) {
+            return Rc::clone(info);
+        }
+        if self.analyzed.len() >= CACHE_BOUND {
+            self.analyzed.clear();
+        }
+        let vars: Vec<Var> = formula.vars().into_iter().collect();
+        let nnf = formula.to_nnf();
+        let mut seen = HashSet::new();
+        let mut atoms = Vec::new();
+        self.collect_nnf_atoms(&nnf, &mut seen, &mut atoms);
+        let conjunction = as_atom_conjunction(formula).map(|flat| {
+            flat.iter()
+                .map(|atom| self.arena.intern_atom(atom))
+                .collect()
+        });
+        let info = Rc::new(FormulaInfo {
+            id: self.next_formula_id,
+            formula: formula.clone(),
+            nnf,
+            vars,
+            atoms,
+            conjunction,
+            root: Cell::new(None),
+            sat_vars: RefCell::new(Vec::new()),
+        });
+        self.next_formula_id += 1;
+        self.analyzed.insert(formula.clone(), Rc::clone(&info));
+        info
+    }
+
+    fn collect_nnf_atoms(
+        &mut self,
+        formula: &Formula,
+        seen: &mut HashSet<AtomId>,
+        out: &mut Vec<AtomId>,
+    ) {
+        match formula {
+            Formula::True | Formula::False => {}
+            Formula::Atom(atom) => {
+                let id = self.arena.intern_atom(atom);
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+            Formula::Not(inner) => self.collect_nnf_atoms(inner, seen, out),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for part in parts {
+                    self.collect_nnf_atoms(part, seen, out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                self.collect_nnf_atoms(a, seen, out);
+                self.collect_nnf_atoms(b, seen, out);
+            }
+        }
+    }
+
+    /// Checks satisfiability of the live assertions together with
+    /// `assumptions`, returning the verdict and the CDCL statistics
+    /// accumulated across the check.
+    pub fn check(&mut self, assumptions: &[Formula]) -> (SmtResult, SatStats) {
+        let assumed: Vec<Rc<FormulaInfo>> = assumptions.iter().map(|f| self.analyze(f)).collect();
+        let active: Vec<Rc<FormulaInfo>> = self.formulas.clone();
+        let mut sat_stats = SatStats::default();
+        let result = if assumed.is_empty() {
+            // Nothing to slice against: the whole assertion set is the cone.
+            let result = self.check_set(&active, &[], &mut sat_stats);
+            match result {
+                SmtResult::Unknown => self.fallback(&active, &[], &mut sat_stats),
+                decided => decided,
+            }
+        } else {
+            self.check_sliced(&active, &assumed, &mut sat_stats)
+        };
+        (result, sat_stats)
+    }
+
+    /// The sliced check: solve the assumptions' dependency cone, and touch
+    /// the unrelated components only if a model must be produced.
+    fn check_sliced(
+        &mut self,
+        active: &[Rc<FormulaInfo>],
+        assumed: &[Rc<FormulaInfo>],
+        sat_stats: &mut SatStats,
+    ) -> SmtResult {
+        let slicing = slice(active, assumed);
+        if !slicing.rest.is_empty() {
+            self.cone_vars_pruned += slicing.pruned_vars as u64;
+        }
+        match self.check_set(&slicing.cone, assumed, sat_stats) {
+            // The cone is a subset of the live assertions, so its
+            // inconsistency is the whole set's inconsistency.
+            SmtResult::Unsat => SmtResult::Unsat,
+            SmtResult::Unknown => self.fallback(active, assumed, sat_stats),
+            SmtResult::Sat(mut model) => {
+                // A model must also cover the out-of-cone components; their
+                // verdicts are memoized because they do not depend on the
+                // query. Components are variable-disjoint, so the models
+                // merge without conflicts.
+                for component in &slicing.rest {
+                    match self.check_component(component, sat_stats) {
+                        SmtResult::Sat(part) => model.extend(part.iter()),
+                        SmtResult::Unsat => return SmtResult::Unsat,
+                        SmtResult::Unknown => return self.fallback(active, assumed, sat_stats),
+                    }
+                }
+                match self.finish_model(model, active, assumed) {
+                    SmtResult::Sat(model) => SmtResult::Sat(model),
+                    _ => self.fallback(active, assumed, sat_stats),
+                }
+            }
+        }
+    }
+
+    /// Checks one out-of-cone component, memoizing its verdict by content
+    /// (the sorted distinct formula ids — an exact key, since an aliased
+    /// `Unsat` would flow into a verdict without any witness check).
+    fn check_component(
+        &mut self,
+        component: &[Rc<FormulaInfo>],
+        sat_stats: &mut SatStats,
+    ) -> SmtResult {
+        let mut ids: Vec<u64> = component.iter().map(|info| info.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if let Some(cached) = self.component_cache.get(&ids) {
+            return cached.clone();
+        }
+        let result = self.check_set(component, &[], sat_stats);
+        if self.component_cache.len() >= CACHE_BOUND {
+            self.component_cache.clear();
+        }
+        self.component_cache.insert(ids, result.clone());
+        result
+    }
+
+    /// The authoritative answer when the persistent pipeline is stuck: run
+    /// the scratch engine over the full live formula set.
+    fn fallback(
+        &mut self,
+        active: &[Rc<FormulaInfo>],
+        assumed: &[Rc<FormulaInfo>],
+        sat_stats: &mut SatStats,
+    ) -> SmtResult {
+        self.scratch_fallbacks += 1;
+        let formulas: Vec<Formula> = active
+            .iter()
+            .chain(assumed)
+            .map(|info| info.formula.clone())
+            .collect();
+        let (result, scratch_stats) = check_conjunction_counted(&formulas, &self.config);
+        sat_stats.merge(&scratch_stats);
+        result
+    }
+
+    /// Decides the conjunction of `active ∪ assumed`: a pure atom
+    /// conjunction goes straight to the theory; anything with boolean
+    /// structure runs the lazy SMT loop on the persistent CDCL state.
+    fn check_set(
+        &mut self,
+        active: &[Rc<FormulaInfo>],
+        assumed: &[Rc<FormulaInfo>],
+        sat_stats: &mut SatStats,
+    ) -> SmtResult {
+        let conjunctive = active
+            .iter()
+            .chain(assumed)
+            .all(|info| info.conjunction.is_some());
+        if conjunctive {
+            let ids: Vec<AtomId> = active
+                .iter()
+                .chain(assumed)
+                .flat_map(|info| {
+                    info.conjunction
+                        .as_deref()
+                        .expect("checked")
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            let refs: Vec<&crate::formula::Atom> =
+                ids.iter().map(|&id| self.arena.atom(id)).collect();
+            return match check_atom_refs(&refs, &self.config.lia) {
+                LiaResult::Sat(values) => {
+                    let mut model = Model::new();
+                    for (var, value) in values {
+                        model.assign(var, value);
+                    }
+                    self.finish_model(model, active, assumed)
+                }
+                LiaResult::Unsat => SmtResult::Unsat,
+                LiaResult::Unknown => SmtResult::Unknown,
+            };
+        }
+        self.check_cdcl(active, assumed, sat_stats)
+    }
+
+    /// Completes a theory model over the formulas' variables and gates it
+    /// behind the full evaluation check, exactly like the scratch engine.
+    fn finish_model(
+        &self,
+        mut model: Model,
+        active: &[Rc<FormulaInfo>],
+        assumed: &[Rc<FormulaInfo>],
+    ) -> SmtResult {
+        for info in active.iter().chain(assumed) {
+            for &var in &info.vars {
+                if model.value(var).is_none() {
+                    model.assign(var, 0);
+                }
+            }
+        }
+        let satisfied = active
+            .iter()
+            .chain(assumed)
+            .all(|info| model.eval_formula(&info.formula).unwrap_or(false));
+        if satisfied {
+            SmtResult::Sat(model)
+        } else {
+            SmtResult::Unknown
+        }
+    }
+
+    /// The lazy SMT loop over the persistent SAT instance.
+    fn check_cdcl(
+        &mut self,
+        active: &[Rc<FormulaInfo>],
+        assumed: &[Rc<FormulaInfo>],
+        sat_stats: &mut SatStats,
+    ) -> SmtResult {
+        // Everything already in the database was paid for by earlier checks
+        // and is reused wholesale here: Tseitin encodings the scratch
+        // engine would rebuild, and theory/learned clauses it would have to
+        // re-derive conflict by conflict.
+        self.clauses_reused += self.sat.num_clauses() as u64;
+
+        // Activation literals of the formulas under check, encoding on
+        // first use; their SAT variables are this check's branching set.
+        let mut assumption_lits: Vec<Lit> = Vec::new();
+        let mut decision_vars: Vec<BVar> = Vec::new();
+        let mut atom_set: Vec<AtomId> = Vec::new();
+        let mut seen_atoms: HashSet<AtomId> = HashSet::new();
+        for info in active.iter().chain(assumed) {
+            assumption_lits.push(self.root_lit(info));
+            decision_vars.extend(info.sat_vars.borrow().iter().copied());
+            for &atom in &info.atoms {
+                if seen_atoms.insert(atom) {
+                    atom_set.push(atom);
+                }
+            }
+        }
+
+        let mut soft_guard: Option<BVar> = None;
+        let mut saw_unknown = false;
+        for _iteration in 0..self.config.max_iterations {
+            let propositional = self.sat.solve_under(&assumption_lits, Some(&decision_vars));
+            sat_stats.merge(&self.sat.stats());
+            match propositional {
+                PropResult::Unsat => {
+                    return if saw_unknown {
+                        SmtResult::Unknown
+                    } else {
+                        SmtResult::Unsat
+                    };
+                }
+                PropResult::Sat(assignment) => {
+                    let mut chosen: Vec<AtomId> = Vec::with_capacity(atom_set.len());
+                    let mut blocking: Vec<Lit> = Vec::with_capacity(atom_set.len());
+                    for &atom in &atom_set {
+                        let bvar = self.atom_lit[&atom];
+                        let value = assignment[bvar.index() as usize];
+                        chosen.push(if value { atom } else { self.arena.negate(atom) });
+                        blocking.push(if value {
+                            bvar.negative()
+                        } else {
+                            bvar.positive()
+                        });
+                    }
+                    let theory_result = {
+                        let refs: Vec<&crate::formula::Atom> =
+                            chosen.iter().map(|&id| self.arena.atom(id)).collect();
+                        check_atom_refs(&refs, &self.config.lia)
+                    };
+                    match theory_result {
+                        LiaResult::Sat(values) => {
+                            let mut model = Model::new();
+                            for (var, value) in values {
+                                model.assign(var, value);
+                            }
+                            match self.finish_model(model, active, assumed) {
+                                SmtResult::Sat(model) => return SmtResult::Sat(model),
+                                _ => {
+                                    // The theory model does not extend to
+                                    // the boolean structure: block this
+                                    // candidate for the current check only.
+                                    saw_unknown = true;
+                                    self.block_softly(
+                                        blocking,
+                                        &mut soft_guard,
+                                        &mut assumption_lits,
+                                    );
+                                }
+                            }
+                        }
+                        LiaResult::Unsat => {
+                            if blocking.is_empty() {
+                                return SmtResult::Unsat;
+                            }
+                            // A theory lemma: this combination of atom
+                            // polarities is inconsistent under any
+                            // assignment, in any frame — retain it.
+                            self.sat.add_clause(blocking);
+                        }
+                        LiaResult::Unknown => {
+                            saw_unknown = true;
+                            if blocking.is_empty() {
+                                return SmtResult::Unknown;
+                            }
+                            self.block_softly(blocking, &mut soft_guard, &mut assumption_lits);
+                        }
+                    }
+                }
+            }
+        }
+        SmtResult::Unknown
+    }
+
+    /// Adds a blocking clause that is *not* a theory lemma (the candidate
+    /// was undecided, not refuted), guarded by a per-check literal so it
+    /// expires with the check instead of poisoning later queries.
+    fn block_softly(
+        &mut self,
+        mut blocking: Vec<Lit>,
+        soft_guard: &mut Option<BVar>,
+        assumption_lits: &mut Vec<Lit>,
+    ) {
+        let guard = match soft_guard {
+            Some(guard) => *guard,
+            None => {
+                let guard = self.sat.new_var();
+                *soft_guard = Some(guard);
+                assumption_lits.push(guard.positive());
+                guard
+            }
+        };
+        blocking.push(guard.negative());
+        self.sat.add_clause(blocking);
+    }
+
+    /// The formula's activation literal, Tseitin-encoding the formula into
+    /// definitional clauses on first use.
+    fn root_lit(&mut self, info: &Rc<FormulaInfo>) -> Lit {
+        if let Some(lit) = info.root.get() {
+            return lit;
+        }
+        let vars_before = self.sat.num_vars();
+        let lit = self.encode_nnf(&info.nnf);
+        let mut sat_vars: Vec<BVar> = (vars_before..self.sat.num_vars())
+            .map(|index| BVar::new(index as u32))
+            .collect();
+        for &atom in &info.atoms {
+            sat_vars.push(self.atom_lit[&atom]);
+        }
+        *info.sat_vars.borrow_mut() = sat_vars;
+        info.root.set(Some(lit));
+        lit
+    }
+
+    /// The SAT variable of an interned atom, allocated on first use.
+    fn atom_bvar(&mut self, atom: &crate::formula::Atom) -> BVar {
+        let id = self.arena.intern_atom(atom);
+        if let Some(&bvar) = self.atom_lit.get(&id) {
+            return bvar;
+        }
+        let bvar = self.sat.new_var();
+        self.atom_lit.insert(id, bvar);
+        bvar
+    }
+
+    /// Tseitin-encodes an NNF formula into the persistent instance,
+    /// returning a literal equivalent to it (clauses are definitional, so
+    /// they are sound in every frame).
+    fn encode_nnf(&mut self, formula: &Formula) -> Lit {
+        match formula {
+            Formula::True => {
+                let var = self.sat.new_var();
+                self.sat.add_clause(vec![var.positive()]);
+                var.positive()
+            }
+            Formula::False => {
+                let var = self.sat.new_var();
+                self.sat.add_clause(vec![var.negative()]);
+                var.positive()
+            }
+            Formula::Atom(atom) => self.atom_bvar(atom).positive(),
+            Formula::Not(inner) => self.encode_nnf(inner).negate(),
+            Formula::And(parts) => {
+                let lits: Vec<Lit> = parts.iter().map(|p| self.encode_nnf(p)).collect();
+                encode_and_gate(&mut self.sat, lits)
+            }
+            Formula::Or(parts) => {
+                let lits: Vec<Lit> = parts.iter().map(|p| self.encode_nnf(p)).collect();
+                encode_or_gate(&mut self.sat, lits)
+            }
+            // NNF conversion eliminates these; kept for robustness.
+            Formula::Implies(a, b) => {
+                let lits = vec![self.encode_nnf(a).negate(), self.encode_nnf(b)];
+                encode_or_gate(&mut self.sat, lits)
+            }
+            Formula::Iff(a, b) => {
+                let lit_a = self.encode_nnf(a);
+                let lit_b = self.encode_nnf(b);
+                let forward = encode_or_gate(&mut self.sat, vec![lit_a.negate(), lit_b]);
+                let backward = encode_or_gate(&mut self.sat, vec![lit_b.negate(), lit_a]);
+                encode_and_gate(&mut self.sat, vec![forward, backward])
+            }
+        }
+    }
+}
+
+/// The outcome of cone slicing: the formulas inside the assumptions'
+/// dependency cone (in assertion order), the out-of-cone formulas grouped
+/// into variable-connected components, and how many variables the slicing
+/// excluded from the query's search.
+struct Slicing {
+    cone: Vec<Rc<FormulaInfo>>,
+    rest: Vec<Vec<Rc<FormulaInfo>>>,
+    pruned_vars: usize,
+}
+
+/// Union–find over the formulas' variable sets: two formulas share a
+/// component iff their variable sets are transitively connected. Ground
+/// formulas (no variables) are kept in the cone — they are constant-time
+/// for the theory and excluding them buys nothing.
+fn slice(active: &[Rc<FormulaInfo>], assumed: &[Rc<FormulaInfo>]) -> Slicing {
+    let mut uf = UnionFind::default();
+    for info in active.iter().chain(assumed) {
+        if let Some((&first, rest)) = info.vars.split_first() {
+            for &var in rest {
+                uf.union(first, var);
+            }
+            uf.find(first);
+        }
+    }
+    let mut cone_roots: HashSet<Var> = HashSet::new();
+    for info in assumed {
+        for &var in &info.vars {
+            cone_roots.insert(uf.find(var));
+        }
+    }
+    let mut cone = Vec::new();
+    let mut rest_groups: Vec<(Var, Vec<Rc<FormulaInfo>>)> = Vec::new();
+    let mut pruned: HashSet<Var> = HashSet::new();
+    for info in active {
+        let root = info.vars.first().map(|&v| uf.find(v));
+        match root {
+            None => cone.push(Rc::clone(info)),
+            Some(root) if cone_roots.contains(&root) => cone.push(Rc::clone(info)),
+            Some(root) => {
+                pruned.extend(info.vars.iter().copied());
+                match rest_groups.iter_mut().find(|(r, _)| *r == root) {
+                    Some((_, group)) => group.push(Rc::clone(info)),
+                    None => rest_groups.push((root, vec![Rc::clone(info)])),
+                }
+            }
+        }
+    }
+    Slicing {
+        cone,
+        rest: rest_groups.into_iter().map(|(_, group)| group).collect(),
+        pruned_vars: pruned.len(),
+    }
+}
+
+/// A small path-compressing union–find over integer variables.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: HashMap<Var, Var>,
+}
+
+impl UnionFind {
+    /// Iterative find with full path compression — parent chains grow as
+    /// long as the heap's longest constraint chain (tens of thousands of
+    /// variables on real corpora), so recursion is not an option.
+    fn find(&mut self, var: Var) -> Var {
+        let mut root = var;
+        while let Some(&parent) = self.parent.get(&root) {
+            if parent == root {
+                break;
+            }
+            root = parent;
+        }
+        let mut cursor = var;
+        while cursor != root {
+            let parent = self.parent.insert(cursor, root).unwrap_or(root);
+            cursor = parent;
+        }
+        self.parent.entry(root).or_insert(root);
+        root
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// If `formula` is a conjunction of (possibly negated) atoms, return the
+/// atoms flattened, with negation folded into the comparison operator —
+/// the single-formula face of the scratch engine's fast path.
+fn as_atom_conjunction(formula: &Formula) -> Option<Vec<crate::formula::Atom>> {
+    let mut atoms = Vec::new();
+    collect_atoms(formula, &mut atoms)?;
+    Some(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn x(i: u32) -> Term {
+        Term::var(Var::new(i))
+    }
+
+    fn core() -> TheoryCore {
+        TheoryCore::new(TheoryConfig::default())
+    }
+
+    #[test]
+    fn conjunction_fast_path_answers_without_sat() {
+        let mut core = core();
+        core.assert(&Formula::ge(x(0), Term::int(5)));
+        let (result, stats) = core.check(&[Formula::lt(x(0), Term::int(5))]);
+        assert!(result.is_unsat());
+        assert_eq!(stats, SatStats::default(), "no CDCL work on conjunctions");
+    }
+
+    #[test]
+    fn boolean_structure_runs_on_the_persistent_instance() {
+        let mut core = core();
+        core.assert(&Formula::or(vec![
+            Formula::eq(x(0), Term::int(0)),
+            Formula::eq(x(0), Term::int(1)),
+        ]));
+        core.assert(&Formula::ge(x(0), Term::int(5)));
+        let (result, _) = core.check(&[]);
+        assert!(result.is_unsat());
+        // Re-checking reuses the clauses the first check left behind.
+        let before = core.stats().clauses_reused;
+        let (result, _) = core.check(&[]);
+        assert!(result.is_unsat());
+        assert!(core.stats().clauses_reused > before);
+    }
+
+    #[test]
+    fn cone_slicing_prunes_unrelated_components() {
+        let mut core = core();
+        // Two disconnected constraint islands.
+        core.assert(&Formula::ge(x(0), Term::int(0)));
+        core.assert(&Formula::le(x(5), Term::int(9)));
+        let (result, _) = core.check(&[Formula::lt(x(0), Term::int(0))]);
+        assert!(result.is_unsat());
+        assert!(
+            core.stats().cone_vars_pruned >= 1,
+            "x5's island lies outside the query cone: {:?}",
+            core.stats()
+        );
+    }
+
+    #[test]
+    fn sat_models_cover_out_of_cone_components() {
+        let mut core = core();
+        core.assert(&Formula::eq(x(0), Term::int(3)));
+        core.assert(&Formula::eq(x(7), Term::int(11)));
+        let (result, _) = core.check(&[Formula::gt(x(0), Term::int(0))]);
+        let model = result.model().expect("satisfiable");
+        assert_eq!(model.value(Var::new(0)), Some(3));
+        assert_eq!(model.value(Var::new(7)), Some(11), "out-of-cone var solved");
+    }
+
+    #[test]
+    fn truncate_retracts_without_poisoning_later_checks() {
+        let mut core = core();
+        core.assert(&Formula::ge(x(0), Term::int(0)));
+        let mark = core.len();
+        core.assert(&Formula::eq(x(0), Term::int(5)));
+        let (result, _) = core.check(&[Formula::ne(x(0), Term::int(5))]);
+        assert!(result.is_unsat());
+        core.truncate(mark);
+        let (result, _) = core.check(&[Formula::ne(x(0), Term::int(5))]);
+        assert!(result.is_sat(), "the popped equality must not leak");
+    }
+
+    #[test]
+    fn retained_lemmas_survive_retraction_soundly() {
+        let mut core = core();
+        // A disjunction forces the SMT loop to learn theory lemmas.
+        core.assert(&Formula::or(vec![
+            Formula::eq(x(0), Term::int(0)),
+            Formula::eq(x(0), Term::int(1)),
+        ]));
+        let mark = core.len();
+        core.assert(&Formula::ge(x(0), Term::int(5)));
+        let (result, _) = core.check(&[]);
+        assert!(result.is_unsat());
+        core.truncate(mark);
+        // The lemmas learned against `x0 ≥ 5` must not refute the weaker
+        // frame.
+        let (result, _) = core.check(&[]);
+        let model = result.model().expect("x0 ∈ {0, 1} is satisfiable");
+        assert!(matches!(model.value(Var::new(0)), Some(0) | Some(1)));
+    }
+
+    #[test]
+    fn atoms_intern_once_across_checks() {
+        let mut core = core();
+        core.assert(&Formula::ge(x(0), Term::int(0)));
+        core.check(&[Formula::gt(x(0), Term::int(1))]);
+        let after_first = core.stats().atoms_interned;
+        // The same assumption again interns nothing new.
+        core.check(&[Formula::gt(x(0), Term::int(1))]);
+        assert_eq!(core.stats().atoms_interned, after_first);
+        core.reset_stats();
+        assert_eq!(core.stats().atoms_interned, 0);
+    }
+}

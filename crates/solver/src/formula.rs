@@ -362,18 +362,33 @@ impl Formula {
                     Formula::or(converted)
                 }
             }
+            // The expansions recurse on the subformulas directly with the
+            // appropriate polarities instead of materializing the expanded
+            // tree first — the old code cloned both subtrees per call (and
+            // `Iff` cloned them twice) only to immediately re-walk the copy.
             Formula::Implies(a, b) => {
-                // a ⇒ b  ≡  ¬a ∨ b
-                let expanded = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
-                expanded.nnf(negated)
+                if negated {
+                    // ¬(a ⇒ b)  ≡  a ∧ ¬b
+                    Formula::and(vec![a.nnf(false), b.nnf(true)])
+                } else {
+                    // a ⇒ b  ≡  ¬a ∨ b
+                    Formula::or(vec![a.nnf(true), b.nnf(false)])
+                }
             }
             Formula::Iff(a, b) => {
-                // a ⇔ b  ≡  (a ⇒ b) ∧ (b ⇒ a)
-                let expanded = Formula::And(vec![
-                    Formula::Implies(a.clone(), b.clone()),
-                    Formula::Implies(b.clone(), a.clone()),
-                ]);
-                expanded.nnf(negated)
+                if negated {
+                    // ¬(a ⇔ b)  ≡  (a ∧ ¬b) ∨ (b ∧ ¬a)
+                    Formula::or(vec![
+                        Formula::and(vec![a.nnf(false), b.nnf(true)]),
+                        Formula::and(vec![b.nnf(false), a.nnf(true)]),
+                    ])
+                } else {
+                    // a ⇔ b  ≡  (¬a ∨ b) ∧ (¬b ∨ a)
+                    Formula::and(vec![
+                        Formula::or(vec![a.nnf(true), b.nnf(false)]),
+                        Formula::or(vec![b.nnf(true), a.nnf(false)]),
+                    ])
+                }
             }
         }
     }

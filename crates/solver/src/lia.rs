@@ -125,6 +125,14 @@ impl std::error::Error for BuildError {}
 impl LiaProblem {
     /// Builds a problem from a conjunction of atoms.
     pub fn from_atoms(atoms: &[Atom]) -> Result<LiaProblem, BuildError> {
+        let refs: Vec<&Atom> = atoms.iter().collect();
+        LiaProblem::from_atom_refs(&refs)
+    }
+
+    /// [`LiaProblem::from_atoms`] over borrowed atoms, for callers (the
+    /// hash-consing solver core) whose atoms live in an arena and should not
+    /// be cloned per check.
+    pub fn from_atom_refs(atoms: &[&Atom]) -> Result<LiaProblem, BuildError> {
         let mut problem = LiaProblem::default();
         let mut original_vars = BTreeSet::new();
         for atom in atoms {
@@ -900,7 +908,13 @@ fn search(
 
 /// Decides a conjunction of atoms and produces a model when consistent.
 pub fn check_atoms(atoms: &[Atom], config: &LiaConfig) -> LiaResult {
-    let problem = match LiaProblem::from_atoms(atoms) {
+    let refs: Vec<&Atom> = atoms.iter().collect();
+    check_atom_refs(&refs, config)
+}
+
+/// [`check_atoms`] over borrowed atoms (arena-interned callers).
+pub fn check_atom_refs(atoms: &[&Atom], config: &LiaConfig) -> LiaResult {
+    let problem = match LiaProblem::from_atom_refs(atoms) {
         Ok(p) => p,
         Err(BuildError::Overflow) => return LiaResult::Unknown,
     };

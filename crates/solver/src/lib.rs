@@ -13,14 +13,26 @@
 //!
 //! * [`term`] / [`formula`] — the AST of integer terms and quantifier-free
 //!   formulas, with NNF conversion and evaluation.
+//! * [`arena`] — the hash-consing arena interning terms and atoms into ids,
+//!   with per-node variable sets and negations cached.
 //! * [`sat`] — a CDCL propositional solver (watched literals, first-UIP
-//!   learning, restarts).
-//! * [`cnf`] — Tseitin encoding of formulas into clauses over theory atoms.
+//!   learning, restarts, solving under assumptions with an optional
+//!   restricted branching set).
+//! * [`cnf`] — Tseitin encoding of formulas into clauses over theory atoms
+//!   (the scratch engine's per-check encoder).
 //! * [`lia`] — the linear-integer-arithmetic theory solver: Gaussian
 //!   elimination over equalities, interval propagation, and a
 //!   small-values-first branch-and-bound model search (which also handles the
 //!   product constraints introduced by multiplying two unknowns).
-//! * [`theory`] — the lazy SMT loop combining the SAT core with the theory.
+//! * [`theory`] — the lazy SMT loop combining the SAT core with the theory,
+//!   rebuilt from nothing per check (the *scratch* engine, kept as the
+//!   `CPCF_SOLVER_CORE=scratch` ablation and as the persistent core's
+//!   fallback oracle).
+//! * [`core`] — the *persistent* incremental core (the default engine): one
+//!   long-lived CDCL instance per solver whose Tseitin encodings, interned
+//!   atoms and theory lemmas survive across checks, with assertion frames
+//!   retracting by activation literals and per-query cone slicing
+//!   restricting each search to the dependency cone of its assumptions.
 //! * [`solver`] — the user-facing [`Solver`] with `push`/`pop`, validity
 //!   queries and the three-valued [`Proof`] relation used by symbolic
 //!   execution.
@@ -55,7 +67,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cnf;
+pub mod core;
 pub mod formula;
 pub mod lia;
 pub mod linear;
@@ -67,6 +81,8 @@ pub mod theory;
 
 pub use formula::{Atom, CmpOp, Formula};
 pub use model::Model;
-pub use solver::{Proof, Solver, SolverConfig, SolverStats, UnbalancedPop, Validity};
+pub use solver::{
+    default_core_mode, CoreMode, Proof, Solver, SolverConfig, SolverStats, UnbalancedPop, Validity,
+};
 pub use term::{Term, Var};
 pub use theory::{SmtResult, TheoryConfig};

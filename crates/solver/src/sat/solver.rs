@@ -101,6 +101,13 @@ impl SatSolver {
         self.assign.len()
     }
 
+    /// Number of clauses currently in the database (original, learned and
+    /// theory clauses alike; unit clauses are absorbed into the level-0
+    /// assignment and not counted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
     /// Allocates a fresh boolean variable.
     pub fn new_var(&mut self) -> BVar {
         let index = self.assign.len() as u32;
@@ -332,14 +339,30 @@ impl SatSolver {
         self.qhead = self.trail.len();
     }
 
-    fn pick_branch_var(&self) -> Option<BVar> {
+    fn pick_branch_var(&self, decisions: Option<&[BVar]>) -> Option<BVar> {
         let mut best: Option<(usize, f64)> = None;
-        for (var, &value) in self.assign.iter().enumerate() {
-            if value == UNASSIGNED {
-                let activity = self.activity[var];
+        let mut consider = |var: usize, assign: &[u8], activity: &[f64]| {
+            if assign[var] == UNASSIGNED {
+                let activity = activity[var];
                 match best {
                     Some((_, best_activity)) if best_activity >= activity => {}
                     _ => best = Some((var, activity)),
+                }
+            }
+        };
+        match decisions {
+            // Restricted branching: only the given variables are eligible.
+            // Propagation still assigns whatever the clauses force, but the
+            // search never explores variables the caller declared irrelevant
+            // (e.g. atoms of retracted or out-of-cone assertion frames).
+            Some(vars) => {
+                for var in vars {
+                    consider(var.index() as usize, &self.assign, &self.activity);
+                }
+            }
+            None => {
+                for var in 0..self.assign.len() {
+                    consider(var, &self.assign, &self.activity);
                 }
             }
         }
@@ -353,9 +376,29 @@ impl SatSolver {
 
     /// Decides the satisfiability of the clause set.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_under(&[], None)
+    }
+
+    /// Decides satisfiability of the clause set under `assumptions` —
+    /// literals decided (in order) before any free branching, without ever
+    /// being flipped. `Unsat` means the clauses are inconsistent *with the
+    /// assumptions*; the clause database itself is left untouched, which is
+    /// what makes the solver reusable across queries: per-query activation
+    /// literals go in here instead of being asserted as units.
+    ///
+    /// When `decisions` is `Some`, free branching is restricted to the given
+    /// variables: the search stops as soon as every one of them is assigned
+    /// and no conflict remains, and the returned model reports any variable
+    /// propagation never touched as `false`. Callers that restrict decisions
+    /// must therefore validate candidate models against whatever the
+    /// unrestricted variables encode (the lazy SMT loop does exactly that).
+    pub fn solve_under(&mut self, assumptions: &[Lit], decisions: Option<&[BVar]>) -> SatResult {
         self.stats = SatStats::default();
         if self.trivially_unsat {
             return SatResult::Unsat;
+        }
+        for lit in assumptions {
+            self.ensure_var(lit.var());
         }
         self.reset_search();
         // Assert pending unit clauses at level 0.
@@ -412,7 +455,30 @@ impl SatSolver {
                         self.backtrack_to(0);
                         continue;
                     }
-                    match self.pick_branch_var() {
+                    // Establish the assumptions, in order, before any free
+                    // branching (backtracking may have unassigned some). An
+                    // assumption already false here is implied false by the
+                    // clauses together with the earlier assumptions, so the
+                    // instance is unsatisfiable under the assumptions.
+                    let mut pending_assumption = None;
+                    for &lit in assumptions {
+                        match self.value_lit(lit) {
+                            1 => continue,
+                            0 => return SatResult::Unsat,
+                            _ => {
+                                pending_assumption = Some(lit);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(lit) = pending_assumption {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let enqueued = self.enqueue(lit, None);
+                        debug_assert!(enqueued, "assumption literal was unassigned");
+                        continue;
+                    }
+                    match self.pick_branch_var(decisions) {
                         None => {
                             let model = self
                                 .assign
@@ -540,6 +606,62 @@ mod tests {
             }
         }
         assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_restrict_without_mutating() {
+        let mut solver = SatSolver::new();
+        let v = lits(&mut solver, 2);
+        solver.add_clause(vec![v[0].positive(), v[1].positive()]);
+        // Under ¬a ∧ ¬b the clause is falsified ...
+        assert_eq!(
+            solver.solve_under(&[v[0].negative(), v[1].negative()], None),
+            SatResult::Unsat
+        );
+        // ... but nothing sticks: the instance stays satisfiable.
+        assert!(solver.solve().is_sat());
+        // Assuming ¬a forces b through the clause.
+        match solver.solve_under(&[v[0].negative()], None) {
+            SatResult::Sat(model) => {
+                assert!(!model[0]);
+                assert!(model[1]);
+            }
+            SatResult::Unsat => panic!("should be sat under ¬a"),
+        }
+    }
+
+    #[test]
+    fn assumptions_survive_conflict_driven_backtracking() {
+        // A chain forcing conflicts under the assumptions: a → b, b → c,
+        // a ∧ c → ⊥, so assuming a must come back unsat after learning.
+        let mut solver = SatSolver::new();
+        let v = lits(&mut solver, 3);
+        solver.add_clause(vec![v[0].negative(), v[1].positive()]);
+        solver.add_clause(vec![v[1].negative(), v[2].positive()]);
+        solver.add_clause(vec![v[0].negative(), v[2].negative()]);
+        assert_eq!(
+            solver.solve_under(&[v[0].positive()], None),
+            SatResult::Unsat
+        );
+        // The learned unit ¬a is a valid consequence; solving without the
+        // assumption still succeeds.
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn restricted_decisions_cover_the_requested_variables() {
+        let mut solver = SatSolver::new();
+        let v = lits(&mut solver, 4);
+        solver.add_clause(vec![v[0].positive(), v[1].positive()]);
+        // Branch only on the first two variables; the others are left to
+        // propagation (here: untouched, reported false).
+        match solver.solve_under(&[], Some(&[v[0], v[1]])) {
+            SatResult::Sat(model) => {
+                assert!(model[0] || model[1], "the clause must be satisfied");
+                assert!(!model[2] && !model[3], "unrestricted vars stay unassigned");
+            }
+            SatResult::Unsat => panic!("satisfiable instance"),
+        }
     }
 
     #[test]

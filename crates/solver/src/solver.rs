@@ -9,15 +9,53 @@
 //! Every satisfiability check is counted in [`SolverStats`], so callers can
 //! measure how much re-encoding the incremental interface saves.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use crate::core::TheoryCore;
 use crate::formula::Formula;
 use crate::term::Var;
 use crate::theory::{check_conjunction_counted, SmtResult, TheoryConfig};
 
 pub use crate::theory::SmtResult as CheckResult;
+
+/// Which satisfiability engine a [`Solver`] runs its checks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMode {
+    /// The incremental engine: one long-lived [`TheoryCore`] per solver,
+    /// with hash-consed atoms, a persistent CDCL clause database whose
+    /// frames retract by activation literals, retained theory lemmas, and
+    /// per-query cone slicing. The default.
+    Persistent,
+    /// The original engine: every check rebuilds the SAT instance and
+    /// re-runs Tseitin encoding from nothing. Kept as an ablation for
+    /// differential testing and for measuring what persistence buys.
+    Scratch,
+}
+
+/// The default solver core, taken from the `CPCF_SOLVER_CORE` environment
+/// variable: `persistent` (the default when unset) or `scratch` (the
+/// re-encode-per-check engine). An unrecognised value falls back to
+/// `persistent` with a once-per-process warning, mirroring
+/// `CPCF_PROVE_MODE`'s behaviour so a typo in a CI matrix cannot silently
+/// test the wrong engine.
+pub fn default_core_mode() -> CoreMode {
+    match std::env::var("CPCF_SOLVER_CORE").ok().as_deref() {
+        Some("scratch") => CoreMode::Scratch,
+        Some("persistent") | None => CoreMode::Persistent,
+        Some(other) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: unrecognised CPCF_SOLVER_CORE `{other}` \
+                     (expected persistent|scratch); using persistent"
+                );
+            });
+            CoreMode::Persistent
+        }
+    }
+}
 
 /// Cumulative statistics for one [`Solver`] instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +76,16 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Unit propagations performed by the CDCL core across all checks.
     pub propagations: u64,
+    /// Clauses already present in the persistent core's database at the
+    /// start of a CDCL check — work the scratch engine would redo (zero
+    /// under [`CoreMode::Scratch`] and on the atom-conjunction fast path).
+    pub clauses_reused: u64,
+    /// Distinct atoms interned into the persistent core's hash-consing
+    /// arena (zero under [`CoreMode::Scratch`]).
+    pub atoms_interned: u64,
+    /// Variables excluded from queries' searches by cone slicing (zero
+    /// under [`CoreMode::Scratch`]).
+    pub cone_vars_pruned: u64,
     /// Total wall-clock time spent inside satisfiability checks.
     pub time: Duration,
 }
@@ -52,6 +100,9 @@ impl SolverStats {
         self.assertions += other.assertions;
         self.conflicts += other.conflicts;
         self.propagations += other.propagations;
+        self.clauses_reused += other.clauses_reused;
+        self.atoms_interned += other.atoms_interned;
+        self.cone_vars_pruned += other.cone_vars_pruned;
         self.time += other.time;
     }
 }
@@ -93,10 +144,23 @@ pub enum Validity {
 }
 
 /// Configuration for [`Solver`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
     /// Theory-level configuration (iteration limits, value bounds).
     pub theory: TheoryConfig,
+    /// Which engine runs the satisfiability checks (default: the value of
+    /// the `CPCF_SOLVER_CORE` environment variable, or
+    /// [`CoreMode::Persistent`] when unset).
+    pub core: CoreMode,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            theory: TheoryConfig::default(),
+            core: default_core_mode(),
+        }
+    }
 }
 
 /// An incremental first-order solver over integer base values.
@@ -116,13 +180,22 @@ pub struct SolverConfig {
 /// let model = solver.check().model().cloned().expect("satisfiable");
 /// assert_eq!(model.value(Var::new(4)), Some(100));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
     assertions: Vec<Formula>,
     scopes: Vec<usize>,
     next_var: u32,
     config: SolverConfig,
     stats: Cell<SolverStats>,
+    /// The persistent core (interior-mutable because checks take `&self`,
+    /// like the stats cell). Unused under [`CoreMode::Scratch`].
+    core: RefCell<TheoryCore>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
 }
 
 impl Solver {
@@ -134,8 +207,12 @@ impl Solver {
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
+            assertions: Vec::new(),
+            scopes: Vec::new(),
+            next_var: 0,
             config,
-            ..Solver::default()
+            stats: Cell::new(SolverStats::default()),
+            core: RefCell::new(TheoryCore::new(config.theory)),
         }
     }
 
@@ -153,11 +230,18 @@ impl Solver {
         self.next_var = self.next_var.max(var.index() + 1);
     }
 
+    fn persistent(&self) -> bool {
+        self.config.core == CoreMode::Persistent
+    }
+
     /// Adds an assertion to the current scope.
     pub fn assert(&mut self, formula: Formula) {
         let mut stats = self.stats.get();
         stats.assertions += 1;
         self.stats.set(stats);
+        if self.persistent() {
+            self.core.get_mut().assert(&formula);
+        }
         self.assertions.push(formula);
     }
 
@@ -179,6 +263,9 @@ impl Solver {
     pub fn pop(&mut self) {
         let mark = self.scopes.pop().expect("pop without matching push");
         self.assertions.truncate(mark);
+        if self.persistent() {
+            self.core.get_mut().truncate(mark);
+        }
     }
 
     /// Pops scopes until exactly `depth` remain open, discarding the
@@ -203,8 +290,25 @@ impl Solver {
         if let Some(&mark) = self.scopes.get(depth) {
             self.scopes.truncate(depth);
             self.assertions.truncate(mark);
+            if self.persistent() {
+                self.core.get_mut().truncate(mark);
+            }
         }
         Ok(())
+    }
+
+    /// Retracts every assertion and scope while keeping everything the
+    /// persistent core has learned: interned atoms, Tseitin encodings and
+    /// theory lemmas survive, so re-asserting formulas the solver has seen
+    /// before costs a hash lookup instead of a re-encode. Under
+    /// [`CoreMode::Scratch`] this is equivalent to building a fresh solver
+    /// (statistics are kept either way).
+    pub fn clear_assertions(&mut self) {
+        self.assertions.clear();
+        self.scopes.clear();
+        if self.persistent() {
+            self.core.get_mut().clear();
+        }
     }
 
     /// How many assertion scopes are currently open.
@@ -220,16 +324,47 @@ impl Solver {
     /// Resets the statistics counters (the assertion stack is untouched).
     pub fn reset_stats(&self) {
         self.stats.set(SolverStats::default());
+        self.core.borrow_mut().reset_stats();
     }
 
-    /// Runs one counted satisfiability check over `formulas`.
-    fn run_check(&self, formulas: &[Formula]) -> SmtResult {
+    /// Runs one counted satisfiability check of the current assertions
+    /// together with `assumptions`.
+    fn run_check(&self, assumptions: &[Formula]) -> SmtResult {
         let start = Instant::now();
-        let (result, sat_stats) = check_conjunction_counted(formulas, &self.config.theory);
         let mut stats = self.stats.get();
+        let result = match self.config.core {
+            CoreMode::Scratch => {
+                let (result, sat_stats) = if assumptions.is_empty() {
+                    check_conjunction_counted(&self.assertions, &self.config.theory)
+                } else {
+                    let mut combined = self.assertions.clone();
+                    combined.extend_from_slice(assumptions);
+                    check_conjunction_counted(&combined, &self.config.theory)
+                };
+                stats.conflicts += sat_stats.conflicts;
+                stats.propagations += sat_stats.propagations;
+                result
+            }
+            CoreMode::Persistent => {
+                let mut core = self.core.borrow_mut();
+                debug_assert_eq!(
+                    core.len(),
+                    self.assertions.len(),
+                    "core assertions out of sync with the solver's"
+                );
+                let (result, sat_stats) = core.check(assumptions);
+                stats.conflicts += sat_stats.conflicts;
+                stats.propagations += sat_stats.propagations;
+                // The core's counters are cumulative since the last reset;
+                // mirror them instead of re-adding per check.
+                let core_stats = core.stats();
+                stats.clauses_reused = core_stats.clauses_reused;
+                stats.atoms_interned = core_stats.atoms_interned;
+                stats.cone_vars_pruned = core_stats.cone_vars_pruned;
+                result
+            }
+        };
         stats.checks += 1;
-        stats.conflicts += sat_stats.conflicts;
-        stats.propagations += sat_stats.propagations;
         stats.time += start.elapsed();
         match &result {
             SmtResult::Sat(_) => stats.sat += 1,
@@ -242,19 +377,14 @@ impl Solver {
 
     /// Checks satisfiability of the current assertions.
     pub fn check(&self) -> SmtResult {
-        self.run_check(&self.assertions)
+        self.run_check(&[])
     }
 
     /// Checks satisfiability of the current assertions together with the
     /// given `assumptions`, without changing the assertion stack — the
     /// `check-sat-assuming` entry point for branch-local queries.
     pub fn check_assuming(&self, assumptions: &[Formula]) -> SmtResult {
-        if assumptions.is_empty() {
-            return self.check();
-        }
-        let mut combined = self.assertions.clone();
-        combined.extend_from_slice(assumptions);
-        self.run_check(&combined)
+        self.run_check(assumptions)
     }
 
     /// Alias of [`Solver::check_assuming`], kept for callers written against

@@ -169,7 +169,7 @@ fn as_atom_conjunction(formulas: &[Formula]) -> Option<Vec<Atom>> {
     Some(atoms)
 }
 
-fn collect_atoms(formula: &Formula, out: &mut Vec<Atom>) -> Option<()> {
+pub(crate) fn collect_atoms(formula: &Formula, out: &mut Vec<Atom>) -> Option<()> {
     match formula {
         Formula::True => Some(()),
         Formula::Atom(a) => {

@@ -17,7 +17,24 @@
 //!    engine, the whole-journal rebase ablation and the
 //!    fresh-solver-per-query baseline produces bit-identical verdict
 //!    sequences, and retraction performs strictly fewer whole-heap
-//!    re-encodings than rebase over the corpus.
+//!    re-encodings than rebase over the corpus. These prove-layer
+//!    differentials pin the **scratch** solver core so all their engines
+//!    share one satisfiability oracle — the axis under test is the prove
+//!    layer's bookkeeping, not the solver core.
+//! 4. **Solver-core refinement fuzzing** — replaying the same traces
+//!    through the persistent core (hash-consed atoms, retained clauses,
+//!    cone slicing) and the scratch core must *refine* verdicts: whenever
+//!    scratch decides (`Proved`/`Refuted`), persistent returns the same
+//!    verdict, and persistent decides at least as often. Exact equality is
+//!    deliberately not asserted: both cores degrade to `Unknown` only on
+//!    budget exhaustion, and the sliced persistent pipeline legitimately
+//!    decides queries whose full-instance cube-blocking loop runs out of
+//!    iterations — decisive answers can never conflict, because `Sat` is
+//!    witness-verified against every live formula and `Unsat` follows from
+//!    sound clauses alone (the persistent core falls back to the scratch
+//!    engine on any `Unknown` of its own). A companion property checks
+//!    that clause retention respects frame pops: a constraint asserted in
+//!    a popped frame never influences later verdicts.
 
 use folic::{CmpOp, Formula, Model, SmtResult, Solver, Term, Var};
 use rand::rngs::StdRng;
@@ -150,6 +167,14 @@ mod session_equivalence {
     use cpcf::heap::{CRefinement, CSymExpr, Heap, SVal, Tag};
     use cpcf::{Loc, Number, ProveConfig, ProverSession};
 
+    /// The given prove-engine configuration pinned to the scratch solver
+    /// core, so prove-layer differentials compare engines over a single
+    /// satisfiability oracle regardless of `CPCF_SOLVER_CORE`.
+    fn on_scratch_core(mut config: ProveConfig) -> ProveConfig {
+        config.solver.core = folic::CoreMode::Scratch;
+        config
+    }
+
     /// A random atomic operand: a location or a small constant.
     fn random_operand(rng: &mut StdRng, locs: &[Loc]) -> CSymExpr {
         if rng.gen_bool(0.5) && !locs.is_empty() {
@@ -270,11 +295,12 @@ mod session_equivalence {
     fn incremental_session_matches_fresh_baseline() {
         let mut rng = StdRng::seed_from_u64(0x5E55_1011);
         for case in 0..CASES / 2 {
-            let mut incremental = ProverSession::new();
-            let mut fresh = ProverSession::with_config(ProveConfig {
+            let mut incremental =
+                ProverSession::with_config(on_scratch_core(ProveConfig::default()));
+            let mut fresh = ProverSession::with_config(on_scratch_core(ProveConfig {
                 fresh_per_query: true,
                 ..ProveConfig::default()
-            });
+            }));
             // A pool of heaps: mutations sometimes fork a branch (cloning a
             // pool member), sometimes extend one, so the incremental session
             // sees the evaluator's real access pattern — interleaved queries
@@ -418,11 +444,15 @@ mod session_equivalence {
         // spirit of the paper's QuickCheck baseline (§5.2): over seeded
         // random heap traces, all three prover engines must return exactly
         // the same verdicts. Engines are configured explicitly so the
-        // property holds regardless of the CPCF_PROVE_MODE default.
-        let engine = |fresh_per_query: bool, retraction: bool| ProveConfig {
-            fresh_per_query,
-            retraction,
-            ..ProveConfig::default()
+        // property holds regardless of the CPCF_PROVE_MODE default, and all
+        // three share the scratch solver core so the only axis varying is
+        // the prove layer's retraction bookkeeping.
+        let engine = |fresh_per_query: bool, retraction: bool| {
+            on_scratch_core(ProveConfig {
+                fresh_per_query,
+                retraction,
+                ..ProveConfig::default()
+            })
         };
         const TRACES: u64 = 200;
         let config = TraceConfig::default();
@@ -488,10 +518,12 @@ mod session_equivalence {
         // baseline — i.e. the cheaper snapshots change no answer.
         const TRACES: u64 = 200;
         let config = TraceConfig::default();
-        let engine = |fresh_per_query: bool, retraction: bool| ProveConfig {
-            fresh_per_query,
-            retraction,
-            ..ProveConfig::default()
+        let engine = |fresh_per_query: bool, retraction: bool| {
+            on_scratch_core(ProveConfig {
+                fresh_per_query,
+                retraction,
+                ..ProveConfig::default()
+            })
         };
         let mut traces_with_rebases = 0usize;
         for seed in 0..TRACES {
@@ -512,6 +544,198 @@ mod session_equivalence {
             "only {traces_with_rebases}/{TRACES} traces journalled a rebase; \
              the differential no longer covers the non-monotone path"
         );
+    }
+
+    #[test]
+    fn persistent_core_refines_scratch_over_200_seeds() {
+        use cpcf::SessionStats;
+        use folic::CoreMode;
+        use randtest::{HeapTrace, TraceConfig};
+
+        // The differential oracle for the persistent solver core: replaying
+        // seeded heap traces through two identically-configured incremental
+        // sessions that differ only in `SolverConfig::core`, the persistent
+        // core must return exactly the scratch verdict on every query the
+        // scratch core decides. (It may — and does — decide queries scratch
+        // returns Ambiguous on: cone slicing answers from the query's own
+        // component where the full-instance SMT loop exhausts its iteration
+        // budget blocking propositional cubes one by one. Decisive verdicts
+        // can never conflict, since Sat answers are witness-checked against
+        // every live formula and Unsat answers rest on sound clauses only.)
+        const TRACES: u64 = 200;
+        let config = TraceConfig::default();
+        let engine = |core: CoreMode| {
+            let mut config = ProveConfig {
+                fresh_per_query: false,
+                retraction: true,
+                ..ProveConfig::default()
+            };
+            config.solver.core = core;
+            config
+        };
+        let decided = |proof: folic::Proof| proof != folic::Proof::Ambiguous;
+        let mut persistent_decided = 0usize;
+        let mut scratch_decided = 0usize;
+        let mut persistent_total = SessionStats::default();
+        for seed in 0..TRACES {
+            let trace = HeapTrace::generate(seed, &config);
+            let mut persistent = ProverSession::with_config(engine(CoreMode::Persistent));
+            let mut scratch = ProverSession::with_config(engine(CoreMode::Scratch));
+            let persistent_verdicts = trace.replay(&mut persistent);
+            let scratch_verdicts = trace.replay(&mut scratch);
+            assert_eq!(persistent_verdicts.len(), scratch_verdicts.len());
+            for (index, (p, s)) in persistent_verdicts
+                .iter()
+                .zip(&scratch_verdicts)
+                .enumerate()
+            {
+                if decided(*s) {
+                    assert_eq!(
+                        p, s,
+                        "seed {seed} query {index}: persistent {p:?} does not refine \
+                         scratch {s:?}"
+                    );
+                }
+                persistent_decided += usize::from(decided(*p));
+                scratch_decided += usize::from(decided(*s));
+            }
+            // Model validity at Sat: the persistent core must produce a heap
+            // model whenever the scratch core does, and its models must
+            // satisfy the heap's translation.
+            let last = trace.steps.last().expect("traces are non-empty");
+            let persistent_model = persistent.heap_model(&last.heap);
+            let scratch_model = scratch.heap_model(&last.heap);
+            if scratch_model.is_some() {
+                assert!(
+                    persistent_model.is_some(),
+                    "seed {seed}: the persistent core lost a heap model"
+                );
+            }
+            if let Some(model) = &persistent_model {
+                let translation = cpcf::prove::translate_heap(&last.heap);
+                // Division/modulo witness variables are numbered differently
+                // per engine; the cross-check applies to witness-free
+                // translations.
+                if translation.next_aux() == last.heap.next_index() {
+                    assert!(
+                        model.satisfies_all(&translation.formulas),
+                        "seed {seed}: persistent model {model} violates the translation"
+                    );
+                }
+            }
+            persistent_total.merge(&persistent.stats());
+        }
+        assert!(
+            persistent_decided >= scratch_decided,
+            "the persistent core decided fewer queries ({persistent_decided}) than \
+             scratch ({scratch_decided})"
+        );
+        assert!(
+            persistent_total.solver.atoms_interned > 0,
+            "no atoms interned: {persistent_total:?}"
+        );
+        assert!(
+            persistent_total.solver.cone_vars_pruned > 0,
+            "cone slicing never pruned a variable: {persistent_total:?}"
+        );
+    }
+
+    #[test]
+    fn popped_frames_never_leak_into_later_checks() {
+        use folic::{CoreMode, Proof, Solver, SolverConfig};
+
+        let persistent = || {
+            Solver::with_config(SolverConfig {
+                core: CoreMode::Persistent,
+                ..SolverConfig::default()
+            })
+        };
+        // Deterministic leak check: a frame whose boolean structure forces
+        // the CDCL loop to learn theory lemmas is popped; everything the
+        // frame implied must revert, while the retained lemmas stay.
+        let x0 = || Term::var(Var::new(0));
+        let mut solver = persistent();
+        solver.assert(Formula::or(vec![
+            Formula::eq(x0(), Term::int(0)),
+            Formula::eq(x0(), Term::int(1)),
+        ]));
+        solver.push();
+        solver.assert(Formula::ge(x0(), Term::int(5)));
+        assert!(solver.check().is_unsat(), "x0 ∈ {{0,1}} ∧ x0 ≥ 5");
+        solver.pop();
+        let model = solver.check().model().cloned().expect("sat after the pop");
+        assert!(
+            matches!(model.value(Var::new(0)), Some(0) | Some(1)),
+            "popped bound leaked: {model}"
+        );
+        // A new frame with a different bound decides differently than the
+        // popped one would have — nothing of the old frame survives.
+        solver.push();
+        solver.assert(Formula::ge(x0(), Term::int(1)));
+        assert_eq!(
+            solver.prove(&Formula::eq(x0(), Term::int(1))),
+            Proof::Proved
+        );
+        solver.pop();
+        assert_eq!(
+            solver.prove(&Formula::eq(x0(), Term::int(1))),
+            Proof::Ambiguous,
+            "the popped x0 ≥ 1 frame still proves through retained state"
+        );
+
+        // Randomized version: interleave asserts, pushes, pops and proof
+        // queries on one persistent solver, and compare every query against
+        // a scratch solver rebuilt from just the live assertions — popped
+        // frames must never make the persistent solver answer differently
+        // on anything the scratch rebuild decides.
+        let mut rng = StdRng::seed_from_u64(0xC0DE_F8A3);
+        for case in 0..CASES {
+            let mut solver = persistent();
+            let mut live: Vec<Formula> = Vec::new();
+            let mut marks: Vec<usize> = Vec::new();
+            for step in 0..rng.gen_range(6usize..14) {
+                match rng.gen_range(0u32..8) {
+                    0..=2 => {
+                        let formula = if rng.gen_bool(0.4) {
+                            Formula::or(vec![random_atom(&mut rng), random_atom(&mut rng)])
+                        } else {
+                            random_atom(&mut rng)
+                        };
+                        solver.assert(formula.clone());
+                        live.push(formula);
+                    }
+                    3 | 4 => {
+                        solver.push();
+                        marks.push(live.len());
+                    }
+                    5 => {
+                        if let Some(mark) = marks.pop() {
+                            solver.pop();
+                            live.truncate(mark);
+                        }
+                    }
+                    _ => {
+                        let goal = random_atom(&mut rng);
+                        let answer = solver.prove(&goal);
+                        let mut scratch = Solver::with_config(SolverConfig {
+                            core: CoreMode::Scratch,
+                            ..SolverConfig::default()
+                        });
+                        for formula in &live {
+                            scratch.assert(formula.clone());
+                        }
+                        let expected = scratch.prove(&goal);
+                        if expected != Proof::Ambiguous {
+                            assert_eq!(
+                                answer, expected,
+                                "case {case} step {step}: persistent {answer:?} vs \
+                                 scratch-rebuild {expected:?} on {goal} under {live:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
