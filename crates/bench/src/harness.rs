@@ -188,6 +188,18 @@ pub struct StatsSummary {
     pub atoms_interned: u64,
     /// Variables excluded from queries' searches by per-query cone slicing.
     pub cone_vars_pruned: u64,
+    /// Clauses learnt by first-UIP conflict analysis in the CDCL core.
+    pub learnt_clauses: u64,
+    /// Learnt clauses discarded by clause-database reduction.
+    pub clauses_deleted: u64,
+    /// Luby-sequence restarts performed by the CDCL core.
+    pub restarts_luby: u64,
+    /// Theory lemmas published into the cross-worker lemma pool (zero under
+    /// `CPCF_LEMMA_SHARING=off`).
+    pub lemmas_published: u64,
+    /// Sibling theory lemmas imported from the cross-worker lemma pool
+    /// (zero under `CPCF_LEMMA_SHARING=off`).
+    pub lemmas_imported: u64,
     /// Wall-clock milliseconds spent inside the first-order solver.
     pub solver_ms: u128,
 }
@@ -214,6 +226,11 @@ impl StatsSummary {
             clauses_reused: stats.solver.clauses_reused,
             atoms_interned: stats.solver.atoms_interned,
             cone_vars_pruned: stats.solver.cone_vars_pruned,
+            learnt_clauses: stats.solver.learnt_clauses,
+            clauses_deleted: stats.solver.clauses_deleted,
+            restarts_luby: stats.solver.restarts_luby,
+            lemmas_published: stats.solver.lemmas_published,
+            lemmas_imported: stats.solver.lemmas_imported,
             solver_ms: stats.solver.time.as_millis(),
         }
     }
@@ -238,6 +255,11 @@ impl StatsSummary {
         self.clauses_reused += other.clauses_reused;
         self.atoms_interned += other.atoms_interned;
         self.cone_vars_pruned += other.cone_vars_pruned;
+        self.learnt_clauses += other.learnt_clauses;
+        self.clauses_deleted += other.clauses_deleted;
+        self.restarts_luby += other.restarts_luby;
+        self.lemmas_published += other.lemmas_published;
+        self.lemmas_imported += other.lemmas_imported;
         self.solver_ms += other.solver_ms;
     }
 }
@@ -263,6 +285,11 @@ impl Serialize for StatsSummary {
             .field("clauses_reused", &self.clauses_reused)
             .field("atoms_interned", &self.atoms_interned)
             .field("cone_vars_pruned", &self.cone_vars_pruned)
+            .field("learnt_clauses", &self.learnt_clauses)
+            .field("clauses_deleted", &self.clauses_deleted)
+            .field("restarts_luby", &self.restarts_luby)
+            .field("lemmas_published", &self.lemmas_published)
+            .field("lemmas_imported", &self.lemmas_imported)
             .field("solver_ms", &self.solver_ms)
             .finish()
     }
@@ -435,12 +462,18 @@ fn merge_worker_summaries(
 /// [`SharedVerdictCache`] with an epoch boundary between them, so the faulty
 /// run reuses every verdict the correct run computed on their (large) shared
 /// evaluation prefix — and the reuse is reported as
-/// [`ProgramResult::cross_variant_cache_hits`].
+/// [`ProgramResult::cross_variant_cache_hits`]. When lemma sharing is on
+/// (`CPCF_LEMMA_SHARING`, see [`cpcf::default_lemma_sharing`]) the variants
+/// likewise share one [`cpcf::SharedLemmaPool`]: theory lemmas derived while
+/// analysing the correct variant prune the faulty variant's searches.
 pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramResult {
     eprintln!("[table1] analysing {} ...", program.name);
     let cache = SharedVerdictCache::new();
     let mut options = options.clone();
     options.analyze.shared_cache = Some(cache.clone());
+    if options.analyze.shared_lemmas.is_none() && cpcf::default_lemma_sharing() {
+        options.analyze.shared_lemmas = Some(cpcf::SharedLemmaPool::new());
+    }
     let (correct_verdict, correct_ms, order, correct_stats, correct_workers) =
         analyze_variant(program.correct, &options);
     cache.advance_epoch();

@@ -88,7 +88,8 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
          ({} frames popped, {} assertions replayed), {} heap snapshots \
          ({} map nodes copied, {} journal bytes shared), {} solver checks \
          ({} conflicts, {} propagations, {} clauses reused, {} atoms interned, \
-         {} cone vars pruned) in {} ms",
+         {} cone vars pruned, {} clauses learnt, {} deleted, {} luby restarts, \
+         {} lemmas published, {} imported) in {} ms",
         total.queries,
         total.cache_hits,
         total.shared_cache_hits,
@@ -108,6 +109,11 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
         total.clauses_reused,
         total.atoms_interned,
         total.cone_vars_pruned,
+        total.learnt_clauses,
+        total.clauses_deleted,
+        total.restarts_luby,
+        total.lemmas_published,
+        total.lemmas_imported,
         total.solver_ms,
     )
 }
@@ -201,6 +207,11 @@ mod tests {
                 clauses_reused: 15,
                 atoms_interned: 17,
                 cone_vars_pruned: 19,
+                learnt_clauses: 21,
+                clauses_deleted: 8,
+                restarts_luby: 3,
+                lemmas_published: 5,
+                lemmas_imported: 2,
                 solver_ms: 1,
             },
             cross_variant_cache_hits: 1,

@@ -14,13 +14,18 @@ use super::context::{context_expression, instantiate};
 use super::{AnalyzeOptions, ExportAnalysis, CONTEXT_PARTY};
 
 /// A prover session configured per `options`: shared-cache-backed when the
-/// analysis carries a [`super::SharedVerdictCache`], private otherwise.
+/// analysis carries a [`super::SharedVerdictCache`], private otherwise, and
+/// attached to the run's theory-lemma pool when one is present.
 pub(super) fn new_session(options: &AnalyzeOptions) -> ProverSession {
-    match &options.shared_cache {
+    let session = match &options.shared_cache {
         Some(cache) => {
             ProverSession::with_config_and_cache(options.eval.prove.clone(), cache.clone())
         }
         None => ProverSession::with_config(options.eval.prove.clone()),
+    };
+    match &options.shared_lemmas {
+        Some(pool) => session.with_lemma_pool(pool.clone()),
+        None => session,
     }
 }
 

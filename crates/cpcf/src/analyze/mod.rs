@@ -26,6 +26,8 @@ mod scheduler;
 
 pub use context::instantiate;
 
+use folic::SharedLemmaPool;
+
 use crate::cex::Counterexample;
 use crate::eval::EvalOptions;
 use crate::prove::{SessionStats, SharedVerdictCache};
@@ -57,6 +59,12 @@ pub struct AnalyzeOptions {
     /// faulty variants of a benchmark program. `None` keeps every session's
     /// cache private.
     pub shared_cache: Option<SharedVerdictCache>,
+    /// A theory-lemma pool shared across this run's workers (and, when the
+    /// same handle spans several runs, across runs). `None` lets the
+    /// scheduler consult [`folic::default_lemma_sharing`]
+    /// (`CPCF_LEMMA_SHARING`) and create a per-run pool when sharing is on;
+    /// `Some` pins an explicit pool regardless of the environment.
+    pub shared_lemmas: Option<SharedLemmaPool>,
 }
 
 /// The worker count taken from the `ANALYZE_WORKERS` environment variable,
@@ -88,6 +96,7 @@ impl Default for AnalyzeOptions {
             context_depth: 3,
             workers: default_workers(),
             shared_cache: None,
+            shared_lemmas: None,
         }
     }
 }

@@ -39,6 +39,16 @@ pub(super) fn run_exports(
     Vec<SessionStats>,
 ) {
     let export_count = module.provides.len();
+    // Resolve lemma sharing once per module run: every worker session (and
+    // every throwaway validation session they spawn) gets a handle to the
+    // same pool, so theory lemmas derived against one export prune the
+    // searches of the others. An explicit pool in the options wins;
+    // otherwise `CPCF_LEMMA_SHARING` decides whether a per-run pool exists.
+    let mut options = options.clone();
+    if options.shared_lemmas.is_none() && folic::default_lemma_sharing() {
+        options.shared_lemmas = Some(folic::SharedLemmaPool::new());
+    }
+    let options = &options;
     // `workers: 0` means "auto" (one worker per hardware thread); whatever
     // the request resolves to is then capped by the amount of actual work.
     let worker_count = super::resolve_workers(options.workers).clamp(1, export_count.max(1));

@@ -62,6 +62,10 @@
 //!   workers and across runs (e.g. the correct/faulty variants of a
 //!   benchmark). [`ModuleReport`] carries the aggregated and per-worker
 //!   [`SessionStats`] so harnesses can report solver work per benchmark.
+//!   Alongside verdicts, workers exchange **theory lemmas** through a
+//!   [`SharedLemmaPool`] (atom ids are process-global in `folic`, so a
+//!   lemma is meaningful in every worker); `CPCF_LEMMA_SHARING=off` is the
+//!   ablation that keeps every session's lemmas private.
 //!
 //! ## Example
 //!
@@ -106,6 +110,7 @@ pub use analyze::{
 };
 pub use cex::Counterexample;
 pub use eval::{Ctx, EvalOptions, Outcome};
+pub use folic::{default_lemma_sharing, SharedLemmaPool};
 pub use heap::{CRefinement, ContractVal, Env, Heap, Loc, SVal, Tag};
 pub use numeric::Number;
 pub use parse::{parse_expr, parse_program, ParseError, Parser};

@@ -55,7 +55,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use folic::{
-    CmpOp, Formula, Model, Proof, SmtResult, Solver, SolverConfig, SolverStats, Term, Var,
+    CmpOp, Formula, Model, Proof, SharedLemmaPool, SmtResult, Solver, SolverConfig, SolverStats,
+    Term, Var,
 };
 
 use crate::heap::{CRefinement, CSymExpr, Heap, JournalEvent, Loc, SVal, Tag};
@@ -362,6 +363,9 @@ pub struct ProverSession {
     shared: Option<SharedVerdictCache>,
     /// Work counters.
     stats: SessionStats,
+    /// Optional cross-worker theory-lemma pool, handed to every solver this
+    /// session creates (the live solver and fresh-mode solvers alike).
+    lemma_pool: Option<SharedLemmaPool>,
     /// Statistics of solvers that have been retired (fresh-mode solvers and
     /// live solvers discarded by a full re-encode).
     retired_solver_stats: SolverStats,
@@ -391,6 +395,7 @@ impl ProverSession {
             cache: HashMap::new(),
             shared: None,
             stats: SessionStats::default(),
+            lemma_pool: None,
             retired_solver_stats: SolverStats::default(),
             aux_next: SESSION_AUX_BASE,
         }
@@ -409,6 +414,24 @@ impl ProverSession {
     /// The shared cache backing this session, if any.
     pub fn shared_cache(&self) -> Option<&SharedVerdictCache> {
         self.shared.as_ref()
+    }
+
+    /// Connects this session to a cross-worker theory-lemma pool
+    /// ([`folic::SharedLemmaPool`]): the live solver — and every fresh
+    /// solver the session later builds — publishes the theory lemmas it
+    /// derives and imports the siblings' at check boundaries. Lemmas are
+    /// universally valid facts over globally-interned atoms, so sharing
+    /// them never changes which verdicts are sound, only how fast the
+    /// searches converge.
+    pub fn set_lemma_pool(&mut self, pool: SharedLemmaPool) {
+        self.solver.set_lemma_pool(pool.clone());
+        self.lemma_pool = Some(pool);
+    }
+
+    /// Builder form of [`ProverSession::set_lemma_pool`].
+    pub fn with_lemma_pool(mut self, pool: SharedLemmaPool) -> Self {
+        self.set_lemma_pool(pool);
+        self
     }
 
     /// The session's configuration.
@@ -563,6 +586,9 @@ impl ProverSession {
 
     fn fresh_solver(&self, translation: &Translation) -> Solver {
         let mut solver = Solver::with_config(self.config.solver);
+        if let Some(pool) = &self.lemma_pool {
+            solver.set_lemma_pool(pool.clone());
+        }
         for formula in &translation.formulas {
             solver.assert(formula.clone());
         }

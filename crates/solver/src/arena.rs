@@ -14,16 +14,32 @@
 //!   theory-literal collection of the lazy SMT loop work on `u32` ids
 //!   instead of cloning trees.
 //!
-//! Ids are indices into append-only vectors: interning never invalidates an
-//! id, which is what lets the persistent core keep atom ids alive across
-//! queries, `push`/`pop` retractions and whole-session rebases.
+//! ## Process-global atom ids
+//!
+//! Term ids are arena-local, but **atom ids are process-global**: the first
+//! time any arena interns a structurally new atom, the atom is registered in
+//! a process-wide table and assigned the next global id, and every later
+//! interning of that atom — by this arena or by an arena on another worker
+//! thread — returns the same [`AtomId`]. This is what makes theory lemmas
+//! (sets of atom ids refuted by the theory, see [`crate::lemmas`])
+//! meaningful across workers: a lemma published by one solver core can be
+//! imported verbatim by a sibling, because the ids name the same atoms.
+//!
+//! Each arena still keeps its own per-atom caches (the materialized atom,
+//! its sorted variable set, its cached negation), keyed by the global id;
+//! the global registry is only consulted on a local miss, so the hot path —
+//! re-interning an atom the arena has seen — stays a single local hash
+//! lookup over two term ids and an operator, exactly as before. Interned
+//! state is append-only on both levels: an id, once returned, is valid for
+//! the life of the process.
 
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use crate::formula::{Atom, CmpOp};
 use crate::term::{Term, Var};
 
-/// The id of an interned term.
+/// The id of an interned term (arena-local).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TermId(u32);
 
@@ -34,14 +50,46 @@ impl TermId {
     }
 }
 
-/// The id of an interned atom.
+/// The id of an interned atom. Atom ids are **process-global**: two arenas
+/// (on any threads) interning structurally equal atoms get the same id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AtomId(u32);
 
 impl AtomId {
-    /// The dense index of the atom.
+    /// The global index of the atom.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// The process-global atom registry: structural atom ↔ global id, both ways
+/// (the reverse direction lets an arena *adopt* an atom it has only ever
+/// seen as a sibling's id — see [`Arena::adopt`]).
+#[derive(Debug, Default)]
+struct GlobalRegistry {
+    ids: HashMap<Atom, u32>,
+    atoms: Vec<Atom>,
+}
+
+static GLOBAL_ATOMS: OnceLock<Mutex<GlobalRegistry>> = OnceLock::new();
+
+fn global_registry() -> &'static Mutex<GlobalRegistry> {
+    GLOBAL_ATOMS.get_or_init(|| Mutex::new(GlobalRegistry::default()))
+}
+
+/// The global id of `atom`, registering it on first sight (by any arena).
+fn global_atom_id(atom: &Atom) -> AtomId {
+    let mut registry = global_registry()
+        .lock()
+        .expect("global atom registry poisoned");
+    let next = registry.atoms.len() as u32;
+    match registry.ids.entry(atom.clone()) {
+        std::collections::hash_map::Entry::Occupied(entry) => AtomId(*entry.get()),
+        std::collections::hash_map::Entry::Vacant(entry) => {
+            entry.insert(next);
+            registry.atoms.push(atom.clone());
+            AtomId(next)
+        }
     }
 }
 
@@ -65,20 +113,28 @@ struct AtomNode {
     rhs: TermId,
 }
 
+/// This arena's cached knowledge about one (globally-identified) atom.
+#[derive(Debug)]
+struct AtomData {
+    node: AtomNode,
+    /// The materialized atom, for handing `&Atom` to the theory.
+    atom: Atom,
+    /// Sorted distinct free variables.
+    vars: Vec<Var>,
+    /// Cached complement (`¬a`), filled lazily.
+    negation: Option<AtomId>,
+}
+
 /// The hash-consing arena.
 #[derive(Debug, Default)]
 pub struct Arena {
     term_ids: HashMap<TermNode, TermId>,
     /// Sorted distinct free variables per term id.
     term_vars: Vec<Vec<Var>>,
+    /// Local fast path: structural node → global id, no registry lock.
     atom_ids: HashMap<AtomNode, AtomId>,
-    atom_nodes: Vec<AtomNode>,
-    /// The materialized atom per id, for handing `&Atom` to the theory.
-    atoms: Vec<Atom>,
-    /// Sorted distinct free variables per atom id.
-    atom_vars: Vec<Vec<Var>>,
-    /// Cached complement per atom id (`negations[a] = ¬a`), filled lazily.
-    negations: Vec<Option<AtomId>>,
+    /// Per-atom caches, keyed by the global id.
+    atom_data: HashMap<AtomId, AtomData>,
 }
 
 impl Arena {
@@ -87,14 +143,46 @@ impl Arena {
         Arena::default()
     }
 
-    /// Number of distinct atoms interned so far.
+    /// Number of distinct atoms *this arena* has interned so far (other
+    /// arenas' registrations in the global table are not counted).
     pub fn atom_count(&self) -> usize {
-        self.atoms.len()
+        self.atom_data.len()
     }
 
     /// Number of distinct terms interned so far.
     pub fn term_count(&self) -> usize {
         self.term_vars.len()
+    }
+
+    /// True when this arena has local knowledge of the atom behind `id`
+    /// (its tree, variable set and negation caches). An id minted by a
+    /// sibling arena is unknown here until this arena interns the same atom.
+    pub fn has_atom(&self, id: AtomId) -> bool {
+        self.atom_data.contains_key(&id)
+    }
+
+    /// Interns the atom behind a global id this arena has never seen
+    /// locally — the entry point for consuming another worker's atom ids
+    /// (e.g. an imported theory lemma). Returns `false` only when the id
+    /// was never minted by any arena in this process.
+    pub fn adopt(&mut self, id: AtomId) -> bool {
+        if self.atom_data.contains_key(&id) {
+            return true;
+        }
+        let atom = {
+            let registry = global_registry()
+                .lock()
+                .expect("global atom registry poisoned");
+            registry.atoms.get(id.index()).cloned()
+        };
+        match atom {
+            Some(atom) => {
+                let adopted = self.intern_atom(&atom);
+                debug_assert_eq!(adopted, id, "global ids are stable");
+                true
+            }
+            None => false,
+        }
     }
 
     fn intern_node(&mut self, node: TermNode) -> TermId {
@@ -131,9 +219,10 @@ impl Arena {
         self.intern_node(node)
     }
 
-    /// Interns an atom, returning its id. The first interning materializes
-    /// the atom's variable set; later occurrences are a hash lookup over two
-    /// term ids and an operator.
+    /// Interns an atom, returning its (process-global) id. The first local
+    /// interning materializes the atom's variable set and consults the
+    /// global registry; later occurrences are a hash lookup over two term
+    /// ids and an operator.
     pub fn intern_atom(&mut self, atom: &Atom) -> AtomId {
         let node = AtomNode {
             lhs: self.intern_term(&atom.lhs),
@@ -145,32 +234,49 @@ impl Arena {
         }
         let mut vars = self.term_vars[node.lhs.index()].clone();
         merge_sorted(&mut vars, &self.term_vars[node.rhs.index()]);
-        let id = AtomId(self.atoms.len() as u32);
+        let id = global_atom_id(atom);
         self.atom_ids.insert(node, id);
-        self.atom_nodes.push(node);
-        self.atoms.push(atom.clone());
-        self.atom_vars.push(vars);
-        self.negations.push(None);
+        self.atom_data.insert(
+            id,
+            AtomData {
+                node,
+                atom: atom.clone(),
+                vars,
+                negation: None,
+            },
+        );
         id
     }
 
     /// The interned atom behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when this arena has never interned the atom (see
+    /// [`Arena::has_atom`]).
     pub fn atom(&self, id: AtomId) -> &Atom {
-        &self.atoms[id.index()]
+        &self.data(id).atom
     }
 
     /// The sorted distinct free variables of an atom.
     pub fn atom_free_vars(&self, id: AtomId) -> &[Var] {
-        &self.atom_vars[id.index()]
+        &self.data(id).vars
+    }
+
+    fn data(&self, id: AtomId) -> &AtomData {
+        self.atom_data
+            .get(&id)
+            .expect("atom id not interned by this arena")
     }
 
     /// The id of the complementary atom (`negate(a ≤ b) = a > b`), interned
     /// on first request and cached both ways.
     pub fn negate(&mut self, id: AtomId) -> AtomId {
-        if let Some(neg) = self.negations[id.index()] {
+        let data = self.data(id);
+        if let Some(neg) = data.negation {
             return neg;
         }
-        let node = self.atom_nodes[id.index()];
+        let node = data.node;
         let negated_node = AtomNode {
             lhs: node.lhs,
             op: node.op.negate(),
@@ -179,19 +285,24 @@ impl Arena {
         let neg = match self.atom_ids.get(&negated_node) {
             Some(&existing) => existing,
             None => {
-                let atom = self.atoms[id.index()].negate();
-                let vars = self.atom_vars[id.index()].clone();
-                let neg = AtomId(self.atoms.len() as u32);
+                let atom = data.atom.negate();
+                let vars = data.vars.clone();
+                let neg = global_atom_id(&atom);
                 self.atom_ids.insert(negated_node, neg);
-                self.atom_nodes.push(negated_node);
-                self.atoms.push(atom);
-                self.atom_vars.push(vars);
-                self.negations.push(Some(id));
+                self.atom_data.insert(
+                    neg,
+                    AtomData {
+                        node: negated_node,
+                        atom,
+                        vars,
+                        negation: Some(id),
+                    },
+                );
                 neg
             }
         };
-        self.negations[id.index()] = Some(neg);
-        self.negations[neg.index()] = Some(id);
+        self.atom_data.get_mut(&id).expect("present").negation = Some(neg);
+        self.atom_data.get_mut(&neg).expect("present").negation = Some(id);
         neg
     }
 }
@@ -268,6 +379,7 @@ mod tests {
         assert_eq!(arena.atom_count(), 1);
         assert_eq!(arena.atom_free_vars(id), &[Var::new(0), Var::new(2)]);
         assert_eq!(arena.atom(id), &atom);
+        assert!(arena.has_atom(id));
     }
 
     #[test]
@@ -293,5 +405,47 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(b, c);
+    }
+
+    #[test]
+    fn atom_ids_are_stable_across_arenas_and_threads() {
+        let atom = Atom::new(Term::add(x(40), x(41)), CmpOp::Ge, Term::int(-17));
+        let mut here = Arena::new();
+        let local = here.intern_atom(&atom);
+        let sibling = {
+            let atom = atom.clone();
+            std::thread::spawn(move || {
+                let mut there = Arena::new();
+                there.intern_atom(&atom)
+            })
+            .join()
+            .expect("sibling arena thread")
+        };
+        assert_eq!(local, sibling, "global interning gives stable ids");
+        // A fresh arena has no local knowledge of a globally-known atom
+        // until it interns the atom itself.
+        let fresh = Arena::new();
+        assert!(!fresh.has_atom(local));
+    }
+
+    #[test]
+    fn adopt_materializes_a_siblings_atom() {
+        let atom = Atom::new(Term::mul(x(50), x(51)), CmpOp::Lt, Term::int(99));
+        let id = {
+            // The minting arena is dropped; only the global id survives.
+            let mut minter = Arena::new();
+            minter.intern_atom(&atom)
+        };
+        let mut arena = Arena::new();
+        assert!(!arena.has_atom(id));
+        assert!(arena.adopt(id), "the registry remembers the atom");
+        assert!(arena.has_atom(id));
+        assert_eq!(arena.atom(id), &atom);
+        assert_eq!(
+            arena.atom_free_vars(id),
+            &[Var::new(50), Var::new(51)],
+            "adoption computes the variable set like a local intern"
+        );
+        assert!(!arena.adopt(AtomId(u32::MAX)), "an unminted id is refused");
     }
 }

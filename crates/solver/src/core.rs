@@ -27,6 +27,13 @@
 //!   with their verdicts memoized across queries — only when a model must
 //!   be produced, and a query about one heap location never pays for the
 //!   propositional search of unrelated locations' constraints.
+//! * **Cross-worker lemma sharing** ([`crate::lemmas`]): because atom ids
+//!   are process-global, a theory lemma is meaningful outside the core that
+//!   derived it. A core attached to a [`SharedLemmaPool`] publishes every
+//!   theory-refuted polarity set and imports siblings' lemmas at CDCL check
+//!   boundaries, so workers analysing related queries (the two variants of
+//!   one program, an export and its validation run) split the cost of the
+//!   theory conflicts they would otherwise each re-derive.
 //!
 //! The core is deliberately conservative about its own incompleteness:
 //! whenever the sliced/persistent pipeline cannot decide a check
@@ -43,6 +50,7 @@ use std::rc::Rc;
 use crate::arena::{Arena, AtomId};
 use crate::cnf::{encode_and_gate, encode_or_gate};
 use crate::formula::Formula;
+use crate::lemmas::{SharedLemma, SharedLemmaPool};
 use crate::lia::{check_atom_refs, LiaResult};
 use crate::model::Model;
 use crate::sat::{BVar, Lit, SatResult as PropResult, SatSolver, SatStats};
@@ -70,6 +78,12 @@ pub struct CoreStats {
     /// Checks the persistent pipeline handed to the scratch engine because
     /// it could not decide them itself.
     pub scratch_fallbacks: u64,
+    /// Theory lemmas this core published into the shared pool that the pool
+    /// had not seen before.
+    pub lemmas_published: u64,
+    /// Sibling lemmas imported from the shared pool as clauses of this
+    /// core's persistent SAT instance.
+    pub lemmas_imported: u64,
 }
 
 /// Everything the core ever needs to know about one distinct formula,
@@ -120,15 +134,32 @@ pub struct TheoryCore {
     clauses_reused: u64,
     cone_vars_pruned: u64,
     scratch_fallbacks: u64,
+    /// The cross-worker lemma exchange, when the session opted in.
+    lemma_pool: Option<SharedLemmaPool>,
+    /// Position in the pool's publication order up to which this core has
+    /// already fetched.
+    lemma_cursor: usize,
+    /// Fetched lemmas whose atoms have no SAT variables here yet; retried
+    /// at every import until they become expressible.
+    deferred_lemmas: Vec<SharedLemma>,
+    /// Lemmas this core already holds as clauses (own derivations and
+    /// completed imports), so a round trip through the pool is not re-added.
+    known_lemmas: HashSet<SharedLemma>,
+    lemmas_published: u64,
+    lemmas_imported: u64,
 }
 
 impl TheoryCore {
     /// Creates an empty core.
     pub fn new(config: TheoryConfig) -> Self {
+        let mut sat = SatSolver::new();
+        if let Some(limit) = config.sat_reduce_limit {
+            sat.set_reduce_limit(limit);
+        }
         TheoryCore {
             config,
             arena: Arena::new(),
-            sat: SatSolver::new(),
+            sat,
             atom_lit: HashMap::new(),
             analyzed: HashMap::new(),
             next_formula_id: 0,
@@ -138,7 +169,23 @@ impl TheoryCore {
             clauses_reused: 0,
             cone_vars_pruned: 0,
             scratch_fallbacks: 0,
+            lemma_pool: None,
+            lemma_cursor: 0,
+            deferred_lemmas: Vec::new(),
+            known_lemmas: HashSet::new(),
+            lemmas_published: 0,
+            lemmas_imported: 0,
         }
+    }
+
+    /// Connects this core to a cross-worker lemma pool: theory lemmas it
+    /// derives are published, and sibling lemmas are imported at CDCL check
+    /// boundaries. Soundness never depends on the pool — every lemma is a
+    /// universally valid clause over globally-interned atoms.
+    pub fn set_lemma_pool(&mut self, pool: SharedLemmaPool) {
+        self.lemma_pool = Some(pool);
+        self.lemma_cursor = 0;
+        self.deferred_lemmas.clear();
     }
 
     /// The core's cumulative counters.
@@ -148,6 +195,8 @@ impl TheoryCore {
             clauses_reused: self.clauses_reused,
             cone_vars_pruned: self.cone_vars_pruned,
             scratch_fallbacks: self.scratch_fallbacks,
+            lemmas_published: self.lemmas_published,
+            lemmas_imported: self.lemmas_imported,
         }
     }
 
@@ -157,6 +206,8 @@ impl TheoryCore {
         self.clauses_reused = 0;
         self.cone_vars_pruned = 0;
         self.scratch_fallbacks = 0;
+        self.lemmas_published = 0;
+        self.lemmas_imported = 0;
     }
 
     /// Number of live assertions (must mirror the owning solver's).
@@ -373,9 +424,12 @@ impl TheoryCore {
                         .copied()
                 })
                 .collect();
-            let refs: Vec<&crate::formula::Atom> =
-                ids.iter().map(|&id| self.arena.atom(id)).collect();
-            return match check_atom_refs(&refs, &self.config.lia) {
+            let verdict = {
+                let refs: Vec<&crate::formula::Atom> =
+                    ids.iter().map(|&id| self.arena.atom(id)).collect();
+                check_atom_refs(&refs, &self.config.lia)
+            };
+            return match verdict {
                 LiaResult::Sat(values) => {
                     let mut model = Model::new();
                     for (var, value) in values {
@@ -383,7 +437,13 @@ impl TheoryCore {
                     }
                     self.finish_model(model, active, assumed)
                 }
-                LiaResult::Unsat => SmtResult::Unsat,
+                LiaResult::Unsat => {
+                    // The whole conjunction is a theory lemma: siblings
+                    // re-deriving this exact refutation (the other variant
+                    // of the same program, a validation run) skip it.
+                    self.publish_lemma(&ids);
+                    SmtResult::Unsat
+                }
                 LiaResult::Unknown => SmtResult::Unknown,
             };
         }
@@ -445,6 +505,11 @@ impl TheoryCore {
             }
         }
 
+        // With this check's atoms now holding SAT variables, sibling lemmas
+        // over those atoms become expressible — import them before the
+        // search so they prune it.
+        self.import_lemmas();
+
         let mut soft_guard: Option<BVar> = None;
         let mut saw_unknown = false;
         for _iteration in 0..self.config.max_iterations {
@@ -503,8 +568,10 @@ impl TheoryCore {
                             }
                             // A theory lemma: this combination of atom
                             // polarities is inconsistent under any
-                            // assignment, in any frame — retain it.
+                            // assignment, in any frame — retain it, and
+                            // offer it to sibling workers.
                             self.sat.add_clause(blocking);
+                            self.publish_lemma(&chosen);
                         }
                         LiaResult::Unknown => {
                             saw_unknown = true;
@@ -540,6 +607,78 @@ impl TheoryCore {
         };
         blocking.push(guard.negative());
         self.sat.add_clause(blocking);
+    }
+
+    /// Publishes one theory lemma — a conjunction of polarity-folded atom
+    /// ids the theory refuted — into the shared pool, when one is attached.
+    fn publish_lemma(&mut self, atoms: &[AtomId]) {
+        let Some(pool) = &self.lemma_pool else {
+            return;
+        };
+        let mut sorted: Vec<AtomId> = atoms.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.is_empty() {
+            return;
+        }
+        let lemma: SharedLemma = sorted.into();
+        if pool.publish(&lemma) {
+            self.lemmas_published += 1;
+        }
+        // Either way this core now holds the lemma locally; a pool round
+        // trip must not re-import it.
+        self.known_lemmas.insert(lemma);
+    }
+
+    /// Imports sibling lemmas published since the last import, turning each
+    /// into a clause of the persistent instance. A lemma whose atoms cannot
+    /// all be expressed as local SAT literals yet is deferred and retried.
+    fn import_lemmas(&mut self) {
+        let Some(pool) = self.lemma_pool.clone() else {
+            return;
+        };
+        let (fresh, cursor) = pool.fetch_from(self.lemma_cursor);
+        self.lemma_cursor = cursor;
+        let mut pending = std::mem::take(&mut self.deferred_lemmas);
+        pending.extend(fresh);
+        for lemma in pending {
+            if self.known_lemmas.contains(&lemma) {
+                continue;
+            }
+            match self.lemma_clause(&lemma) {
+                Some(clause) => {
+                    self.sat.add_clause(clause);
+                    self.lemmas_imported += 1;
+                    self.known_lemmas.insert(lemma);
+                }
+                None => self.deferred_lemmas.push(lemma),
+            }
+        }
+    }
+
+    /// The clause `¬c₁ ∨ … ∨ ¬cₙ` of a lemma over polarity-folded atoms
+    /// `cᵢ`, expressed in this core's SAT variables: an atom asserted
+    /// positively by some encoding maps to its variable's negative literal,
+    /// an atom only present here as its complement maps to the complement's
+    /// positive literal. `None` when some atom has no SAT variable in
+    /// either polarity yet (the lemma stays deferred — allocating fresh,
+    /// unencoded variables for it would add a clause the restricted
+    /// branching set never resolves).
+    fn lemma_clause(&mut self, lemma: &[AtomId]) -> Option<Vec<Lit>> {
+        let mut clause = Vec::with_capacity(lemma.len());
+        for &chosen in lemma {
+            if let Some(&bvar) = self.atom_lit.get(&chosen) {
+                clause.push(bvar.negative());
+                continue;
+            }
+            if !self.arena.adopt(chosen) {
+                return None;
+            }
+            let complement = self.arena.negate(chosen);
+            let &bvar = self.atom_lit.get(&complement)?;
+            clause.push(bvar.positive());
+        }
+        Some(clause)
     }
 
     /// The formula's activation literal, Tseitin-encoding the formula into
@@ -808,6 +947,55 @@ mod tests {
         let (result, _) = core.check(&[]);
         let model = result.model().expect("x0 ∈ {0, 1} is satisfiable");
         assert!(matches!(model.value(Var::new(0)), Some(0) | Some(1)));
+    }
+
+    #[test]
+    fn lemmas_flow_between_cores_through_the_pool() {
+        let pool = SharedLemmaPool::new();
+        let disjunction = Formula::or(vec![
+            Formula::eq(x(0), Term::int(0)),
+            Formula::eq(x(0), Term::int(1)),
+        ]);
+        let bound = Formula::ge(x(0), Term::int(5));
+
+        let mut publisher = core();
+        publisher.set_lemma_pool(pool.clone());
+        publisher.assert(&disjunction);
+        publisher.assert(&bound);
+        let (result, _) = publisher.check(&[]);
+        assert!(result.is_unsat());
+        assert!(publisher.stats().lemmas_published >= 1);
+        assert!(!pool.is_empty());
+
+        // A second core facing the same contradiction imports the lemmas
+        // before its search instead of re-deriving them conflict by
+        // conflict — and its own re-derivations do not re-publish.
+        let mut importer = core();
+        importer.set_lemma_pool(pool.clone());
+        importer.assert(&disjunction);
+        importer.assert(&bound);
+        let (result, _) = importer.check(&[]);
+        assert!(result.is_unsat());
+        assert!(
+            importer.stats().lemmas_imported >= 1,
+            "sibling lemmas import once the atoms are encoded: {:?}",
+            importer.stats()
+        );
+        assert_eq!(importer.stats().lemmas_published, 0);
+    }
+
+    #[test]
+    fn a_detached_core_neither_publishes_nor_imports() {
+        let mut core = core();
+        core.assert(&Formula::or(vec![
+            Formula::eq(x(0), Term::int(0)),
+            Formula::eq(x(0), Term::int(1)),
+        ]));
+        core.assert(&Formula::ge(x(0), Term::int(5)));
+        let (result, _) = core.check(&[]);
+        assert!(result.is_unsat());
+        assert_eq!(core.stats().lemmas_published, 0);
+        assert_eq!(core.stats().lemmas_imported, 0);
     }
 
     #[test]

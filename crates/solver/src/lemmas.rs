@@ -1,0 +1,181 @@
+//! Cross-worker theory-lemma sharing.
+//!
+//! A theory lemma is a set of (polarity-folded) atoms whose conjunction the
+//! LIA theory refuted: `¬(a₁ ∧ … ∧ aₙ)` holds under *every* assignment, in
+//! every frame, in every solver — the atoms are pure arithmetic facts with
+//! no dependence on which worker, program variant or check derived them.
+//! Because [`crate::arena`] interns atoms through a process-global registry,
+//! an [`AtomId`] names the same atom in every worker, so a lemma can be
+//! published as a plain sorted id set and imported by any sibling core that
+//! knows (or later learns) those atoms.
+//!
+//! [`SharedLemmaPool`] is the exchange point: an append-only, deduplicated
+//! pool of lemmas behind a mutex, shared across workers the way
+//! `cpcf`'s `SharedVerdictCache` shares verdicts. Publishing is
+//! one lock + one hash; importing is a cursor read, so a core that imports
+//! at every check boundary only ever pays for lemmas it has not yet seen.
+//!
+//! Sharing is gated by the `CPCF_LEMMA_SHARING` environment variable
+//! ([`default_lemma_sharing`]): `on` (the default) or `off` (the ablation
+//! leg that measures what sharing buys).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use crate::arena::AtomId;
+
+/// One shared lemma: a sorted, distinct set of polarity-folded atom ids
+/// whose conjunction is theory-inconsistent.
+pub type SharedLemma = Arc<[AtomId]>;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Append-only publication order, so per-core cursors stay valid.
+    lemmas: Vec<SharedLemma>,
+    /// Content dedup: the same atom set is only ever published once.
+    seen: HashSet<SharedLemma>,
+}
+
+/// A pool of theory lemmas shared across solver cores (and threads).
+///
+/// Clones share the same underlying pool, mirroring the handle semantics of
+/// `SharedVerdictCache`: the analysis driver creates one pool per run (or
+/// the bench harness one per program, spanning both variants) and hands a
+/// clone to every session.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLemmaPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl SharedLemmaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        SharedLemmaPool::default()
+    }
+
+    /// Publishes a lemma: `atoms` is a conjunction of polarity-folded atom
+    /// ids the theory refuted. The set is sorted and deduplicated before
+    /// insertion; returns `true` when the pool did not already hold it.
+    pub fn publish(&self, atoms: &[AtomId]) -> bool {
+        if atoms.is_empty() {
+            return false;
+        }
+        let mut sorted: Vec<AtomId> = atoms.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let lemma: SharedLemma = sorted.into();
+        let mut inner = self.inner.lock().expect("lemma pool poisoned");
+        if inner.seen.insert(Arc::clone(&lemma)) {
+            inner.lemmas.push(lemma);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The lemmas published at or after position `cursor`, together with the
+    /// new cursor (the pool length). A core that keeps its cursor and calls
+    /// this at every check boundary sees each lemma exactly once.
+    pub fn fetch_from(&self, cursor: usize) -> (Vec<SharedLemma>, usize) {
+        let inner = self.inner.lock().expect("lemma pool poisoned");
+        let fresh = inner.lemmas.get(cursor..).unwrap_or(&[]).to_vec();
+        (fresh, inner.lemmas.len())
+    }
+
+    /// Number of distinct lemmas published so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("lemma pool poisoned").lemmas.len()
+    }
+
+    /// True when no lemma has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Whether lemma sharing is enabled by default, from the
+/// `CPCF_LEMMA_SHARING` environment variable: `on` (the default when unset)
+/// or `off` (the ablation). An unrecognised value falls back to `on` with a
+/// once-per-process warning, mirroring `CPCF_SOLVER_CORE`'s behaviour so a
+/// typo in a CI matrix cannot silently test the wrong configuration.
+pub fn default_lemma_sharing() -> bool {
+    match std::env::var("CPCF_LEMMA_SHARING").ok().as_deref() {
+        Some("off") => false,
+        Some("on") | None => true,
+        Some(other) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: unrecognised CPCF_LEMMA_SHARING `{other}` \
+                     (expected on|off); using on"
+                );
+            });
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::Arena;
+    use crate::formula::{Atom, CmpOp};
+    use crate::term::{Term, Var};
+
+    fn atom_id(arena: &mut Arena, i: u32, n: i64) -> AtomId {
+        arena.intern_atom(&Atom::new(Term::var(Var::new(i)), CmpOp::Eq, Term::int(n)))
+    }
+
+    #[test]
+    fn publish_dedups_and_sorts() {
+        let mut arena = Arena::new();
+        let a = atom_id(&mut arena, 0, 1);
+        let b = atom_id(&mut arena, 1, 2);
+        let pool = SharedLemmaPool::new();
+        assert!(pool.publish(&[b, a, b]));
+        // The same set in any order and multiplicity is one lemma.
+        assert!(!pool.publish(&[a, b]));
+        assert_eq!(pool.len(), 1);
+        let (lemmas, cursor) = pool.fetch_from(0);
+        assert_eq!(cursor, 1);
+        let mut expected = vec![a, b];
+        expected.sort_unstable();
+        assert_eq!(lemmas[0].as_ref(), expected.as_slice());
+    }
+
+    #[test]
+    fn cursors_see_each_lemma_once() {
+        let mut arena = Arena::new();
+        let a = atom_id(&mut arena, 0, 1);
+        let b = atom_id(&mut arena, 1, 2);
+        let pool = SharedLemmaPool::new();
+        pool.publish(&[a]);
+        let (first, cursor) = pool.fetch_from(0);
+        assert_eq!(first.len(), 1);
+        let (none, cursor) = pool.fetch_from(cursor);
+        assert!(none.is_empty());
+        pool.publish(&[a, b]);
+        let (second, cursor) = pool.fetch_from(cursor);
+        assert_eq!(second.len(), 1);
+        assert_eq!(cursor, 2);
+    }
+
+    #[test]
+    fn empty_lemmas_are_rejected() {
+        let pool = SharedLemmaPool::new();
+        assert!(!pool.publish(&[]));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn pool_handles_share_state_and_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedLemmaPool>();
+        let mut arena = Arena::new();
+        let a = atom_id(&mut arena, 0, 1);
+        let pool = SharedLemmaPool::new();
+        let clone = pool.clone();
+        pool.publish(&[a]);
+        assert_eq!(clone.len(), 1, "clones see the same pool");
+    }
+}

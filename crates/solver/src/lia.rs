@@ -326,16 +326,41 @@ fn presolve(problem: &LiaProblem) -> Option<Presolved> {
         let Some((index, var, definition)) = candidate else {
             break;
         };
-        // Substitute on a copy so arithmetic overflow can abort cleanly.
-        let mut next = problem.clone();
-        next.linear.swap_remove(index);
-        if substitute(&mut next, var, &definition).is_none() {
+        // Two-pass substitution: compute every affected expression first so
+        // arithmetic overflow aborts cleanly without cloning the problem.
+        let Some(()) = (|| {
+            let mut new_linear: Vec<(usize, LinExpr)> = Vec::new();
+            for (i, c) in problem.linear.iter().enumerate() {
+                if i != index && c.expr.coeff(var) != 0 {
+                    new_linear.push((i, substitute_expr(&c.expr, var, &definition)?));
+                }
+            }
+            let mut new_products: Vec<(usize, LinExpr, LinExpr)> = Vec::new();
+            for (i, p) in problem.products.iter().enumerate() {
+                if p.left.coeff(var) != 0 || p.right.coeff(var) != 0 {
+                    new_products.push((
+                        i,
+                        substitute_expr(&p.left, var, &definition)?,
+                        substitute_expr(&p.right, var, &definition)?,
+                    ));
+                }
+            }
+            for (i, expr) in new_linear {
+                problem.linear[i].expr = expr;
+            }
+            for (i, left, right) in new_products {
+                problem.products[i].left = left;
+                problem.products[i].right = right;
+            }
+            Some(())
+        })() else {
             break;
-        }
-        next.vars.remove(&var);
+        };
+        problem.linear.swap_remove(index);
+        problem.vars.remove(&var);
         // Drop constraints that became trivially true; contradictions are
         // kept and detected at the top of the next iteration.
-        next.linear.retain(|c| match c.expr.as_constant() {
+        problem.linear.retain(|c| match c.expr.as_constant() {
             Some(value) => match c.op {
                 ConstraintOp::Eq => value != 0,
                 ConstraintOp::Le => value > 0,
@@ -343,26 +368,12 @@ fn presolve(problem: &LiaProblem) -> Option<Presolved> {
             },
             None => true,
         });
-        problem = next;
         eliminated.push((var, definition));
     }
     Some(Presolved {
         problem,
         eliminated,
     })
-}
-
-/// Substitutes `var := definition` through every constraint. Returns `None`
-/// on arithmetic overflow.
-fn substitute(problem: &mut LiaProblem, var: Var, definition: &LinExpr) -> Option<()> {
-    for constraint in &mut problem.linear {
-        constraint.expr = substitute_expr(&constraint.expr, var, definition)?;
-    }
-    for product in &mut problem.products {
-        product.left = substitute_expr(&product.left, var, definition)?;
-        product.right = substitute_expr(&product.right, var, definition)?;
-    }
-    Some(())
 }
 
 fn substitute_expr(expr: &LinExpr, var: Var, definition: &LinExpr) -> Option<LinExpr> {
@@ -379,81 +390,147 @@ fn substitute_expr(expr: &LinExpr, var: Var, definition: &LinExpr) -> Option<Lin
 // Gaussian elimination over the equality constraints.
 // ---------------------------------------------------------------------------
 
+/// A sparse equality row `Σ coeffs + constant = 0`: coefficient terms sorted
+/// by variable, with zero coefficients elided.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct EqRow {
+    terms: Vec<(Var, i128)>,
+    constant: i128,
+}
+
+/// What normalising a row by the GCD of its coefficients revealed.
+enum RowNorm {
+    /// The row still has coefficient terms.
+    Live,
+    /// `0 = 0`: redundant, discard.
+    Trivial,
+    /// `0 = c` with `c ≠ 0`, or GCD does not divide the constant: infeasible.
+    Infeasible,
+}
+
+impl EqRow {
+    /// Divides out the GCD of the coefficients and applies the divisibility
+    /// test (the GCD of the coefficients must divide the constant).
+    fn normalise(&mut self) -> RowNorm {
+        if self.terms.is_empty() {
+            return if self.constant == 0 {
+                RowNorm::Trivial
+            } else {
+                RowNorm::Infeasible
+            };
+        }
+        let mut gcd = 0i128;
+        for &(_, c) in &self.terms {
+            gcd = gcd_i128(gcd, c);
+        }
+        if gcd > 1 {
+            if self.constant % gcd != 0 {
+                return RowNorm::Infeasible;
+            }
+            for term in &mut self.terms {
+                term.1 /= gcd;
+            }
+            self.constant /= gcd;
+        }
+        RowNorm::Live
+    }
+
+    /// The leading (smallest) variable; the row must be live.
+    fn lead(&self) -> Var {
+        self.terms[0].0
+    }
+
+    /// `pivot·self - factor·other` (fraction-free elimination step), merging
+    /// the sorted term lists. Returns `None` on arithmetic overflow.
+    fn combine(&self, pivot: i128, other: &EqRow, factor: i128) -> Option<EqRow> {
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            let (var, value) = match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(va, ca)), Some(&(vb, cb))) if va == vb => {
+                    i += 1;
+                    j += 1;
+                    (
+                        va,
+                        pivot
+                            .checked_mul(ca)?
+                            .checked_sub(factor.checked_mul(cb)?)?,
+                    )
+                }
+                (Some(&(va, ca)), Some(&(vb, _))) if va < vb => {
+                    i += 1;
+                    (va, pivot.checked_mul(ca)?)
+                }
+                (Some(&(va, ca)), None) => {
+                    i += 1;
+                    (va, pivot.checked_mul(ca)?)
+                }
+                (_, Some(&(vb, cb))) => {
+                    j += 1;
+                    (vb, factor.checked_mul(cb)?.checked_neg()?)
+                }
+                (None, None) => unreachable!(),
+            };
+            if value != 0 {
+                terms.push((var, value));
+            }
+        }
+        let constant = pivot
+            .checked_mul(self.constant)?
+            .checked_sub(factor.checked_mul(other.constant)?)?;
+        Some(EqRow { terms, constant })
+    }
+}
+
 /// Returns `true` if the equality subsystem is provably infeasible (over the
 /// rationals or by integer divisibility).
-#[allow(clippy::needless_range_loop)] // fraction-free elimination indexes two rows at once
+///
+/// Maintains a sparse row-echelon basis keyed by leading variable and
+/// reduces each equality against it, normalising by the coefficient GCD
+/// after every step. This keeps the work proportional to the actual fill-in
+/// (path-condition equality chains are 2–3 terms wide) instead of the dense
+/// `O(vars² · rows)` of a full tableau, which dominated whole-corpus
+/// analysis time.
 fn equalities_infeasible(problem: &LiaProblem) -> bool {
-    let vars: Vec<Var> = problem.vars.iter().copied().collect();
-    let index_of: BTreeMap<Var, usize> = vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
-    let mut rows: Vec<Vec<i128>> = Vec::new();
+    let mut pending: Vec<EqRow> = Vec::new();
     for c in &problem.linear {
         if c.op != ConstraintOp::Eq {
             continue;
         }
-        let mut row = vec![0i128; vars.len() + 1];
-        for (v, coeff) in c.expr.iter() {
-            row[index_of[&v]] = coeff as i128;
-        }
-        row[vars.len()] = c.expr.constant_part() as i128;
-        rows.push(row);
+        let terms: Vec<(Var, i128)> = c.expr.iter().map(|(v, k)| (v, k as i128)).collect();
+        pending.push(EqRow {
+            terms,
+            constant: c.expr.constant_part() as i128,
+        });
     }
-    if rows.is_empty() {
+    if pending.is_empty() {
         return false;
     }
-    let width = vars.len();
-    let mut pivot_row = 0usize;
-    for col in 0..width {
-        if pivot_row >= rows.len() {
-            break;
-        }
-        // Find a row with a non-zero entry in this column.
-        let Some(found) = (pivot_row..rows.len()).find(|&r| rows[r][col] != 0) else {
-            continue;
-        };
-        rows.swap(pivot_row, found);
-        let pivot = rows[pivot_row][col];
-        for r in 0..rows.len() {
-            if r == pivot_row || rows[r][col] == 0 {
-                continue;
+    // Identical constraints are common across sliced conjunctions; a cheap
+    // dedup avoids reducing them to `0 = 0` one merge at a time.
+    pending.sort();
+    pending.dedup();
+
+    let mut echelon: Vec<EqRow> = Vec::new();
+    let mut lead_of: BTreeMap<Var, usize> = BTreeMap::new();
+    for mut row in pending {
+        loop {
+            match row.normalise() {
+                RowNorm::Infeasible => return true,
+                RowNorm::Trivial => break,
+                RowNorm::Live => {}
             }
-            let factor = rows[r][col];
-            for c in 0..=width {
-                // row_r := pivot * row_r - factor * row_pivot (fraction-free).
-                let updated = pivot
-                    .checked_mul(rows[r][c])
-                    .and_then(|x| factor.checked_mul(rows[pivot_row][c]).map(|y| (x, y)))
-                    .and_then(|(x, y)| x.checked_sub(y));
-                match updated {
-                    Some(value) => rows[r][c] = value,
-                    None => return false, // give up on overflow; search will decide
-                }
-            }
-            // Keep numbers small by dividing out the row GCD.
-            let mut gcd = 0i128;
-            for c in 0..=width {
-                gcd = gcd_i128(gcd, rows[r][c]);
-            }
-            if gcd > 1 {
-                for c in 0..=width {
-                    rows[r][c] /= gcd;
-                }
-            }
-        }
-        pivot_row += 1;
-    }
-    for row in &rows {
-        let all_zero_coeffs = row[..width].iter().all(|&c| c == 0);
-        if all_zero_coeffs && row[width] != 0 {
-            return true;
-        }
-        // GCD divisibility test: gcd of coefficients must divide the constant.
-        if !all_zero_coeffs {
-            let mut gcd = 0i128;
-            for &c in &row[..width] {
-                gcd = gcd_i128(gcd, c);
-            }
-            if gcd != 0 && row[width] % gcd != 0 {
-                return true;
+            let Some(&basis_index) = lead_of.get(&row.lead()) else {
+                lead_of.insert(row.lead(), echelon.len());
+                echelon.push(row);
+                break;
+            };
+            let basis = &echelon[basis_index];
+            let pivot = basis.terms[0].1;
+            let factor = row.terms[0].1;
+            match row.combine(pivot, basis, factor) {
+                Some(reduced) => row = reduced,
+                None => return false, // give up on overflow; search will decide
             }
         }
     }

@@ -16,7 +16,9 @@
 //! * [`arena`] — the hash-consing arena interning terms and atoms into ids,
 //!   with per-node variable sets and negations cached.
 //! * [`sat`] — a CDCL propositional solver (watched literals, first-UIP
-//!   learning, restarts, solving under assumptions with an optional
+//!   learning, activity-ordered branching over a lazy binary heap,
+//!   LBD-scored learnt clauses with periodic clause-database reduction,
+//!   Luby-sequence restarts, solving under assumptions with an optional
 //!   restricted branching set).
 //! * [`cnf`] — Tseitin encoding of formulas into clauses over theory atoms
 //!   (the scratch engine's per-check encoder).
@@ -33,6 +35,11 @@
 //!   atoms and theory lemmas survive across checks, with assertion frames
 //!   retracting by activation literals and per-query cone slicing
 //!   restricting each search to the dependency cone of its assumptions.
+//! * [`lemmas`] — the [`SharedLemmaPool`] exchanging theory lemmas across
+//!   worker threads: atom ids are process-global (see [`arena`]), so a
+//!   blocking clause the theory refuted in one core is a valid clause in
+//!   every sibling core, imported at check boundaries and gated by
+//!   `CPCF_LEMMA_SHARING=on|off`.
 //! * [`solver`] — the user-facing [`Solver`] with `push`/`pop`, validity
 //!   queries and the three-valued [`Proof`] relation used by symbolic
 //!   execution.
@@ -71,6 +78,7 @@ pub mod arena;
 pub mod cnf;
 pub mod core;
 pub mod formula;
+pub mod lemmas;
 pub mod lia;
 pub mod linear;
 pub mod model;
@@ -80,6 +88,7 @@ pub mod term;
 pub mod theory;
 
 pub use formula::{Atom, CmpOp, Formula};
+pub use lemmas::{default_lemma_sharing, SharedLemma, SharedLemmaPool};
 pub use model::Model;
 pub use solver::{
     default_core_mode, CoreMode, Proof, Solver, SolverConfig, SolverStats, UnbalancedPop, Validity,

@@ -1,4 +1,13 @@
 //! The CDCL search loop.
+//!
+//! The search follows the MiniSat lineage: two-watched-literal propagation,
+//! first-UIP conflict analysis with VSIDS variable activities, phase saving,
+//! and assumption-based solving. On top of that baseline the solver keeps
+//! learnt clauses in their own arena scored by LBD (literal block distance)
+//! and activity, periodically reduces the learnt database (glue clauses with
+//! LBD ≤ 2 and locked reason clauses are always kept), restarts on the Luby
+//! sequence, and picks decision variables from an activity-ordered binary
+//! heap with lazy removal instead of a linear scan.
 
 use super::types::{BVar, Lit, SatResult};
 
@@ -15,6 +24,10 @@ pub struct SatStats {
     pub restarts: u64,
     /// Number of learned clauses.
     pub learned: u64,
+    /// Number of learnt clauses deleted by clause-database reduction.
+    pub clauses_deleted: u64,
+    /// Number of restarts driven by the Luby sequence.
+    pub restarts_luby: u64,
 }
 
 impl SatStats {
@@ -25,14 +38,195 @@ impl SatStats {
         self.conflicts += other.conflicts;
         self.restarts += other.restarts;
         self.learned += other.learned;
+        self.clauses_deleted += other.clauses_deleted;
+        self.restarts_luby += other.restarts_luby;
     }
 }
 
 const UNASSIGNED: u8 = 2;
 
+/// Restart interval base: the i-th restart happens after
+/// `RESTART_BASE · luby(i)` conflicts.
+const RESTART_BASE: u64 = 100;
+
+/// Initial learnt-database size that triggers a reduction.
+const REDUCE_FIRST: usize = 2000;
+
+/// How much the reduction trigger grows after each reduction.
+const REDUCE_STEP: usize = 500;
+
+/// Learnt clauses with an LBD at or below this are "glue" and never deleted.
+const GLUE_LBD: u32 = 2;
+
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
+}
+
+/// A learnt clause: literals plus the reduction-relevant scores.
+#[derive(Debug, Clone)]
+struct LearntClause {
+    lits: Vec<Lit>,
+    /// Bumped whenever the clause takes part in conflict analysis.
+    activity: f64,
+    /// Literal block distance at learning time (number of distinct decision
+    /// levels among the literals). Low LBD ≈ high quality.
+    lbd: u32,
+}
+
+/// Reference to a clause in either arena: original clauses and learnt
+/// clauses live in separate vectors, distinguished by the tag bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClauseRef(u32);
+
+const LEARNT_BIT: u32 = 1 << 31;
+
+impl ClauseRef {
+    fn original(index: usize) -> Self {
+        debug_assert!(index < LEARNT_BIT as usize);
+        ClauseRef(index as u32)
+    }
+
+    fn learnt(index: usize) -> Self {
+        debug_assert!(index < LEARNT_BIT as usize);
+        ClauseRef(index as u32 | LEARNT_BIT)
+    }
+
+    fn is_learnt(self) -> bool {
+        self.0 & LEARNT_BIT != 0
+    }
+
+    fn index(self) -> usize {
+        (self.0 & !LEARNT_BIT) as usize
+    }
+}
+
+/// Activity-ordered binary max-heap over variable indices (MiniSat's
+/// `VarOrder`). Assigned variables are removed lazily: they stay in the heap
+/// until popped, and are re-inserted on backtracking.
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, `u32::MAX` when absent.
+    position: Vec<u32>,
+}
+
+impl VarOrder {
+    fn contains(&self, var: u32) -> bool {
+        self.position
+            .get(var as usize)
+            .is_some_and(|&p| p != u32::MAX)
+    }
+
+    /// `a` orders before `b`: higher activity first, ties to the lower index
+    /// (matching the old linear scan, which kept the first maximum).
+    fn better(a: u32, b: u32, activity: &[f64]) -> bool {
+        let (aa, ab) = (activity[a as usize], activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn sift_up(&mut self, mut index: usize, activity: &[f64]) {
+        while index > 0 {
+            let parent = (index - 1) / 2;
+            if Self::better(self.heap[index], self.heap[parent], activity) {
+                self.heap.swap(index, parent);
+                self.position[self.heap[index] as usize] = index as u32;
+                self.position[self.heap[parent] as usize] = parent as u32;
+                index = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut index: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * index + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.heap.len()
+                && Self::better(self.heap[right], self.heap[left], activity)
+            {
+                right
+            } else {
+                left
+            };
+            if Self::better(self.heap[child], self.heap[index], activity) {
+                self.heap.swap(index, child);
+                self.position[self.heap[index] as usize] = index as u32;
+                self.position[self.heap[child] as usize] = child as u32;
+                index = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn insert(&mut self, var: u32, activity: &[f64]) {
+        if self.position.len() <= var as usize {
+            self.position.resize(var as usize + 1, u32::MAX);
+        }
+        if self.contains(var) {
+            return;
+        }
+        self.position[var as usize] = self.heap.len() as u32;
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.position[top as usize] = u32::MAX;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap invariant for `var` after its activity increased.
+    fn bumped(&mut self, var: u32, activity: &[f64]) {
+        if let Some(&position) = self.position.get(var as usize) {
+            if position != u32::MAX {
+                self.sift_up(position as usize, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap from the given variables (O(n) heapify).
+    fn rebuild(&mut self, vars: impl Iterator<Item = u32>, num_vars: usize, activity: &[f64]) {
+        self.heap.clear();
+        self.position.clear();
+        self.position.resize(num_vars, u32::MAX);
+        for var in vars {
+            if self.position[var as usize] == u32::MAX {
+                self.position[var as usize] = self.heap.len() as u32;
+                self.heap.push(var);
+            }
+        }
+        for index in (0..self.heap.len() / 2).rev() {
+            self.sift_down(index, activity);
+        }
+    }
+}
+
+/// The i-th element of the Luby sequence (0-indexed): 1, 1, 2, 1, 1, 2, 4, …
+fn luby(mut x: u64) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
 }
 
 /// A conflict-driven clause-learning SAT solver.
@@ -53,19 +247,22 @@ struct Clause {
 ///     SatResult::Unsat => panic!("should be satisfiable"),
 /// }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SatSolver {
+    /// Original (problem and theory) clauses; never deleted.
     clauses: Vec<Clause>,
-    /// Watch lists indexed by literal code: clause indices watching that literal.
-    watches: Vec<Vec<usize>>,
+    /// Learnt clauses, subject to periodic database reduction.
+    learnts: Vec<LearntClause>,
+    /// Watch lists indexed by literal code.
+    watches: Vec<Vec<ClauseRef>>,
     /// Current assignment per variable: 0 = false, 1 = true, 2 = unassigned.
     assign: Vec<u8>,
     /// Saved phase per variable for phase saving.
     phase: Vec<bool>,
     /// Decision level at which each variable was assigned.
     level: Vec<u32>,
-    /// Reason clause index for each propagated variable.
-    reason: Vec<Option<usize>>,
+    /// Reason clause for each propagated variable.
+    reason: Vec<Option<ClauseRef>>,
     /// Assignment trail.
     trail: Vec<Lit>,
     /// Indices into the trail marking decision levels.
@@ -75,6 +272,18 @@ pub struct SatSolver {
     /// VSIDS-style activity per variable.
     activity: Vec<f64>,
     var_inc: f64,
+    /// Clause-activity increment for learnt clauses.
+    cla_inc: f64,
+    /// Decision-variable heap (rebuilt per solve from the eligible set).
+    order: VarOrder,
+    /// Variables eligible for free branching in the current solve call.
+    eligible: Vec<bool>,
+    /// Reusable conflict-analysis buffer (`seen` marks per variable).
+    seen: Vec<bool>,
+    /// Variables marked in `seen`, for O(marked) clearing.
+    seen_list: Vec<u32>,
+    /// Learnt-database size that triggers the next reduction.
+    reduce_limit: usize,
     /// Set when an empty clause has been added.
     trivially_unsat: bool,
     /// Unit clauses queued before solving (asserted at level 0).
@@ -82,12 +291,37 @@ pub struct SatSolver {
     stats: SatStats,
 }
 
+impl Default for SatSolver {
+    fn default() -> Self {
+        SatSolver::new()
+    }
+}
+
 impl SatSolver {
     /// Creates an empty solver with no variables and no clauses.
     pub fn new() -> Self {
         SatSolver {
+            clauses: Vec::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
             var_inc: 1.0,
-            ..SatSolver::default()
+            cla_inc: 1.0,
+            order: VarOrder::default(),
+            eligible: Vec::new(),
+            seen: Vec::new(),
+            seen_list: Vec::new(),
+            reduce_limit: REDUCE_FIRST,
+            trivially_unsat: false,
+            pending_units: Vec::new(),
+            stats: SatStats::default(),
         }
     }
 
@@ -101,11 +335,22 @@ impl SatSolver {
         self.assign.len()
     }
 
-    /// Number of clauses currently in the database (original, learned and
+    /// Number of clauses currently in the database (original, learnt and
     /// theory clauses alike; unit clauses are absorbed into the level-0
     /// assignment and not counted).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.clauses.len() + self.learnts.len()
+    }
+
+    /// Number of learnt clauses currently retained.
+    pub fn num_learnt_clauses(&self) -> usize {
+        self.learnts.len()
+    }
+
+    /// Overrides the learnt-database size that triggers the next reduction.
+    /// Exposed so tests can force reductions on small formulas.
+    pub fn set_reduce_limit(&mut self, limit: usize) {
+        self.reduce_limit = limit.max(1);
     }
 
     /// Allocates a fresh boolean variable.
@@ -148,11 +393,19 @@ impl SatSolver {
             0 => self.trivially_unsat = true,
             1 => self.pending_units.push(lits[0]),
             _ => {
-                let index = self.clauses.len();
-                self.watches[lits[0].code()].push(index);
-                self.watches[lits[1].code()].push(index);
+                let cref = ClauseRef::original(self.clauses.len());
+                self.watches[lits[0].code()].push(cref);
+                self.watches[lits[1].code()].push(cref);
                 self.clauses.push(Clause { lits });
             }
+        }
+    }
+
+    fn lits_of(&self, cref: ClauseRef) -> &[Lit] {
+        if cref.is_learnt() {
+            &self.learnts[cref.index()].lits
+        } else {
+            &self.clauses[cref.index()].lits
         }
     }
 
@@ -171,7 +424,7 @@ impl SatSolver {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) -> bool {
         match self.value_lit(lit) {
             0 => false,
             1 => true,
@@ -188,59 +441,97 @@ impl SatSolver {
         }
     }
 
-    /// Unit propagation; returns the index of a conflicting clause, if any.
-    fn propagate(&mut self) -> Option<usize> {
+    /// Unit propagation; returns a conflicting clause, if any.
+    ///
+    /// Watch lists are compacted in place with a read/write index pair: a
+    /// moved watch is pushed onto another literal's list (never this one —
+    /// the replacement watch is non-false, the traversed literal is false),
+    /// so no temporary list is needed.
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let lit = self.trail[self.qhead];
             self.qhead += 1;
             let false_lit = lit.negate();
-            // Clauses watching ¬lit must be inspected.
-            let watching = std::mem::take(&mut self.watches[false_lit.code()]);
-            let mut kept = Vec::with_capacity(watching.len());
+            let watch_index = false_lit.code();
+            let mut read = 0usize;
+            let mut write = 0usize;
             let mut conflict = None;
-            let iter = watching.into_iter();
-            for clause_index in iter {
-                if conflict.is_some() {
-                    kept.push(clause_index);
-                    continue;
+            while read < self.watches[watch_index].len() {
+                let cref = self.watches[watch_index][read];
+                read += 1;
+                enum Action {
+                    Keep,
+                    Move(Lit),
+                    Unit(Lit),
                 }
-                // Ensure the false literal is at position 1.
-                {
-                    let clause = &mut self.clauses[clause_index];
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
+                let action = {
+                    // Disjoint field borrows: the clause arena mutably (to
+                    // reorder watches), the assignment read-only.
+                    let assign = &self.assign;
+                    let lits = if cref.is_learnt() {
+                        &mut self.learnts[cref.index()].lits
+                    } else {
+                        &mut self.clauses[cref.index()].lits
+                    };
+                    let value_of = |l: Lit| {
+                        let v = assign[l.var().index() as usize];
+                        if v == UNASSIGNED {
+                            UNASSIGNED
+                        } else if l.is_positive() {
+                            v
+                        } else {
+                            1 - v
+                        }
+                    };
+                    // Ensure the false literal is at position 1.
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
                     }
-                }
-                let first = self.clauses[clause_index].lits[0];
-                if self.value_lit(first) == 1 {
-                    kept.push(clause_index);
-                    continue;
-                }
-                // Look for a new literal to watch.
-                let mut new_watch = None;
-                for (position, &candidate) in
-                    self.clauses[clause_index].lits.iter().enumerate().skip(2)
-                {
-                    if self.value_lit(candidate) != 0 {
-                        new_watch = Some((position, candidate));
-                        break;
+                    let first = lits[0];
+                    if value_of(first) == 1 {
+                        Action::Keep
+                    } else {
+                        // Look for a new literal to watch.
+                        let mut moved = None;
+                        for position in 2..lits.len() {
+                            if value_of(lits[position]) != 0 {
+                                lits.swap(1, position);
+                                moved = Some(lits[1]);
+                                break;
+                            }
+                        }
+                        match moved {
+                            Some(candidate) => Action::Move(candidate),
+                            None => Action::Unit(first),
+                        }
                     }
-                }
-                match new_watch {
-                    Some((position, candidate)) => {
-                        self.clauses[clause_index].lits.swap(1, position);
-                        self.watches[candidate.code()].push(clause_index);
+                };
+                match action {
+                    Action::Keep => {
+                        self.watches[watch_index][write] = cref;
+                        write += 1;
                     }
-                    None => {
-                        kept.push(clause_index);
+                    Action::Move(candidate) => {
+                        self.watches[candidate.code()].push(cref);
+                    }
+                    Action::Unit(first) => {
+                        self.watches[watch_index][write] = cref;
+                        write += 1;
                         // Clause is unit (or conflicting) on `first`.
-                        if !self.enqueue(first, Some(clause_index)) {
-                            conflict = Some(clause_index);
+                        if !self.enqueue(first, Some(cref)) {
+                            conflict = Some(cref);
+                            // Keep the unvisited remainder of the list.
+                            while read < self.watches[watch_index].len() {
+                                self.watches[watch_index][write] = self.watches[watch_index][read];
+                                write += 1;
+                                read += 1;
+                            }
+                            break;
                         }
                     }
                 }
             }
-            self.watches[false_lit.code()] = kept;
+            self.watches[watch_index].truncate(write);
             if let Some(conflicting) = conflict {
                 return Some(conflicting);
             }
@@ -256,29 +547,60 @@ impl SatSolver {
             }
             self.var_inc *= 1e-100;
         }
+        self.order.bumped(var as u32, &self.activity);
+    }
+
+    fn bump_clause(&mut self, index: usize) {
+        self.learnts[index].activity += self.cla_inc;
+        if self.learnts[index].activity > 1e20 {
+            for clause in &mut self.learnts {
+                clause.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Literal block distance of a clause: number of distinct decision
+    /// levels among its literals (computed before backtracking).
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     /// First-UIP conflict analysis. Returns the learned clause and the level
-    /// to backtrack to.
-    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+    /// to backtrack to. Uses the solver's persistent `seen` buffer and reads
+    /// clause literals in place (no per-resolution clone).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        if self.seen.len() < self.num_vars() {
+            self.seen.resize(self.num_vars(), false);
+        }
         let mut learned: Vec<Lit> = vec![];
-        let mut seen = vec![false; self.num_vars()];
         let mut counter = 0usize;
         let mut lit: Option<Lit> = None;
-        let mut clause_index = conflict;
+        let mut cref = conflict;
         let mut trail_index = self.trail.len();
         let current_level = self.decision_level();
 
         loop {
-            let clause_lits = self.clauses[clause_index].lits.clone();
+            if cref.is_learnt() {
+                self.bump_clause(cref.index());
+            }
             let skip_first = lit.is_some();
-            for (position, &q) in clause_lits.iter().enumerate() {
+            let clause_len = self.lits_of(cref).len();
+            for position in 0..clause_len {
                 if skip_first && position == 0 {
                     continue;
                 }
+                let q = self.lits_of(cref)[position];
                 let var = q.var().index() as usize;
-                if !seen[var] && self.level[var] > 0 {
-                    seen[var] = true;
+                if !self.seen[var] && self.level[var] > 0 {
+                    self.seen[var] = true;
+                    self.seen_list.push(var as u32);
                     self.bump_var(var);
                     if self.level[var] >= current_level {
                         counter += 1;
@@ -291,7 +613,7 @@ impl SatSolver {
             loop {
                 trail_index -= 1;
                 let candidate = self.trail[trail_index];
-                if seen[candidate.var().index() as usize] {
+                if self.seen[candidate.var().index() as usize] {
                     lit = Some(candidate);
                     break;
                 }
@@ -303,9 +625,13 @@ impl SatSolver {
                 learned.insert(0, p.negate());
                 break;
             }
-            clause_index = self.reason[p.var().index() as usize]
+            cref = self.reason[p.var().index() as usize]
                 .expect("propagated literal must have a reason");
-            seen[p.var().index() as usize] = true;
+        }
+
+        // Clear the seen marks for the next call.
+        while let Some(var) = self.seen_list.pop() {
+            self.seen[var as usize] = false;
         }
 
         // Backtrack level: second-highest level in the learned clause.
@@ -326,6 +652,81 @@ impl SatSolver {
         (learned, backtrack_level)
     }
 
+    /// Attaches a learnt clause (≥ 2 literals) with the given LBD.
+    fn learn_clause(&mut self, lits: Vec<Lit>, lbd: u32) -> ClauseRef {
+        let cref = ClauseRef::learnt(self.learnts.len());
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        self.learnts.push(LearntClause {
+            lits,
+            activity: self.cla_inc,
+            lbd,
+        });
+        cref
+    }
+
+    /// True when the clause is the reason of its asserting literal and
+    /// therefore must survive reduction.
+    fn is_locked(&self, index: usize) -> bool {
+        let var = self.learnts[index].lits[0].var().index() as usize;
+        self.assign[var] != UNASSIGNED && self.reason[var] == Some(ClauseRef::learnt(index))
+    }
+
+    /// Reduces the learnt database: glue clauses (LBD ≤ 2) and locked
+    /// clauses are kept unconditionally, then the lower-activity half of the
+    /// rest is deleted. Watches and reasons are remapped to the compacted
+    /// arena.
+    fn reduce_db(&mut self) {
+        let count = self.learnts.len();
+        let mut deletable: Vec<usize> = (0..count)
+            .filter(|&i| self.learnts[i].lbd > GLUE_LBD && !self.is_locked(i))
+            .collect();
+        deletable.sort_by(|&a, &b| {
+            self.learnts[a]
+                .activity
+                .partial_cmp(&self.learnts[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let target = deletable.len() / 2;
+        if target == 0 {
+            return;
+        }
+        let mut delete = vec![false; count];
+        for &index in &deletable[..target] {
+            delete[index] = true;
+        }
+        let mut remap = vec![u32::MAX; count];
+        let mut kept: Vec<LearntClause> = Vec::with_capacity(count - target);
+        for (index, clause) in self.learnts.drain(..).enumerate() {
+            if !delete[index] {
+                remap[index] = kept.len() as u32;
+                kept.push(clause);
+            }
+        }
+        self.learnts = kept;
+        self.stats.clauses_deleted += target as u64;
+        for list in &mut self.watches {
+            list.retain_mut(|cref| {
+                if cref.is_learnt() {
+                    let new_index = remap[cref.index()];
+                    if new_index == u32::MAX {
+                        return false;
+                    }
+                    *cref = ClauseRef::learnt(new_index as usize);
+                }
+                true
+            });
+        }
+        for cref in self.reason.iter_mut().flatten() {
+            if cref.is_learnt() {
+                let new_index = remap[cref.index()];
+                debug_assert_ne!(new_index, u32::MAX, "locked clause deleted");
+                *cref = ClauseRef::learnt(new_index as usize);
+            }
+        }
+    }
+
     fn backtrack_to(&mut self, target_level: u32) {
         while self.decision_level() > target_level {
             let boundary = self.trail_lim.pop().expect("decision level exists");
@@ -334,39 +735,23 @@ impl SatSolver {
                 let var = lit.var().index() as usize;
                 self.assign[var] = UNASSIGNED;
                 self.reason[var] = None;
+                if self.eligible.get(var).copied().unwrap_or(false) {
+                    self.order.insert(var as u32, &self.activity);
+                }
             }
         }
         self.qhead = self.trail.len();
     }
 
-    fn pick_branch_var(&self, decisions: Option<&[BVar]>) -> Option<BVar> {
-        let mut best: Option<(usize, f64)> = None;
-        let mut consider = |var: usize, assign: &[u8], activity: &[f64]| {
-            if assign[var] == UNASSIGNED {
-                let activity = activity[var];
-                match best {
-                    Some((_, best_activity)) if best_activity >= activity => {}
-                    _ => best = Some((var, activity)),
-                }
-            }
-        };
-        match decisions {
-            // Restricted branching: only the given variables are eligible.
-            // Propagation still assigns whatever the clauses force, but the
-            // search never explores variables the caller declared irrelevant
-            // (e.g. atoms of retracted or out-of-cone assertion frames).
-            Some(vars) => {
-                for var in vars {
-                    consider(var.index() as usize, &self.assign, &self.activity);
-                }
-            }
-            None => {
-                for var in 0..self.assign.len() {
-                    consider(var, &self.assign, &self.activity);
-                }
+    /// Pops unassigned variables off the order heap (lazy removal of
+    /// variables assigned by propagation since their insertion).
+    fn pick_branch_var(&mut self) -> Option<BVar> {
+        while let Some(var) = self.order.pop(&self.activity) {
+            if self.assign[var as usize] == UNASSIGNED {
+                return Some(BVar::new(var));
             }
         }
-        best.map(|(var, _)| BVar::new(var as u32))
+        None
     }
 
     /// Resets the solver to decision level 0, keeping clauses.
@@ -400,6 +785,10 @@ impl SatSolver {
         for lit in assumptions {
             self.ensure_var(lit.var());
         }
+        // Clear eligibility before unwinding the previous call's trail so
+        // `backtrack_to` does not push stale variables onto the heap.
+        self.eligible.clear();
+        self.eligible.resize(self.num_vars(), false);
         self.reset_search();
         // Assert pending unit clauses at level 0.
         let units = std::mem::take(&mut self.pending_units);
@@ -416,8 +805,44 @@ impl SatSolver {
         if self.propagate().is_some() {
             return SatResult::Unsat;
         }
+        if self.learnts.len() >= self.reduce_limit {
+            self.reduce_db();
+            self.reduce_limit += REDUCE_STEP;
+        }
 
-        let mut conflicts_until_restart = 100u64;
+        // Branching eligibility and the decision heap for this call. The
+        // heap is built from the eligible set only — O(eligible) instead of
+        // a mask over every variable the session ever allocated.
+        match decisions {
+            Some(vars) => {
+                for var in vars {
+                    let index = var.index() as usize;
+                    if index < self.eligible.len() {
+                        self.eligible[index] = true;
+                    }
+                }
+                self.order.rebuild(
+                    vars.iter()
+                        .map(|v| v.index())
+                        .filter(|&v| self.assign[v as usize] == UNASSIGNED),
+                    self.num_vars(),
+                    &self.activity,
+                );
+            }
+            None => {
+                for flag in &mut self.eligible {
+                    *flag = true;
+                }
+                self.order.rebuild(
+                    (0..self.num_vars() as u32).filter(|&v| self.assign[v as usize] == UNASSIGNED),
+                    self.num_vars(),
+                    &self.activity,
+                );
+            }
+        }
+
+        let mut completed_restarts = 0u64;
+        let mut conflicts_until_restart = RESTART_BASE * luby(completed_restarts);
         let mut conflicts_since_restart = 0u64;
 
         loop {
@@ -429,6 +854,9 @@ impl SatSolver {
                         return SatResult::Unsat;
                     }
                     let (learned, backtrack_level) = self.analyze(conflict);
+                    // LBD uses assignment levels, so compute it before they
+                    // are unwound.
+                    let lbd = self.compute_lbd(&learned);
                     self.backtrack_to(backtrack_level);
                     self.stats.learned += 1;
                     let asserting = learned[0];
@@ -437,22 +865,26 @@ impl SatSolver {
                             return SatResult::Unsat;
                         }
                     } else {
-                        let index = self.clauses.len();
-                        self.watches[learned[0].code()].push(index);
-                        self.watches[learned[1].code()].push(index);
-                        self.clauses.push(Clause { lits: learned });
-                        if !self.enqueue(asserting, Some(index)) {
+                        let cref = self.learn_clause(learned, lbd);
+                        if !self.enqueue(asserting, Some(cref)) {
                             return SatResult::Unsat;
                         }
                     }
                     self.var_inc *= 1.05;
+                    self.cla_inc *= 1.001;
                 }
                 None => {
                     if conflicts_since_restart >= conflicts_until_restart {
                         conflicts_since_restart = 0;
-                        conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                        completed_restarts += 1;
+                        conflicts_until_restart = RESTART_BASE * luby(completed_restarts);
                         self.stats.restarts += 1;
+                        self.stats.restarts_luby += 1;
                         self.backtrack_to(0);
+                        if self.learnts.len() >= self.reduce_limit {
+                            self.reduce_db();
+                            self.reduce_limit += REDUCE_STEP;
+                        }
                         continue;
                     }
                     // Establish the assumptions, in order, before any free
@@ -478,7 +910,7 @@ impl SatSolver {
                         debug_assert!(enqueued, "assumption literal was unassigned");
                         continue;
                     }
-                    match self.pick_branch_var(decisions) {
+                    match self.pick_branch_var() {
                         None => {
                             let model = self
                                 .assign
@@ -662,6 +1094,84 @@ mod tests {
             }
             SatResult::Unsat => panic!("satisfiable instance"),
         }
+    }
+
+    #[test]
+    fn luby_sequence_prefix_is_correct() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let actual: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn var_order_pops_highest_activity_with_index_ties() {
+        let mut activity = vec![0.0f64; 5];
+        activity[3] = 2.0;
+        activity[1] = 2.0;
+        activity[4] = 5.0;
+        let mut order = VarOrder::default();
+        order.rebuild(0..5u32, 5, &activity);
+        assert_eq!(order.pop(&activity), Some(4));
+        // Ties break towards the lower index, like the old linear scan.
+        assert_eq!(order.pop(&activity), Some(1));
+        assert_eq!(order.pop(&activity), Some(3));
+        assert_eq!(order.pop(&activity), Some(0));
+        assert_eq!(order.pop(&activity), Some(2));
+        assert_eq!(order.pop(&activity), None);
+    }
+
+    #[test]
+    fn var_order_reinsert_and_bump() {
+        let mut activity = vec![0.0f64; 4];
+        let mut order = VarOrder::default();
+        order.rebuild(0..4u32, 4, &activity);
+        assert_eq!(order.pop(&activity), Some(0));
+        assert!(!order.contains(0));
+        activity[2] = 3.0;
+        order.bumped(2, &activity);
+        assert_eq!(order.pop(&activity), Some(2));
+        order.insert(0, &activity);
+        assert_eq!(order.pop(&activity), Some(0));
+        assert_eq!(order.pop(&activity), Some(1));
+        assert_eq!(order.pop(&activity), Some(3));
+    }
+
+    #[test]
+    fn reduction_keeps_verdicts_and_fires() {
+        // A conflict-heavy unsat family: pigeonhole with 6 pigeons, 5 holes.
+        // With a tiny reduction limit the learnt database must be reduced at
+        // least once, and the verdict must stay Unsat.
+        let mut solver = SatSolver::new();
+        let pigeons = 6usize;
+        let holes = 5usize;
+        let mut var = vec![vec![BVar::new(0); holes]; pigeons];
+        for row in var.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = solver.new_var();
+            }
+        }
+        for row in &var {
+            solver.add_clause(row.iter().map(|v| v.positive()).collect());
+        }
+        #[allow(clippy::needless_range_loop)]
+        for hole in 0..holes {
+            for first in 0..pigeons {
+                for second in (first + 1)..pigeons {
+                    solver.add_clause(vec![
+                        var[first][hole].negative(),
+                        var[second][hole].negative(),
+                    ]);
+                }
+            }
+        }
+        solver.set_reduce_limit(20);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+        assert!(
+            solver.stats().clauses_deleted > 0,
+            "reduction should have fired: {:?}",
+            solver.stats()
+        );
+        assert!(solver.stats().restarts_luby > 0, "restarts should fire");
     }
 
     #[test]

@@ -86,6 +86,19 @@ pub struct SolverStats {
     /// Variables excluded from queries' searches by cone slicing (zero
     /// under [`CoreMode::Scratch`]).
     pub cone_vars_pruned: u64,
+    /// Learnt clauses produced by first-UIP conflict analysis across all
+    /// CDCL checks.
+    pub learnt_clauses: u64,
+    /// Learnt clauses discarded by clause-database reduction.
+    pub clauses_deleted: u64,
+    /// Luby-sequence restarts performed by the CDCL search.
+    pub restarts_luby: u64,
+    /// Theory lemmas this solver published into a shared lemma pool (zero
+    /// without a pool; see [`Solver::set_lemma_pool`]).
+    pub lemmas_published: u64,
+    /// Sibling theory lemmas imported from a shared lemma pool (zero
+    /// without a pool).
+    pub lemmas_imported: u64,
     /// Total wall-clock time spent inside satisfiability checks.
     pub time: Duration,
 }
@@ -103,6 +116,11 @@ impl SolverStats {
         self.clauses_reused += other.clauses_reused;
         self.atoms_interned += other.atoms_interned;
         self.cone_vars_pruned += other.cone_vars_pruned;
+        self.learnt_clauses += other.learnt_clauses;
+        self.clauses_deleted += other.clauses_deleted;
+        self.restarts_luby += other.restarts_luby;
+        self.lemmas_published += other.lemmas_published;
+        self.lemmas_imported += other.lemmas_imported;
         self.time += other.time;
     }
 }
@@ -327,6 +345,18 @@ impl Solver {
         self.core.borrow_mut().reset_stats();
     }
 
+    /// Connects this solver to a cross-worker theory-lemma pool (see
+    /// [`crate::lemmas::SharedLemmaPool`]): lemmas derived here are
+    /// published, and sibling lemmas are imported at check boundaries. Only
+    /// meaningful under [`CoreMode::Persistent`]; the scratch engine
+    /// rebuilds its state per check and keeps no clause database to import
+    /// into, so the pool is ignored there.
+    pub fn set_lemma_pool(&mut self, pool: crate::lemmas::SharedLemmaPool) {
+        if self.persistent() {
+            self.core.get_mut().set_lemma_pool(pool);
+        }
+    }
+
     /// Runs one counted satisfiability check of the current assertions
     /// together with `assumptions`.
     fn run_check(&self, assumptions: &[Formula]) -> SmtResult {
@@ -343,6 +373,9 @@ impl Solver {
                 };
                 stats.conflicts += sat_stats.conflicts;
                 stats.propagations += sat_stats.propagations;
+                stats.learnt_clauses += sat_stats.learned;
+                stats.clauses_deleted += sat_stats.clauses_deleted;
+                stats.restarts_luby += sat_stats.restarts_luby;
                 result
             }
             CoreMode::Persistent => {
@@ -355,12 +388,17 @@ impl Solver {
                 let (result, sat_stats) = core.check(assumptions);
                 stats.conflicts += sat_stats.conflicts;
                 stats.propagations += sat_stats.propagations;
+                stats.learnt_clauses += sat_stats.learned;
+                stats.clauses_deleted += sat_stats.clauses_deleted;
+                stats.restarts_luby += sat_stats.restarts_luby;
                 // The core's counters are cumulative since the last reset;
                 // mirror them instead of re-adding per check.
                 let core_stats = core.stats();
                 stats.clauses_reused = core_stats.clauses_reused;
                 stats.atoms_interned = core_stats.atoms_interned;
                 stats.cone_vars_pruned = core_stats.cone_vars_pruned;
+                stats.lemmas_published = core_stats.lemmas_published;
+                stats.lemmas_imported = core_stats.lemmas_imported;
                 result
             }
         };

@@ -47,6 +47,11 @@ pub struct TheoryConfig {
     pub max_iterations: u32,
     /// Configuration of the LIA model search.
     pub lia: LiaConfig,
+    /// Overrides the learnt-database size that first triggers a clause-DB
+    /// reduction in the CDCL core (`None` keeps the built-in threshold).
+    /// A tiny limit forces reductions even on small formulas, which is how
+    /// the differential tests check that deletion never changes verdicts.
+    pub sat_reduce_limit: Option<usize>,
 }
 
 impl Default for TheoryConfig {
@@ -54,6 +59,7 @@ impl Default for TheoryConfig {
         TheoryConfig {
             max_iterations: 256,
             lia: LiaConfig::default(),
+            sat_reduce_limit: None,
         }
     }
 }
@@ -76,6 +82,9 @@ pub fn check_conjunction_counted(
     }
 
     let mut sat = SatSolver::new();
+    if let Some(limit) = config.sat_reduce_limit {
+        sat.set_reduce_limit(limit);
+    }
     let mut atom_map = AtomMap::new();
     for formula in formulas {
         assert_formula(&mut sat, &mut atom_map, formula);

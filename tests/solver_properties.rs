@@ -641,6 +641,92 @@ mod session_equivalence {
     }
 
     #[test]
+    fn lemma_sharing_and_clause_reduction_change_no_verdict_over_200_seeds() {
+        use cpcf::{SessionStats, SharedLemmaPool};
+        use folic::CoreMode;
+        use randtest::{HeapTrace, TraceConfig};
+
+        // The differential oracle for the modernized CDCL search, with one
+        // pool-less, default-limit persistent-core session as the baseline:
+        //
+        // * forcing learnt-clause reduction on every check (reduce limit 1)
+        //   must leave every verdict bit-identical — deletion only forgets
+        //   derived clauses, it cannot steer the theory loop elsewhere;
+        // * *publishing* lemmas to a pool must leave every verdict
+        //   bit-identical — publication never touches the search;
+        // * *importing* sibling lemmas changes the search trajectory, so a
+        //   budget-limited query may cross the `max_iterations` line in
+        //   either direction (usually Ambiguous → decided). What can never
+        //   happen is a contradiction between two decided answers: Sat is
+        //   witness-verified against every live formula and Unsat rests on
+        //   sound clauses only, imported lemmas included.
+        //
+        // Sharing is exercised the way the analysis scheduler uses it — two
+        // sessions attached to one pool, standing in for two workers.
+        const TRACES: u64 = 200;
+        let config = TraceConfig::default();
+        let engine = |reduce_limit: Option<usize>| {
+            let mut config = ProveConfig {
+                fresh_per_query: false,
+                retraction: true,
+                ..ProveConfig::default()
+            };
+            config.solver.core = CoreMode::Persistent;
+            config.solver.theory.sat_reduce_limit = reduce_limit;
+            config
+        };
+        let mut pooled_total = SessionStats::default();
+        for seed in 0..TRACES {
+            let trace = HeapTrace::generate(seed, &config);
+            let mut baseline = ProverSession::with_config(engine(None));
+            let pool = SharedLemmaPool::new();
+            let mut publisher =
+                ProverSession::with_config(engine(None)).with_lemma_pool(pool.clone());
+            let mut importer =
+                ProverSession::with_config(engine(None)).with_lemma_pool(pool.clone());
+            let mut reducing = ProverSession::with_config(engine(Some(1)));
+            let baseline_verdicts = trace.replay(&mut baseline);
+            // The importer replays the same trace after the publisher, so
+            // every lemma it could need is already in the pool — the worst
+            // case for divergence, and the best case for import coverage.
+            let publisher_verdicts = trace.replay(&mut publisher);
+            let importer_verdicts = trace.replay(&mut importer);
+            let reducing_verdicts = trace.replay(&mut reducing);
+            assert_eq!(
+                baseline_verdicts, publisher_verdicts,
+                "seed {seed}: publishing lemmas changed a verdict"
+            );
+            assert_eq!(baseline_verdicts.len(), importer_verdicts.len());
+            for (index, (b, i)) in baseline_verdicts.iter().zip(&importer_verdicts).enumerate() {
+                let decided = |p: &folic::Proof| *p != folic::Proof::Ambiguous;
+                if decided(b) && decided(i) {
+                    assert_eq!(
+                        b, i,
+                        "seed {seed} query {index}: imported lemmas contradicted a \
+                         decided verdict"
+                    );
+                }
+            }
+            assert_eq!(
+                baseline_verdicts, reducing_verdicts,
+                "seed {seed}: clause-DB reduction changed a verdict"
+            );
+            pooled_total.merge(&publisher.stats());
+            pooled_total.merge(&importer.stats());
+        }
+        // The corpus must actually exercise both mechanisms: lemmas flow
+        // into the pool, and sibling sessions pick them up as clauses.
+        assert!(
+            pooled_total.solver.lemmas_published > 0,
+            "no session published a lemma: {pooled_total:?}"
+        );
+        assert!(
+            pooled_total.solver.lemmas_imported > 0,
+            "no session imported a sibling lemma: {pooled_total:?}"
+        );
+    }
+
+    #[test]
     fn popped_frames_never_leak_into_later_checks() {
         use folic::{CoreMode, Proof, Solver, SolverConfig};
 
