@@ -200,6 +200,27 @@ pub struct StatsSummary {
     /// Sibling theory lemmas imported from the cross-worker lemma pool
     /// (zero under `CPCF_LEMMA_SHARING=off`).
     pub lemmas_imported: u64,
+    /// Conjunction checks the difference-logic module ran (zero under
+    /// `CPCF_THEORY_DL=off`).
+    pub dl_checks: u64,
+    /// Negative constraint cycles refuted by the difference-logic module.
+    pub dl_conflicts: u64,
+    /// Potential-repair edge relaxations in the difference-logic module.
+    pub dl_propagations: u64,
+    /// Theory dispatches routed to the difference-logic module.
+    pub theory_dispatch_dl: u64,
+    /// Theory dispatches routed to the general LIA engine.
+    pub theory_dispatch_lia: u64,
+    /// Lazy SMT loops that ran out of their iteration budget and answered
+    /// `Unknown`.
+    pub theory_iterations_exhausted: u64,
+    /// LIA interval-propagation fixpoints cut off by the round ceiling —
+    /// the difference-cycle divergence symptom; should be zero when the
+    /// difference-logic module is enabled.
+    pub propagation_ceiling_hits: u64,
+    /// Satisfiable LIA verdicts demoted to `Unknown` because the model
+    /// could not be reconstructed after presolve elimination.
+    pub model_reconstruction_failures: u64,
     /// Wall-clock milliseconds spent inside the first-order solver.
     pub solver_ms: u128,
 }
@@ -231,6 +252,14 @@ impl StatsSummary {
             restarts_luby: stats.solver.restarts_luby,
             lemmas_published: stats.solver.lemmas_published,
             lemmas_imported: stats.solver.lemmas_imported,
+            dl_checks: stats.solver.dl_checks,
+            dl_conflicts: stats.solver.dl_conflicts,
+            dl_propagations: stats.solver.dl_propagations,
+            theory_dispatch_dl: stats.solver.theory_dispatch_dl,
+            theory_dispatch_lia: stats.solver.theory_dispatch_lia,
+            theory_iterations_exhausted: stats.solver.theory_iterations_exhausted,
+            propagation_ceiling_hits: stats.solver.propagation_ceiling_hits,
+            model_reconstruction_failures: stats.solver.model_reconstruction_failures,
             solver_ms: stats.solver.time.as_millis(),
         }
     }
@@ -260,6 +289,14 @@ impl StatsSummary {
         self.restarts_luby += other.restarts_luby;
         self.lemmas_published += other.lemmas_published;
         self.lemmas_imported += other.lemmas_imported;
+        self.dl_checks += other.dl_checks;
+        self.dl_conflicts += other.dl_conflicts;
+        self.dl_propagations += other.dl_propagations;
+        self.theory_dispatch_dl += other.theory_dispatch_dl;
+        self.theory_dispatch_lia += other.theory_dispatch_lia;
+        self.theory_iterations_exhausted += other.theory_iterations_exhausted;
+        self.propagation_ceiling_hits += other.propagation_ceiling_hits;
+        self.model_reconstruction_failures += other.model_reconstruction_failures;
         self.solver_ms += other.solver_ms;
     }
 }
@@ -290,6 +327,20 @@ impl Serialize for StatsSummary {
             .field("restarts_luby", &self.restarts_luby)
             .field("lemmas_published", &self.lemmas_published)
             .field("lemmas_imported", &self.lemmas_imported)
+            .field("dl_checks", &self.dl_checks)
+            .field("dl_conflicts", &self.dl_conflicts)
+            .field("dl_propagations", &self.dl_propagations)
+            .field("theory_dispatch_dl", &self.theory_dispatch_dl)
+            .field("theory_dispatch_lia", &self.theory_dispatch_lia)
+            .field(
+                "theory_iterations_exhausted",
+                &self.theory_iterations_exhausted,
+            )
+            .field("propagation_ceiling_hits", &self.propagation_ceiling_hits)
+            .field(
+                "model_reconstruction_failures",
+                &self.model_reconstruction_failures,
+            )
             .field("solver_ms", &self.solver_ms)
             .finish()
     }

@@ -89,7 +89,10 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
          ({} map nodes copied, {} journal bytes shared), {} solver checks \
          ({} conflicts, {} propagations, {} clauses reused, {} atoms interned, \
          {} cone vars pruned, {} clauses learnt, {} deleted, {} luby restarts, \
-         {} lemmas published, {} imported) in {} ms",
+         {} lemmas published, {} imported), {} dl checks \
+         ({} conflicts, {} relaxations, {} dl + {} lia dispatches, \
+         {} iteration exhaustions, {} ceiling hits, {} reconstruction failures) \
+         in {} ms",
         total.queries,
         total.cache_hits,
         total.shared_cache_hits,
@@ -114,6 +117,14 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
         total.restarts_luby,
         total.lemmas_published,
         total.lemmas_imported,
+        total.dl_checks,
+        total.dl_conflicts,
+        total.dl_propagations,
+        total.theory_dispatch_dl,
+        total.theory_dispatch_lia,
+        total.theory_iterations_exhausted,
+        total.propagation_ceiling_hits,
+        total.model_reconstruction_failures,
         total.solver_ms,
     )
 }
@@ -212,6 +223,14 @@ mod tests {
                 restarts_luby: 3,
                 lemmas_published: 5,
                 lemmas_imported: 2,
+                dl_checks: 7,
+                dl_conflicts: 4,
+                dl_propagations: 23,
+                theory_dispatch_dl: 7,
+                theory_dispatch_lia: 4,
+                theory_iterations_exhausted: 1,
+                propagation_ceiling_hits: 0,
+                model_reconstruction_failures: 0,
                 solver_ms: 1,
             },
             cross_variant_cache_hits: 1,
@@ -268,6 +287,11 @@ mod tests {
         assert!(json.contains("\"snapshots\":9"));
         assert!(json.contains("\"nodes_copied\":11"));
         assert!(json.contains("\"journal_bytes_shared\":13"));
+        assert!(json.contains("\"dl_checks\":7"));
+        assert!(json.contains("\"dl_conflicts\":4"));
+        assert!(json.contains("\"theory_dispatch_dl\":7"));
+        assert!(json.contains("\"propagation_ceiling_hits\":0"));
+        assert!(json.contains("\"model_reconstruction_failures\":0"));
         assert!(json.contains("\"analysis_ms\":12"), "5 + 7 ms of analysis");
         assert!(json.contains("\"wall_ms\":123"));
     }

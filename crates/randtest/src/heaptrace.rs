@@ -1,7 +1,9 @@
 //! A seeded random generator of CPCF **heap traces**: sequences of symbolic
 //! heap snapshots and numeric queries, in the access pattern the evaluator
 //! produces — interleaved monotone refinements, memo-entry additions and
-//! non-monotone `set` overwrites on randomized branching shapes.
+//! non-monotone `set` overwrites on randomized branching shapes, plus
+//! (under [`TraceConfig::with_diff_chains`]) native difference-constraint
+//! chains and cycles targeting the difference-logic theory module.
 //!
 //! The generator is the random-input half of the differential oracle for the
 //! prover engines: replaying one trace through the pop-to-write-point
@@ -35,6 +37,14 @@ pub struct TraceConfig {
     pub initial_locs: (usize, usize),
     /// Inclusive range integer constants are drawn from.
     pub int_range: (i64, i64),
+    /// Whether the mutation mix includes difference-constraint chains and
+    /// cycles (contradictory and satisfiable) — the difference-logic
+    /// module's native fragment. Off by default: contradictory cycles
+    /// multiply budget-limited (`Ambiguous`) queries whose outcome is
+    /// trajectory-sensitive, so the bit-identical engine-equivalence
+    /// differentials keep the chain-free corpus while the DL refinement
+    /// differential opts in.
+    pub diff_chains: bool,
 }
 
 impl Default for TraceConfig {
@@ -45,6 +55,17 @@ impl Default for TraceConfig {
             fork_probability: 0.3,
             initial_locs: (2, 4),
             int_range: (-20, 20),
+            diff_chains: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The default shape with difference-constraint chains enabled.
+    pub fn with_diff_chains() -> Self {
+        TraceConfig {
+            diff_chains: true,
+            ..TraceConfig::default()
         }
     }
 }
@@ -267,6 +288,14 @@ enum TraceOp {
     /// Structurally overwrite an opaque location with a pair of fresh
     /// opaques — the non-monotone mutation that journals rebases.
     OverwritePair(Loc),
+    /// A chain of difference refinements (`next ≥ prev + c` or the
+    /// equivalent `prev ≤ next − c`) over distinct opaque locations,
+    /// optionally closed into a cycle whose telescoped offset sum makes it
+    /// contradictory (a negative constraint cycle) or satisfiable. This is
+    /// the difference-logic fragment, generated natively so the engine
+    /// differentials exercise the DL module's routing, refutations and
+    /// models rather than meeting difference constraints only by accident.
+    DiffChain(Vec<(Loc, CmpOp, CSymExpr)>),
     /// The drawn mutation target turned out ineligible; mutate nothing.
     Nop,
 }
@@ -323,7 +352,8 @@ impl TraceHeap for ShadowHeap {
 /// re-encode solver state. Inspects `heap` (the primary representation)
 /// only to preserve the historical RNG consumption per case.
 fn random_op(rng: &mut StdRng, config: &TraceConfig, heap: &Heap, locs: &[Loc]) -> TraceOp {
-    match rng.gen_range(0..12) {
+    let cases = if config.diff_chains { 14 } else { 12 };
+    match rng.gen_range(0..cases) {
         // Numeric refinements: the evaluator's bread and butter along a
         // path condition, and what gives overwrites formulas to retract.
         0..=4 => {
@@ -355,8 +385,62 @@ fn random_op(rng: &mut StdRng, config: &TraceConfig, heap: &Heap, locs: &[Loc]) 
         // `pair?` tag test does to an opaque value. When the victim already
         // contributed formulas (a numeric refinement, a memo table, or a
         // memo reference), this journals a rebase.
-        _ => TraceOp::OverwritePair(locs[rng.gen_range(0..locs.len())]),
+        10 | 11 => TraceOp::OverwritePair(locs[rng.gen_range(0..locs.len())]),
+        // A difference-constraint chain, optionally closed into a cycle.
+        _ => random_diff_chain(rng, heap, locs),
     }
+}
+
+/// Draws a difference chain over 2–4 distinct opaque locations:
+/// `l₁ ⋚ l₀ + c₀, l₂ ⋚ l₁ + c₁, …`, each edge rendered either as
+/// `next ≥ prev + c` or the equivalent `prev ≤ next − c` (so atom
+/// normalization is exercised from both directions). With probability 0.6
+/// the chain is closed back to its first location; the closing offset is
+/// tuned so half the cycles telescope to a contradiction (the sum of the
+/// `c`s ends up positive — a negative cycle in the constraint graph) and
+/// half stay satisfiable.
+fn random_diff_chain(rng: &mut StdRng, heap: &Heap, locs: &[Loc]) -> TraceOp {
+    let opaque: Vec<Loc> = locs
+        .iter()
+        .copied()
+        .filter(|&loc| matches!(heap.get(loc), SVal::Opaque { .. }))
+        .collect();
+    if opaque.len() < 2 {
+        return TraceOp::Nop;
+    }
+    // `to ≥ from + c`, surface form drawn at random.
+    let edge = |rng: &mut StdRng, from: Loc, to: Loc, c: i64| {
+        if rng.gen_bool(0.5) {
+            let rhs = CSymExpr::Add(Box::new(CSymExpr::loc(from)), Box::new(CSymExpr::int(c)));
+            (to, CmpOp::Ge, rhs)
+        } else {
+            let rhs = CSymExpr::Sub(Box::new(CSymExpr::loc(to)), Box::new(CSymExpr::int(c)));
+            (from, CmpOp::Le, rhs)
+        }
+    };
+    let len = rng.gen_range(2..=opaque.len().min(4));
+    let start = rng.gen_range(0..opaque.len());
+    let chain: Vec<Loc> = (0..len)
+        .map(|i| opaque[(start + i) % opaque.len()])
+        .collect();
+    let mut refinements = Vec::new();
+    let mut sum = 0i64;
+    for window in chain.windows(2) {
+        let c = rng.gen_range(-5i64..=5);
+        sum += c;
+        refinements.push(edge(rng, window[0], window[1], c));
+    }
+    if rng.gen_bool(0.6) {
+        // Close the cycle. The constraints telescope to `0 ≥ sum + c`, so
+        // the closing offset decides satisfiability outright.
+        let c = if rng.gen_bool(0.5) {
+            1 - sum + rng.gen_range(0i64..=4) // contradictory: sum + c ≥ 1
+        } else {
+            -sum - rng.gen_range(0i64..=4) // satisfiable: sum + c ≤ 0
+        };
+        refinements.push(edge(rng, chain[len - 1], chain[0], c));
+    }
+    TraceOp::DiffChain(refinements)
 }
 
 /// Applies one mutation, returning the locations it allocated (identical
@@ -407,6 +491,14 @@ fn apply_op<H: TraceHeap>(heap: &mut H, op: &TraceOp) -> Vec<Loc> {
             } else {
                 Vec::new()
             }
+        }
+        TraceOp::DiffChain(refinements) => {
+            for (loc, cmp, rhs) in refinements {
+                if matches!(heap.th_get(*loc), SVal::Opaque { .. }) {
+                    heap.th_refine(*loc, CRefinement::NumCmp(*cmp, rhs.clone()));
+                }
+            }
+            Vec::new()
         }
         TraceOp::Nop => Vec::new(),
     }
@@ -462,18 +554,112 @@ mod tests {
     #[test]
     fn checked_generation_produces_the_same_traces() {
         // The differential mode must not perturb the RNG: its traces are
-        // exactly the plain generator's.
-        let config = TraceConfig::default();
-        for seed in [0u64, 7, 42] {
-            let plain = HeapTrace::generate(seed, &config);
-            let checked = HeapTrace::generate_checked(seed, &config);
-            assert_eq!(plain.steps.len(), checked.steps.len());
-            for (a, b) in plain.steps.iter().zip(&checked.steps) {
-                assert_eq!(a.heap.fingerprint(), b.heap.fingerprint());
-                assert_eq!((a.loc, a.op), (b.loc, b.op));
-                assert_eq!(a.rhs, b.rhs);
+        // exactly the plain generator's — with and without the
+        // difference-chain mutation in the mix.
+        for config in [TraceConfig::default(), TraceConfig::with_diff_chains()] {
+            for seed in [0u64, 7, 42] {
+                let plain = HeapTrace::generate(seed, &config);
+                let checked = HeapTrace::generate_checked(seed, &config);
+                assert_eq!(plain.steps.len(), checked.steps.len());
+                for (a, b) in plain.steps.iter().zip(&checked.steps) {
+                    assert_eq!(a.heap.fingerprint(), b.heap.fingerprint());
+                    assert_eq!((a.loc, a.op), (b.loc, b.op));
+                    assert_eq!(a.rhs, b.rhs);
+                }
             }
         }
+    }
+
+    /// Recovers the `to ≥ from + c` edge a [`random_diff_chain`] refinement
+    /// encodes, whichever surface form it was rendered in.
+    fn decode_edge(refinement: &(Loc, CmpOp, CSymExpr)) -> (Loc, Loc, i64) {
+        match refinement {
+            (to, CmpOp::Ge, CSymExpr::Add(a, b)) => match (a.as_ref(), b.as_ref()) {
+                (CSymExpr::Loc(from), CSymExpr::Const(c)) => (*from, *to, *c),
+                other => panic!("unexpected ≥ shape: {other:?}"),
+            },
+            (from, CmpOp::Le, CSymExpr::Sub(a, b)) => match (a.as_ref(), b.as_ref()) {
+                (CSymExpr::Loc(to), CSymExpr::Const(c)) => (*from, *to, *c),
+                other => panic!("unexpected ≤ shape: {other:?}"),
+            },
+            other => panic!("not a difference edge: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_generator_emits_difference_chains_and_both_cycle_polarities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut heap = Heap::new();
+        let locs: Vec<Loc> = (0..4).map(|_| heap.alloc_fresh_opaque()).collect();
+        let (mut chains, mut contradictory, mut satisfiable, mut open) = (0u32, 0u32, 0u32, 0u32);
+        for _ in 0..2000 {
+            let TraceOp::DiffChain(refinements) = random_diff_chain(&mut rng, &heap, &locs) else {
+                panic!("four opaque locations always admit a chain");
+            };
+            chains += 1;
+            let edges: Vec<(Loc, Loc, i64)> = refinements.iter().map(decode_edge).collect();
+            let mut nodes: Vec<Loc> = edges.iter().flat_map(|&(f, t, _)| [f, t]).collect();
+            nodes.sort();
+            nodes.dedup();
+            // A path over k nodes has k − 1 edges; a closed cycle has k.
+            if edges.len() == nodes.len() {
+                let sum: i64 = edges.iter().map(|&(_, _, c)| c).sum();
+                if sum > 0 {
+                    contradictory += 1;
+                } else {
+                    satisfiable += 1;
+                }
+            } else {
+                assert_eq!(edges.len() + 1, nodes.len(), "neither path nor cycle");
+                open += 1;
+            }
+        }
+        assert_eq!(chains, 2000);
+        assert!(
+            contradictory >= 200 && satisfiable >= 200 && open >= 200,
+            "the generator must mix open chains with cycles of both \
+             polarities: {contradictory} contradictory / {satisfiable} \
+             satisfiable / {open} open"
+        );
+    }
+
+    #[test]
+    fn difference_chains_survive_into_generated_traces() {
+        // Shape-level coverage: a healthy share of seeds produce snapshots
+        // carrying at least one two-location difference refinement, so the
+        // differential suites downstream actually exercise the DL fragment.
+        let config = TraceConfig::with_diff_chains();
+        let is_diff_edge = |refinement: &CRefinement| {
+            matches!(
+                refinement,
+                CRefinement::NumCmp(_, CSymExpr::Add(a, b) | CSymExpr::Sub(a, b))
+                    if matches!(
+                        (a.as_ref(), b.as_ref()),
+                        (CSymExpr::Loc(_), CSymExpr::Const(_))
+                    )
+            )
+        };
+        let with_chains = (0..50)
+            .filter(|&seed| {
+                HeapTrace::generate(seed, &config).steps.iter().any(|step| {
+                    step.heap.journal_suffix(0).any(|entry| {
+                        let JournalEvent::Refined(loc, index) = entry.event else {
+                            return false;
+                        };
+                        match step.heap.get(loc) {
+                            SVal::Opaque { refinements, .. } => {
+                                refinements.get(index).is_some_and(is_diff_edge)
+                            }
+                            _ => false,
+                        }
+                    })
+                })
+            })
+            .count();
+        assert!(
+            with_chains >= 10,
+            "only {with_chains}/50 seeds carried a difference refinement"
+        );
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //!   pruning the search in every later check whose cone they touch; clauses
 //!   blocking merely-undecided (`Unknown`) candidates are guarded by a
 //!   per-check query literal and become inert once the check returns.
+//! * **Theory-module dispatch** ([`crate::theory::TheorySolver`]): every
+//!   candidate atom conjunction — the fast path's whole set, and each
+//!   propositional candidate of the SMT loop — is routed to the cheapest
+//!   complete theory module: the incremental difference-logic engine
+//!   ([`crate::dl::DlSolver`]) when every atom normalises to `x − y ≤ c`,
+//!   the general LIA engine otherwise. A difference-logic refutation
+//!   contributes its negative-cycle *explanation* (the inconsistent subset)
+//!   as the blocking clause and the shared lemma instead of blaming the
+//!   whole candidate, so the learnt clause prunes strictly more.
 //! * **Per-query cone slicing**: before searching, the active formulas are
 //!   partitioned into variable-connected components (union–find over each
 //!   formula's cached variable set). A query only solves the components its
@@ -51,11 +60,14 @@ use crate::arena::{Arena, AtomId};
 use crate::cnf::{encode_and_gate, encode_or_gate};
 use crate::formula::Formula;
 use crate::lemmas::{SharedLemma, SharedLemmaPool};
-use crate::lia::{check_atom_refs, LiaResult};
+use crate::lia::LiaResult;
 use crate::model::Model;
+use crate::probes;
 use crate::sat::{BVar, Lit, SatResult as PropResult, SatSolver, SatStats};
 use crate::term::Var;
-use crate::theory::{check_conjunction_counted, collect_atoms, SmtResult, TheoryConfig};
+use crate::theory::{
+    check_conjunction_counted, collect_atoms, dispatch_check, SmtResult, TheoryConfig,
+};
 
 /// Bound on memoized formula analyses and component verdicts; the caches are
 /// cleared wholesale when they outgrow it (correctness never depends on a
@@ -424,12 +436,12 @@ impl TheoryCore {
                         .copied()
                 })
                 .collect();
-            let verdict = {
+            let dispatched = {
                 let refs: Vec<&crate::formula::Atom> =
                     ids.iter().map(|&id| self.arena.atom(id)).collect();
-                check_atom_refs(&refs, &self.config.lia)
+                dispatch_check(&refs, &self.config)
             };
-            return match verdict {
+            return match dispatched.result {
                 LiaResult::Sat(values) => {
                     let mut model = Model::new();
                     for (var, value) in values {
@@ -438,10 +450,19 @@ impl TheoryCore {
                     self.finish_model(model, active, assumed)
                 }
                 LiaResult::Unsat => {
-                    // The whole conjunction is a theory lemma: siblings
+                    // The refuted conjunction is a theory lemma: siblings
                     // re-deriving this exact refutation (the other variant
-                    // of the same program, a validation run) skip it.
-                    self.publish_lemma(&ids);
+                    // of the same program, a validation run) skip it. A
+                    // module explanation narrows the lemma to the
+                    // inconsistent subset — a stronger, more reusable
+                    // clause.
+                    let lemma: Vec<AtomId> = match &dispatched.explanation {
+                        Some(explanation) if !explanation.is_empty() => {
+                            explanation.iter().map(|&i| ids[i]).collect()
+                        }
+                        _ => ids.clone(),
+                    };
+                    self.publish_lemma(&lemma);
                     SmtResult::Unsat
                 }
                 LiaResult::Unknown => SmtResult::Unknown,
@@ -536,12 +557,12 @@ impl TheoryCore {
                             bvar.positive()
                         });
                     }
-                    let theory_result = {
+                    let dispatched = {
                         let refs: Vec<&crate::formula::Atom> =
                             chosen.iter().map(|&id| self.arena.atom(id)).collect();
-                        check_atom_refs(&refs, &self.config.lia)
+                        dispatch_check(&refs, &self.config)
                     };
-                    match theory_result {
+                    match dispatched.result {
                         LiaResult::Sat(values) => {
                             let mut model = Model::new();
                             for (var, value) in values {
@@ -569,9 +590,19 @@ impl TheoryCore {
                             // A theory lemma: this combination of atom
                             // polarities is inconsistent under any
                             // assignment, in any frame — retain it, and
-                            // offer it to sibling workers.
-                            self.sat.add_clause(blocking);
-                            self.publish_lemma(&chosen);
+                            // offer it to sibling workers. A module
+                            // explanation narrows both the clause and the
+                            // lemma to the inconsistent subset.
+                            let (clause, lemma): (Vec<Lit>, Vec<AtomId>) =
+                                match &dispatched.explanation {
+                                    Some(explanation) if !explanation.is_empty() => (
+                                        explanation.iter().map(|&i| blocking[i]).collect(),
+                                        explanation.iter().map(|&i| chosen[i]).collect(),
+                                    ),
+                                    _ => (blocking, chosen.clone()),
+                                };
+                            self.sat.add_clause(clause);
+                            self.publish_lemma(&lemma);
                         }
                         LiaResult::Unknown => {
                             saw_unknown = true;
@@ -584,6 +615,7 @@ impl TheoryCore {
                 }
             }
         }
+        probes::bump(|p| p.theory_iterations_exhausted += 1);
         SmtResult::Unknown
     }
 

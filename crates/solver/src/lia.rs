@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::formula::{Atom, CmpOp};
 use crate::linear::{linearise, LinExpr, Linearised};
 use crate::term::{Term, Var};
+use crate::theory::{TheoryModuleStats, TheorySolver, TheoryVerdict};
 
 /// Relation of a linear expression to zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -736,11 +737,18 @@ fn propagate_ne(expr: &LinExpr, state: &mut SearchState) -> Option<bool> {
     let forbidden = clamp_i64((-rest) / coeff as i128);
     let (lo, hi) = state.bounds.get(&var).copied().unwrap_or((None, None));
     let mut changed = false;
+    // A bound pinned at an i64 extreme may be a clamped stand-in for a
+    // larger true bound, so no exclusion is derived there — propagation
+    // just prunes less and the model check still rejects violations.
     if lo == Some(forbidden) {
-        changed |= tighten(state, var, Some(forbidden + 1), None)?;
+        if let Some(next) = forbidden.checked_add(1) {
+            changed |= tighten(state, var, Some(next), None)?;
+        }
     }
     if hi == Some(forbidden) {
-        changed |= tighten(state, var, None, Some(forbidden - 1))?;
+        if let Some(previous) = forbidden.checked_sub(1) {
+            changed |= tighten(state, var, None, Some(previous))?;
+        }
     }
     Some(changed)
 }
@@ -854,7 +862,10 @@ fn propagate(problem: &LiaProblem, state: &mut SearchState) -> bool {
         }
     }
     // Round ceiling reached without conflict: proceed with the (sound,
-    // possibly still-wide) domains narrowed so far.
+    // possibly still-wide) domains narrowed so far. Counted, not silent —
+    // a nonzero ceiling count on difference-fragment inputs means the
+    // dispatcher failed to route them to the DL module.
+    crate::probes::bump(|p| p.propagation_ceiling_hits += 1);
     true
 }
 
@@ -1040,7 +1051,9 @@ pub fn check_problem(problem: &LiaProblem, config: &LiaConfig) -> LiaResult {
                 LiaResult::Sat(model)
             } else {
                 // Reconstruction failed (e.g. due to an overflow during
-                // evaluation); be conservative.
+                // evaluation); be conservative — and count the silent
+                // completeness loss.
+                crate::probes::bump(|p| p.model_reconstruction_failures += 1);
                 LiaResult::Unknown
             }
         }
@@ -1052,6 +1065,72 @@ pub fn check_problem(problem: &LiaProblem, config: &LiaConfig) -> LiaResult {
             }
         }
         SearchOutcome::GaveUp => LiaResult::Unknown,
+    }
+}
+
+/// The LIA engine packaged as a [`TheorySolver`] module: the catch-all the
+/// dispatcher falls back to for conjunctions outside every specialised
+/// fragment. `can_decide` always answers yes (it is the engine of last
+/// resort — complete up to its value bound, `Unknown` beyond it), asserts
+/// buffer atoms per frame, and `check` runs the full
+/// elimination/propagation/search pipeline over the buffered conjunction.
+#[derive(Debug, Default)]
+pub struct LiaModule {
+    config: LiaConfig,
+    atoms: Vec<Atom>,
+    frames: Vec<usize>,
+    stats: TheoryModuleStats,
+}
+
+impl LiaModule {
+    /// Creates a module with the given search configuration.
+    pub fn new(config: LiaConfig) -> Self {
+        LiaModule {
+            config,
+            ..LiaModule::default()
+        }
+    }
+}
+
+impl TheorySolver for LiaModule {
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+
+    fn can_decide(&self, _atoms: &[&Atom]) -> bool {
+        true
+    }
+
+    fn push(&mut self) {
+        self.frames.push(self.atoms.len());
+    }
+
+    fn assert(&mut self, atom: &Atom) -> Result<(), Vec<usize>> {
+        self.atoms.push(atom.clone());
+        Ok(())
+    }
+
+    fn retract(&mut self) {
+        let mark = self.frames.pop().unwrap_or(0);
+        self.atoms.truncate(mark);
+    }
+
+    fn check(&mut self) -> TheoryVerdict {
+        self.stats.checks += 1;
+        match check_atoms(&self.atoms, &self.config) {
+            LiaResult::Sat(values) => TheoryVerdict::Sat(values),
+            LiaResult::Unsat => {
+                self.stats.conflicts += 1;
+                // The enumeration engine has no conflict analysis: the
+                // explanation is the whole conjunction.
+                TheoryVerdict::Unsat((0..self.atoms.len()).collect())
+            }
+            LiaResult::Unknown => TheoryVerdict::Unknown,
+        }
+    }
+
+    fn stats(&self) -> TheoryModuleStats {
+        self.stats
     }
 }
 
@@ -1076,6 +1155,24 @@ mod tests {
     #[test]
     fn empty_conjunction_is_sat() {
         assert!(matches!(check(&[]), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn failed_model_reconstruction_is_conservative_and_counted() {
+        // x = y + (i64::MAX − 10) ∧ y ≥ 100: presolve eliminates one side
+        // of the equality, the search solves the residual problem, but
+        // reconstructing the eliminated variable overflows `i64`. The
+        // verdict must degrade to `Unknown` (never a wrong `Sat`), and the
+        // silent completeness loss must show up in the probe counter.
+        let atoms = vec![
+            eq(x(0), Term::add(x(1), Term::int(i64::MAX - 10))),
+            Atom::new(x(1), CmpOp::Ge, Term::int(100)),
+        ];
+        let before = crate::probes::totals().model_reconstruction_failures;
+        let result = check(&atoms);
+        assert_eq!(result, LiaResult::Unknown, "overflowed model must not leak");
+        let after = crate::probes::totals().model_reconstruction_failures;
+        assert_eq!(after - before, 1, "the reconstruction failure is counted");
     }
 
     #[test]

@@ -22,14 +22,26 @@
 //!   restricted branching set).
 //! * [`cnf`] — Tseitin encoding of formulas into clauses over theory atoms
 //!   (the scratch engine's per-check encoder).
-//! * [`lia`] — the linear-integer-arithmetic theory solver: Gaussian
-//!   elimination over equalities, interval propagation, and a
+//! * [`lia`] — the general linear-integer-arithmetic theory engine:
+//!   Gaussian elimination over equalities, interval propagation, and a
 //!   small-values-first branch-and-bound model search (which also handles the
-//!   product constraints introduced by multiplying two unknowns).
-//! * [`theory`] — the lazy SMT loop combining the SAT core with the theory,
-//!   rebuilt from nothing per check (the *scratch* engine, kept as the
-//!   `CPCF_SOLVER_CORE=scratch` ablation and as the persistent core's
-//!   fallback oracle).
+//!   product constraints introduced by multiplying two unknowns). Packaged
+//!   as the catch-all [`lia::LiaModule`] behind the theory-module trait.
+//! * [`dl`] — the incremental difference-logic engine: conjunctions whose
+//!   atoms all normalise to `x − y ≤ c` are decided *exactly* by
+//!   negative-cycle detection over the constraint graph, with
+//!   potential-function reuse across incremental asserts and negative-cycle
+//!   explanations as conflict clauses. Gated by `CPCF_THEORY_DL=on|off`.
+//! * [`theory`] — the theory layer: the [`theory::TheorySolver`] module
+//!   trait, the dispatcher routing each atom conjunction to the cheapest
+//!   complete module, and the lazy SMT loop combining the SAT core with the
+//!   dispatched theory, rebuilt from nothing per check (the *scratch*
+//!   engine, kept as the `CPCF_SOLVER_CORE=scratch` ablation and as the
+//!   persistent core's fallback oracle).
+//! * [`probes`] — thread-local counters for theory-layer events raised in
+//!   code with no statistics handle (dispatch decisions, propagation-ceiling
+//!   hits, model-reconstruction failures), drained per check into
+//!   [`SolverStats`].
 //! * [`core`] — the *persistent* incremental core (the default engine): one
 //!   long-lived CDCL instance per solver whose Tseitin encodings, interned
 //!   atoms and theory lemmas survive across checks, with assertion frames
@@ -77,16 +89,19 @@
 pub mod arena;
 pub mod cnf;
 pub mod core;
+pub mod dl;
 pub mod formula;
 pub mod lemmas;
 pub mod lia;
 pub mod linear;
 pub mod model;
+pub mod probes;
 pub mod sat;
 pub mod solver;
 pub mod term;
 pub mod theory;
 
+pub use dl::{default_theory_dl, DlSolver};
 pub use formula::{Atom, CmpOp, Formula};
 pub use lemmas::{default_lemma_sharing, SharedLemma, SharedLemmaPool};
 pub use model::Model;
@@ -94,4 +109,4 @@ pub use solver::{
     default_core_mode, CoreMode, Proof, Solver, SolverConfig, SolverStats, UnbalancedPop, Validity,
 };
 pub use term::{Term, Var};
-pub use theory::{SmtResult, TheoryConfig};
+pub use theory::{SmtResult, TheoryConfig, TheoryModuleStats, TheorySolver, TheoryVerdict};

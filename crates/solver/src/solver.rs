@@ -99,6 +99,32 @@ pub struct SolverStats {
     /// Sibling theory lemmas imported from a shared lemma pool (zero
     /// without a pool).
     pub lemmas_imported: u64,
+    /// Atom conjunctions the theory dispatcher routed to the
+    /// difference-logic module (zero under `CPCF_THEORY_DL=off`).
+    pub dl_checks: u64,
+    /// Difference-logic refutations: negative constraint cycles whose
+    /// explanations became blocking clauses and shared lemmas.
+    pub dl_conflicts: u64,
+    /// Potential-repair edge relaxations performed by the difference-logic
+    /// module.
+    pub dl_propagations: u64,
+    /// Dispatcher routings to the difference-logic module.
+    pub theory_dispatch_dl: u64,
+    /// Dispatcher routings to the general LIA module (conjunctions outside
+    /// the difference fragment, or everything when the DL gate is off).
+    pub theory_dispatch_lia: u64,
+    /// Lazy-SMT loops that exhausted `TheoryConfig::max_iterations` and
+    /// degraded their verdict to `Unknown`.
+    pub theory_iterations_exhausted: u64,
+    /// Interval-propagation fixpoint loops cut off by the LIA engine's
+    /// round ceiling — the difference-cycle divergence symptom. Zero for
+    /// difference cycles when the DL module handles the fragment;
+    /// out-of-fragment divergences (e.g. division intervals) can still
+    /// ride the ceiling under either gate setting.
+    pub propagation_ceiling_hits: u64,
+    /// LIA models that failed re-verification after eliminated variables
+    /// were reconstructed (each conservatively degraded to `Unknown`).
+    pub model_reconstruction_failures: u64,
     /// Total wall-clock time spent inside satisfiability checks.
     pub time: Duration,
 }
@@ -121,6 +147,14 @@ impl SolverStats {
         self.restarts_luby += other.restarts_luby;
         self.lemmas_published += other.lemmas_published;
         self.lemmas_imported += other.lemmas_imported;
+        self.dl_checks += other.dl_checks;
+        self.dl_conflicts += other.dl_conflicts;
+        self.dl_propagations += other.dl_propagations;
+        self.theory_dispatch_dl += other.theory_dispatch_dl;
+        self.theory_dispatch_lia += other.theory_dispatch_lia;
+        self.theory_iterations_exhausted += other.theory_iterations_exhausted;
+        self.propagation_ceiling_hits += other.propagation_ceiling_hits;
+        self.model_reconstruction_failures += other.model_reconstruction_failures;
         self.time += other.time;
     }
 }
@@ -362,6 +396,10 @@ impl Solver {
     fn run_check(&self, assumptions: &[Formula]) -> SmtResult {
         let start = Instant::now();
         let mut stats = self.stats.get();
+        // Theory-layer events (dispatch decisions, DL work, ceiling hits)
+        // are counted in thread-local probes by code with no stats handle;
+        // snapshot around the check to attribute this check's delta here.
+        let probes_before = crate::probes::totals();
         let result = match self.config.core {
             CoreMode::Scratch => {
                 let (result, sat_stats) = if assumptions.is_empty() {
@@ -402,6 +440,15 @@ impl Solver {
                 result
             }
         };
+        let probe_delta = crate::probes::totals().delta_since(&probes_before);
+        stats.dl_checks += probe_delta.dl_checks;
+        stats.dl_conflicts += probe_delta.dl_conflicts;
+        stats.dl_propagations += probe_delta.dl_propagations;
+        stats.theory_dispatch_dl += probe_delta.theory_dispatch_dl;
+        stats.theory_dispatch_lia += probe_delta.theory_dispatch_lia;
+        stats.theory_iterations_exhausted += probe_delta.theory_iterations_exhausted;
+        stats.propagation_ceiling_hits += probe_delta.propagation_ceiling_hits;
+        stats.model_reconstruction_failures += probe_delta.model_reconstruction_failures;
         stats.checks += 1;
         stats.time += start.elapsed();
         match &result {
@@ -576,6 +623,49 @@ mod tests {
         assert!(atoms_only.check().is_sat());
         assert_eq!(atoms_only.stats().conflicts, 0);
         assert_eq!(atoms_only.stats().propagations, 0);
+    }
+
+    #[test]
+    fn difference_cycle_regression_is_decided_by_dl_without_ceiling_hits() {
+        // The PR 3 fuzzer regression: y ≥ x ∧ y ≤ x − 12, seeded with
+        // x ≥ 0 so interval propagation has a bound to start chasing
+        // around the cycle. It used to diverge into the round ceiling and
+        // answer `Unknown`; the DL module must decide it outright.
+        let assert_cycle = |solver: &mut Solver| {
+            solver.assert(Formula::ge(x(0), Term::int(0)));
+            solver.assert(Formula::ge(x(1), x(0)));
+            solver.assert(Formula::le(x(1), Term::sub(x(0), Term::int(12))));
+        };
+        let mut config = SolverConfig::default();
+        config.theory.theory_dl = true;
+        let mut with_dl = Solver::with_config(config);
+        assert_cycle(&mut with_dl);
+        assert!(
+            with_dl.check().is_unsat(),
+            "the DL module decides the cycle"
+        );
+        let stats = with_dl.stats();
+        assert!(stats.dl_checks >= 1, "routed to the DL module: {stats:?}");
+        assert!(stats.dl_conflicts >= 1, "the cycle is a DL conflict");
+        assert_eq!(
+            stats.propagation_ceiling_hits, 0,
+            "no round ceiling involved: {stats:?}"
+        );
+        assert_eq!(stats.unknown, 0);
+
+        let mut config = SolverConfig::default();
+        config.theory.theory_dl = false;
+        let mut without_dl = Solver::with_config(config);
+        assert_cycle(&mut without_dl);
+        let verdict = without_dl.check();
+        assert!(!verdict.is_sat(), "the old engine must never claim sat");
+        let stats = without_dl.stats();
+        assert_eq!(stats.dl_checks, 0, "gated off: {stats:?}");
+        assert_eq!(stats.theory_dispatch_dl, 0);
+        assert!(
+            stats.propagation_ceiling_hits >= 1,
+            "the old engine diverges into the ceiling: {stats:?}"
+        );
     }
 
     #[test]

@@ -35,6 +35,12 @@
 //!    engine on any `Unknown` of its own). A companion property checks
 //!    that clause retention respects frame pops: a constraint asserted in
 //!    a popped frame never influences later verdicts.
+//! 5. **Theory-module refinement fuzzing** — replaying traces whose
+//!    generator emits native difference-constraint chains and cycles
+//!    (`TraceConfig::with_diff_chains`), the engine with the
+//!    difference-logic module enabled must refine the LIA-only ablation:
+//!    identical verdicts wherever LIA decides, at least as many decisions
+//!    overall, and witness-checked models at `Sat`.
 
 use folic::{CmpOp, Formula, Model, SmtResult, Solver, Term, Var};
 use rand::rngs::StdRng;
@@ -637,6 +643,94 @@ mod session_equivalence {
         assert!(
             persistent_total.solver.cone_vars_pruned > 0,
             "cone slicing never pruned a variable: {persistent_total:?}"
+        );
+    }
+
+    #[test]
+    fn difference_logic_refines_the_lia_only_engine_over_200_seeds() {
+        use cpcf::SessionStats;
+        use folic::CoreMode;
+        use randtest::{HeapTrace, TraceConfig};
+
+        // The differential oracle for the difference-logic theory module:
+        // replaying seeded heap traces (whose generator now emits native
+        // difference-constraint chains and cycles) through two
+        // identically-configured sessions that differ only in
+        // `TheoryConfig::theory_dl`, the DL-enabled engine must *refine* the
+        // LIA-only engine — it returns exactly the LIA verdict on every
+        // query LIA decides, and decides at least as many queries overall.
+        // The DL module only claims conjunctions wholly inside its fragment
+        // (where it is complete), so a decided answer can never flip:
+        // DL-side Sat models are witness-checked against the full heap
+        // translation below, and DL-side Unsat rests on a sound negative
+        // constraint cycle.
+        const TRACES: u64 = 200;
+        let config = TraceConfig::with_diff_chains();
+        let engine = |theory_dl: bool| {
+            let mut config = ProveConfig {
+                fresh_per_query: false,
+                retraction: true,
+                ..ProveConfig::default()
+            };
+            config.solver.core = CoreMode::Persistent;
+            config.solver.theory.theory_dl = theory_dl;
+            config
+        };
+        let decided = |proof: folic::Proof| proof != folic::Proof::Ambiguous;
+        let mut dl_decided = 0usize;
+        let mut lia_decided = 0usize;
+        let mut dl_total = SessionStats::default();
+        for seed in 0..TRACES {
+            let trace = HeapTrace::generate(seed, &config);
+            let mut with_dl = ProverSession::with_config(engine(true));
+            let mut without_dl = ProverSession::with_config(engine(false));
+            let dl_verdicts = trace.replay(&mut with_dl);
+            let lia_verdicts = trace.replay(&mut without_dl);
+            assert_eq!(dl_verdicts.len(), lia_verdicts.len());
+            for (index, (d, l)) in dl_verdicts.iter().zip(&lia_verdicts).enumerate() {
+                if decided(*l) {
+                    assert_eq!(
+                        d, l,
+                        "seed {seed} query {index}: DL-enabled {d:?} does not refine \
+                         LIA-only {l:?}"
+                    );
+                }
+                dl_decided += usize::from(decided(*d));
+                lia_decided += usize::from(decided(*l));
+            }
+            // Witness validity at Sat: whenever the DL-enabled session can
+            // produce a heap model, it must satisfy the heap's translation —
+            // difference atoms included — so a DL potential function never
+            // smuggles in a bogus witness.
+            let last = trace.steps.last().expect("traces are non-empty");
+            if let Some(model) = with_dl.heap_model(&last.heap) {
+                let translation = cpcf::prove::translate_heap(&last.heap);
+                if translation.next_aux() == last.heap.next_index() {
+                    assert!(
+                        model.satisfies_all(&translation.formulas),
+                        "seed {seed}: DL-enabled model {model} violates the translation"
+                    );
+                }
+            }
+            dl_total.merge(&with_dl.stats());
+            let lia_stats = without_dl.stats();
+            assert_eq!(
+                lia_stats.solver.dl_checks, 0,
+                "seed {seed}: the gated-off leg ran the DL module: {lia_stats:?}"
+            );
+        }
+        assert!(
+            dl_decided >= lia_decided,
+            "the DL-enabled engine decided fewer queries ({dl_decided}) than the \
+             LIA-only engine ({lia_decided})"
+        );
+        assert!(
+            dl_total.solver.dl_checks > 0,
+            "no query was routed to the DL module: {dl_total:?}"
+        );
+        assert!(
+            dl_total.solver.dl_conflicts > 0,
+            "the corpus never produced a contradictory difference cycle: {dl_total:?}"
         );
     }
 
