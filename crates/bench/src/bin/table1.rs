@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin table1 \
 //!     [--group kobayashi|terauchi|occurrence|games|others] \
 //!     [--workers N] [--fresh-per-query] [--rebase] [--differential] \
-//!     [--timing] [--json]
+//!     [--store DIR] [--incremental] [--timing] [--json]
 //! ```
 //!
 //! `--workers N` shards the run over `N` threads (programs across threads,
@@ -20,10 +20,15 @@
 //! incremental session but disables pop-to-write-point retraction (every
 //! non-monotone overwrite re-encodes the heap, the pre-retraction engine);
 //! `--differential` runs both the incremental and fresh engines and checks
-//! the verdicts agree; `--timing` appends a per-row and aggregate
-//! wall-clock table (monotonic clock); `--json` emits the machine-readable
-//! report (per-row and aggregate stats — including retraction, heap
-//! snapshot/sharing, per-worker and cross-variant cache-hit numbers — plus
+//! the verdicts agree; `--store DIR` attaches the persistent analysis store
+//! in `DIR` (verdicts and theory lemmas survive the process: the first run
+//! populates it, later runs warm-start from it — see the store section of
+//! this crate's README); `--incremental` additionally skips exports whose
+//! dependency-cone hash already has a stored verdict (requires `--store`);
+//! `--timing` appends a per-row and aggregate wall-clock table (monotonic
+//! clock); `--json` emits the machine-readable report (per-row and
+//! aggregate stats — including retraction, heap snapshot/sharing,
+//! per-worker, cross-variant cache-hit and store counters — plus
 //! `analysis_ms`/`wall_ms` timing) on stdout.
 
 use std::time::Instant;
@@ -64,6 +69,18 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let store_dir = args.iter().position(|a| a == "--store").map(|i| {
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("--store requires a directory");
+            std::process::exit(2);
+        };
+        value.clone()
+    });
+    let incremental = args.iter().any(|a| a == "--incremental");
+    if incremental && store_dir.is_none() {
+        eprintln!("--incremental requires --store DIR");
+        std::process::exit(2);
+    }
 
     let programs = match group {
         Some(group) => group_programs(group),
@@ -78,6 +95,28 @@ fn main() {
     };
     if let Some(workers) = workers {
         options = options.with_workers(workers);
+    }
+    if let Some(dir) = &store_dir {
+        // The engine fingerprint is computed after every engine-shaping flag
+        // has been applied, so each ablation leg gets its own store file.
+        let fingerprint = cpcf::EngineFingerprint::for_analyze(&options.analyze);
+        match cpcf::AnalysisStore::open(dir, fingerprint) {
+            Ok(store) => {
+                eprintln!(
+                    "[table1] store {}: {} verdicts, {} lemmas, {} export cones",
+                    store.path().display(),
+                    store.verdict_count(),
+                    store.lemma_count(),
+                    store.cone_count(),
+                );
+                options.analyze.store = Some(store);
+                options.analyze.incremental = incremental;
+            }
+            Err(error) => {
+                eprintln!("cannot open store in `{dir}`: {error}");
+                std::process::exit(2);
+            }
+        }
     }
 
     if differential {

@@ -149,6 +149,14 @@ pub struct StatsSummary {
     /// computed by another session (a sibling worker or an earlier variant
     /// run).
     pub shared_cache_hits: u64,
+    /// The subset of `shared_cache_hits` served by the persistent on-disk
+    /// store (verdicts inherited from an earlier *process*; zero without
+    /// `--store`).
+    pub store_hits: u64,
+    /// Queries that missed both cache tiers while a store was attached.
+    pub store_misses: u64,
+    /// Verdicts newly appended to the persistent store.
+    pub store_writes: u64,
     /// Whole-heap encodings performed.
     pub full_encodings: u64,
     /// Incremental journal-suffix encodings performed.
@@ -232,6 +240,9 @@ impl StatsSummary {
             queries: stats.queries,
             cache_hits: stats.cache_hits,
             shared_cache_hits: stats.shared_cache_hits,
+            store_hits: stats.store_hits,
+            store_misses: stats.store_misses,
+            store_writes: stats.store_writes,
             full_encodings: stats.full_encodings,
             delta_encodings: stats.delta_encodings,
             reused_encodings: stats.reused_encodings,
@@ -269,6 +280,9 @@ impl StatsSummary {
         self.queries += other.queries;
         self.cache_hits += other.cache_hits;
         self.shared_cache_hits += other.shared_cache_hits;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_writes += other.store_writes;
         self.full_encodings += other.full_encodings;
         self.delta_encodings += other.delta_encodings;
         self.reused_encodings += other.reused_encodings;
@@ -307,6 +321,9 @@ impl Serialize for StatsSummary {
             .field("queries", &self.queries)
             .field("cache_hits", &self.cache_hits)
             .field("shared_cache_hits", &self.shared_cache_hits)
+            .field("store_hits", &self.store_hits)
+            .field("store_misses", &self.store_misses)
+            .field("store_writes", &self.store_writes)
             .field("full_encodings", &self.full_encodings)
             .field("delta_encodings", &self.delta_encodings)
             .field("reused_encodings", &self.reused_encodings)
@@ -378,6 +395,12 @@ pub struct ProgramResult {
     /// Per-analysis-worker statistics, summed across both variants by
     /// worker index (a single entry when the analysis ran sequentially).
     pub worker_summaries: Vec<StatsSummary>,
+    /// Stored theory lemmas re-published into this program's lemma pool
+    /// before analysis (zero without `--store`, and on the cold run).
+    pub lemmas_warm_started: u64,
+    /// Exports answered straight from the store because their
+    /// dependency-cone hash was unchanged (zero without `--incremental`).
+    pub exports_skipped: u64,
 }
 
 impl Serialize for ProgramResult {
@@ -395,6 +418,8 @@ impl Serialize for ProgramResult {
             .field("stats", &self.stats)
             .field("cross_variant_cache_hits", &self.cross_variant_cache_hits)
             .field("per_worker", &self.worker_summaries)
+            .field("lemmas_warm_started", &self.lemmas_warm_started)
+            .field("exports_skipped", &self.exports_skipped)
             .finish()
     }
 }
@@ -438,7 +463,7 @@ pub fn contract_order(contract: &Expr) -> u32 {
 fn analyze_variant(
     source: &str,
     options: &BenchOptions,
-) -> (Verdict, u128, u32, StatsSummary, Vec<StatsSummary>) {
+) -> (Verdict, u128, u32, StatsSummary, Vec<StatsSummary>, u64) {
     let start = Instant::now();
     let Ok((program, _)) = cpcf::parse_program(source) else {
         return (
@@ -447,6 +472,7 @@ fn analyze_variant(
             0,
             StatsSummary::default(),
             Vec::new(),
+            0,
         );
     };
     let module_name = program
@@ -492,6 +518,7 @@ fn analyze_variant(
             .iter()
             .map(StatsSummary::from_session)
             .collect(),
+        report.skipped.len() as u64,
     )
 }
 
@@ -519,16 +546,29 @@ fn merge_worker_summaries(
 /// analysing the correct variant prune the faulty variant's searches.
 pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramResult {
     eprintln!("[table1] analysing {} ...", program.name);
-    let cache = SharedVerdictCache::new();
     let mut options = options.clone();
+    // With a persistent store attached (`--store`), the per-program shared
+    // cache gains the disk tier: misses fall through to verdicts an earlier
+    // process proved, and new verdicts are appended for the next one.
+    let cache = match &options.analyze.store {
+        Some(store) => SharedVerdictCache::with_store(store.clone()),
+        None => SharedVerdictCache::new(),
+    };
     options.analyze.shared_cache = Some(cache.clone());
     if options.analyze.shared_lemmas.is_none() && cpcf::default_lemma_sharing() {
         options.analyze.shared_lemmas = Some(cpcf::SharedLemmaPool::new());
     }
-    let (correct_verdict, correct_ms, order, correct_stats, correct_workers) =
+    // Warm-start the program's lemma pool from the store up front so the
+    // per-program count is attributable (the scheduler's own warm start is
+    // content-deduplicated, so it then re-publishes nothing).
+    let mut lemmas_warm_started = 0;
+    if let (Some(store), Some(pool)) = (&options.analyze.store, &options.analyze.shared_lemmas) {
+        lemmas_warm_started = store.warm_start_lemmas(pool);
+    }
+    let (correct_verdict, correct_ms, order, correct_stats, correct_workers, correct_skipped) =
         analyze_variant(program.correct, &options);
     cache.advance_epoch();
-    let (faulty_verdict, faulty_ms, faulty_order, faulty_stats, faulty_workers) =
+    let (faulty_verdict, faulty_ms, faulty_order, faulty_stats, faulty_workers, faulty_skipped) =
         analyze_variant(program.faulty, &options);
     eprintln!(
         "[table1]   {}: correct {:?} in {} ms, faulty {:?} in {} ms",
@@ -549,6 +589,8 @@ pub fn run_program(program: &BenchProgram, options: &BenchOptions) -> ProgramRes
         stats,
         cross_variant_cache_hits: cache.cross_epoch_hits(),
         worker_summaries: merge_worker_summaries(correct_workers, &faulty_workers),
+        lemmas_warm_started,
+        exports_skipped: correct_skipped + faulty_skipped,
     }
 }
 
@@ -741,6 +783,8 @@ mod tests {
                 queries: 10,
                 ..StatsSummary::default()
             }],
+            lemmas_warm_started: 4,
+            exports_skipped: 1,
         };
         let json = result.to_json();
         assert!(json.contains("\"name\":\"a\""));
@@ -748,6 +792,8 @@ mod tests {
         assert!(json.contains("\"cache_hits\":3"));
         assert!(json.contains("\"cross_variant_cache_hits\":2"));
         assert!(json.contains("\"per_worker\":[{"));
+        assert!(json.contains("\"lemmas_warm_started\":4"));
+        assert!(json.contains("\"exports_skipped\":1"));
     }
 
     #[test]

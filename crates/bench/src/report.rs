@@ -78,6 +78,17 @@ pub fn total_cross_variant_hits(results: &[ProgramResult]) -> u64 {
     results.iter().map(|r| r.cross_variant_cache_hits).sum()
 }
 
+/// Sums the warm-started lemmas over all rows (each row's per-program pool
+/// is warm-started independently from the store).
+pub fn total_lemmas_warm_started(results: &[ProgramResult]) -> u64 {
+    results.iter().map(|r| r.lemmas_warm_started).sum()
+}
+
+/// Sums the incrementally skipped exports over all rows.
+pub fn total_exports_skipped(results: &[ProgramResult]) -> u64 {
+    results.iter().map(|r| r.exports_skipped).sum()
+}
+
 /// A one-line rendering of the aggregated solver statistics: how much work
 /// the incremental prover session and the shared verdict cache saved.
 pub fn summarize_stats(results: &[ProgramResult]) -> String {
@@ -91,8 +102,9 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
          {} cone vars pruned, {} clauses learnt, {} deleted, {} luby restarts, \
          {} lemmas published, {} imported), {} dl checks \
          ({} conflicts, {} relaxations, {} dl + {} lia dispatches, \
-         {} iteration exhaustions, {} ceiling hits, {} reconstruction failures) \
-         in {} ms",
+         {} iteration exhaustions, {} ceiling hits, {} reconstruction failures), \
+         store: {} hits, {} misses, {} writes, {} lemmas warm-started, \
+         {} exports skipped, in {} ms",
         total.queries,
         total.cache_hits,
         total.shared_cache_hits,
@@ -125,6 +137,11 @@ pub fn summarize_stats(results: &[ProgramResult]) -> String {
         total.theory_iterations_exhausted,
         total.propagation_ceiling_hits,
         total.model_reconstruction_failures,
+        total.store_hits,
+        total.store_misses,
+        total.store_writes,
+        total_lemmas_warm_started(results),
+        total_exports_skipped(results),
         total.solver_ms,
     )
 }
@@ -179,6 +196,8 @@ pub fn to_json(results: &[ProgramResult], wall_ms: u128) -> String {
             "cross_variant_cache_hits",
             &total_cross_variant_hits(results),
         )
+        .field("lemmas_warm_started", &total_lemmas_warm_started(results))
+        .field("exports_skipped", &total_exports_skipped(results))
         .field("analysis_ms", &total_analysis_ms(results))
         .field("wall_ms", &wall_ms)
         .finish()
@@ -203,6 +222,9 @@ mod tests {
                 queries: 20,
                 cache_hits: 4,
                 shared_cache_hits: 2,
+                store_hits: 1,
+                store_misses: 3,
+                store_writes: 2,
                 full_encodings: 2,
                 delta_encodings: 5,
                 reused_encodings: 3,
@@ -238,6 +260,8 @@ mod tests {
                 queries: 20,
                 ..StatsSummary::default()
             }],
+            lemmas_warm_started: 2,
+            exports_skipped: 1,
         }
     }
 
@@ -292,6 +316,11 @@ mod tests {
         assert!(json.contains("\"theory_dispatch_dl\":7"));
         assert!(json.contains("\"propagation_ceiling_hits\":0"));
         assert!(json.contains("\"model_reconstruction_failures\":0"));
+        assert!(json.contains("\"store_hits\":1"));
+        assert!(json.contains("\"store_misses\":3"));
+        assert!(json.contains("\"store_writes\":2"));
+        assert!(json.contains("\"lemmas_warm_started\":2"));
+        assert!(json.contains("\"exports_skipped\":1"));
         assert!(json.contains("\"analysis_ms\":12"), "5 + 7 ms of analysis");
         assert!(json.contains("\"wall_ms\":123"));
     }

@@ -1,0 +1,214 @@
+//! Per-export dependency-cone hashing for incremental re-verification.
+//!
+//! An export's verdict is a deterministic function of (a) its contract,
+//! (b) every definition transitively reachable from the contract or the
+//! exported definition, and (c) the program's struct declarations — nothing
+//! else in the program can influence the analysis. Hashing exactly that
+//! *cone* gives a content address for the verdict: an edit outside the cone
+//! leaves the hash unchanged, so `analyze --incremental` can reuse the
+//! stored [`super::ExportAnalysis`] instead of re-running the export.
+//!
+//! Reachability is name-based: starting from the variables referenced by
+//! the contract plus the exported name itself, the walk follows `Var`
+//! references into the program-wide definition map (later modules shadow
+//! earlier ones, matching the evaluator's global-loading order). This
+//! over-approximates — a lambda parameter shadowing a global pulls the
+//! global's definition into the cone anyway — which is the sound direction:
+//! a too-big cone only re-analyzes more than strictly necessary, never
+//! reuses a stale verdict.
+//!
+//! One deliberate over-approximation in the *other* direction is documented
+//! at [`export_cone_hash`]: the cone covers definitions, not the incidental
+//! order in which unrelated modules load, so a program whose unrelated
+//! module fails to *load* (diverges at load time) is outside the model.
+//! Evaluation budgets do not need to be in the hash: they live in the
+//! engine-config fingerprint that names the store file.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::store::{fnv1a, Enc};
+use crate::syntax::{Expr, Module, Program, Provide};
+
+/// Every variable name referenced anywhere inside `expr` (including in
+/// binding positions' bodies; shadowing is ignored — see the module docs).
+fn referenced_names(expr: &Expr, into: &mut Vec<String>) {
+    expr.walk(&mut |node| {
+        if let Expr::Var(name) = node {
+            into.push(name.clone());
+        }
+    });
+}
+
+/// The dependency-cone hash of one contracted export.
+///
+/// Covers, in a canonical order: the analyzed module's name, the export's
+/// name and contract, every struct declaration in the program, and every
+/// definition reachable by name from the contract or the export (each
+/// tagged with the module that ultimately provides it under the
+/// last-module-wins shadowing the evaluator uses). Two program versions
+/// with equal hashes analyze this export identically, with one caveat: the
+/// analysis also evaluates *unrelated* top-level definitions while loading
+/// globals, so a definition outside the cone that fails to load can abort
+/// the whole module run — the incremental mode trades that corner for
+/// skipping everything untouched, and `--incremental` is opt-in for exactly
+/// this reason.
+pub fn export_cone_hash(program: &Program, module: &Module, provide: &Provide) -> u64 {
+    // The program-wide definition map the evaluator effectively builds:
+    // every module's definitions in module order, later names shadowing
+    // earlier ones.
+    let mut definitions: BTreeMap<&str, (&str, &Expr)> = BTreeMap::new();
+    for m in &program.modules {
+        for def in &m.definitions {
+            definitions.insert(def.name.as_str(), (m.name.as_str(), &def.body));
+        }
+    }
+
+    // Name-based reachability from the contract and the exported name.
+    let mut worklist: Vec<String> = Vec::new();
+    referenced_names(&provide.contract, &mut worklist);
+    worklist.push(provide.name.clone());
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut cone: BTreeMap<&str, (&str, &Expr)> = BTreeMap::new();
+    while let Some(name) = worklist.pop() {
+        if !visited.insert(name.clone()) {
+            continue;
+        }
+        if let Some((&key, &(owner, body))) = definitions.get_key_value(name.as_str()) {
+            cone.insert(key, (owner, body));
+            referenced_names(body, &mut worklist);
+        }
+    }
+
+    let mut enc = Enc::new();
+    enc.str(&module.name);
+    enc.str(&provide.name);
+    crate::store::encode_expr(&mut enc, &provide.contract);
+    // Struct declarations are program-global (the parser resolves accessors
+    // by struct name), so they are all part of every cone.
+    for m in &program.modules {
+        for st in &m.structs {
+            enc.str(&m.name);
+            enc.str(&st.name);
+            enc.u32(st.fields.len() as u32);
+            for field in &st.fields {
+                enc.str(field);
+            }
+        }
+    }
+    // Reachable definitions in canonical (BTreeMap name) order.
+    for (name, (owner, body)) in &cone {
+        enc.str(name);
+        enc.str(owner);
+        crate::store::encode_expr(&mut enc, body);
+    }
+    fnv1a(enc.bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_MODULES: &str = r#"
+        (module helpers
+          (provide [double (-> integer? integer?)])
+          (define (double x) (* x 2))
+          (define (offset x) (+ x 7)))
+        (module main
+          (provide [f (-> integer? integer?)]
+                   [g (-> integer? integer?)])
+          (define (f n) (double n))
+          (define (g n) (+ n 1)))
+    "#;
+
+    fn parsed(source: &str) -> Program {
+        crate::parse::parse_program(source).expect("parses").0
+    }
+
+    fn hash_of(program: &Program, module: &str, export: &str) -> u64 {
+        let module = program.module(module).expect("module exists");
+        let provide = module
+            .provides
+            .iter()
+            .find(|p| p.name == export)
+            .expect("export exists");
+        export_cone_hash(program, module, provide)
+    }
+
+    #[test]
+    fn cone_hash_is_stable_across_parses() {
+        let a = parsed(TWO_MODULES);
+        let b = parsed(TWO_MODULES);
+        assert_eq!(hash_of(&a, "main", "f"), hash_of(&b, "main", "f"));
+        assert_eq!(hash_of(&a, "main", "g"), hash_of(&b, "main", "g"));
+        assert_ne!(
+            hash_of(&a, "main", "f"),
+            hash_of(&a, "main", "g"),
+            "distinct exports hash distinctly"
+        );
+    }
+
+    #[test]
+    fn editing_a_dependency_changes_only_dependent_cones() {
+        let before = parsed(TWO_MODULES);
+        // Edit `double`, which only `f` reaches.
+        let after = parsed(&TWO_MODULES.replace("(* x 2)", "(* x 3)"));
+        assert_ne!(
+            hash_of(&before, "main", "f"),
+            hash_of(&after, "main", "f"),
+            "f depends on double"
+        );
+        assert_eq!(
+            hash_of(&before, "main", "g"),
+            hash_of(&after, "main", "g"),
+            "g does not reach double"
+        );
+        // `offset` is referenced by nobody: editing it moves no main cone.
+        let unrelated = parsed(&TWO_MODULES.replace("(+ x 7)", "(+ x 8)"));
+        assert_eq!(
+            hash_of(&before, "main", "f"),
+            hash_of(&unrelated, "main", "f")
+        );
+        assert_eq!(
+            hash_of(&before, "main", "g"),
+            hash_of(&unrelated, "main", "g")
+        );
+    }
+
+    #[test]
+    fn editing_the_contract_or_body_changes_the_cone() {
+        let before = parsed(TWO_MODULES);
+        let contract_edit =
+            parsed(&TWO_MODULES.replace("[g (-> integer? integer?)]", "[g (-> integer? number?)]"));
+        assert_ne!(
+            hash_of(&before, "main", "g"),
+            hash_of(&contract_edit, "main", "g")
+        );
+        let body_edit = parsed(&TWO_MODULES.replace("(+ n 1)", "(+ n 2)"));
+        assert_ne!(
+            hash_of(&before, "main", "g"),
+            hash_of(&body_edit, "main", "g")
+        );
+        assert_eq!(
+            hash_of(&before, "main", "f"),
+            hash_of(&body_edit, "main", "f"),
+            "f does not reach g"
+        );
+    }
+
+    #[test]
+    fn struct_declarations_are_in_every_cone() {
+        let source = r#"
+            (module shapes
+              (struct point (x y))
+              (provide [get-x (-> point? integer?)])
+              (define (get-x p) (point-x p)))
+        "#;
+        let before = parsed(source);
+        let after = parsed(&source.replace("(struct point (x y))", "(struct point (x y z))"));
+        assert_ne!(
+            hash_of(&before, "shapes", "get-x"),
+            hash_of(&after, "shapes", "get-x"),
+            "changing a struct arity must invalidate"
+        );
+    }
+}

@@ -20,10 +20,12 @@
 //!   threads ([`AnalyzeOptions::workers`]), one long-lived
 //!   [`crate::ProverSession`] per worker.
 
+mod cone;
 mod context;
 mod export;
 mod scheduler;
 
+pub use cone::export_cone_hash;
 pub use context::instantiate;
 
 use folic::SharedLemmaPool;
@@ -65,6 +67,18 @@ pub struct AnalyzeOptions {
     /// (`CPCF_LEMMA_SHARING`) and create a per-run pool when sharing is on;
     /// `Some` pins an explicit pool regardless of the environment.
     pub shared_lemmas: Option<SharedLemmaPool>,
+    /// A persistent [`crate::AnalysisStore`]. When set, the scheduler
+    /// warm-starts the lemma pool from it before analyzing, records every
+    /// freshly computed per-export verdict under its dependency-cone hash
+    /// ([`export_cone_hash`]), and records new lemmas after the run. (The
+    /// *verdict-cache* tier is wired separately: build the shared cache
+    /// with [`SharedVerdictCache::with_store`].)
+    pub store: Option<crate::store::AnalysisStore>,
+    /// Incremental re-verification: when `store` is set, exports whose
+    /// dependency-cone hash matches a stored verdict are skipped entirely
+    /// (the stored [`ExportAnalysis`] is returned and the export listed in
+    /// [`ModuleReport::skipped`]); only edited cones are re-analyzed.
+    pub incremental: bool,
 }
 
 /// The worker count taken from the `ANALYZE_WORKERS` environment variable,
@@ -97,6 +111,8 @@ impl Default for AnalyzeOptions {
             workers: default_workers(),
             shared_cache: None,
             shared_lemmas: None,
+            store: None,
+            incremental: false,
         }
     }
 }
@@ -147,6 +163,11 @@ pub struct ModuleReport {
     /// Per-worker statistics, in worker-index order (one entry when the
     /// analysis ran sequentially). Summing these gives `stats`.
     pub worker_stats: Vec<SessionStats>,
+    /// Exports whose verdict was reused from the persistent store because
+    /// their dependency-cone hash was unchanged (incremental mode only; a
+    /// subset of the `exports` names, in module order). Empty outside
+    /// [`AnalyzeOptions::incremental`] runs.
+    pub skipped: Vec<String>,
 }
 
 impl ModuleReport {
@@ -184,14 +205,16 @@ pub fn analyze_module(
             exports: Vec::new(),
             stats: SessionStats::default(),
             worker_stats: Vec::new(),
+            skipped: Vec::new(),
         };
     };
-    let (exports, stats, worker_stats) = scheduler::run_exports(program, module, options);
+    let (exports, stats, worker_stats, skipped) = scheduler::run_exports(program, module, options);
     ModuleReport {
         module: module_name.to_string(),
         exports,
         stats,
         worker_stats,
+        skipped,
     }
 }
 

@@ -26,18 +26,22 @@ use crate::syntax::{Module, Program};
 use super::export::{analyze_export, new_session};
 use super::{AnalyzeOptions, ExportAnalysis};
 
+/// What a sharded module run produces: the per-export verdicts in module
+/// order, the merged statistics, the per-worker statistics in worker-index
+/// order, and the names of exports skipped by incremental re-verification.
+pub(super) type ExportRun = (
+    Vec<(String, ExportAnalysis)>,
+    SessionStats,
+    Vec<SessionStats>,
+    Vec<String>,
+);
+
 /// Runs every export of `module`, sharded over `options.workers` threads.
-/// Returns the per-export verdicts in module order, the merged statistics,
-/// and the per-worker statistics in worker-index order.
 pub(super) fn run_exports(
     program: &Program,
     module: &Module,
     options: &AnalyzeOptions,
-) -> (
-    Vec<(String, ExportAnalysis)>,
-    SessionStats,
-    Vec<SessionStats>,
-) {
+) -> ExportRun {
     let export_count = module.provides.len();
     // Resolve lemma sharing once per module run: every worker session (and
     // every throwaway validation session they spawn) gets a handle to the
@@ -49,11 +53,56 @@ pub(super) fn run_exports(
         options.shared_lemmas = Some(folic::SharedLemmaPool::new());
     }
     let options = &options;
+    let store = options.store.clone();
+    // Warm-start the lemma pool from disk before any session exists: stored
+    // theory lemmas are universally valid arithmetic facts, so the first
+    // CDCL search of this run already begins with the previous run's
+    // learned blocking clauses.
+    if let (Some(store), Some(pool)) = (&store, &options.shared_lemmas) {
+        store.warm_start_lemmas(pool);
+    }
+
+    // Dependency-cone hashes, computed once per export whenever a store is
+    // attached: incremental mode reads them to skip unchanged cones, and
+    // every mode writes freshly computed verdicts under them.
+    let cone_hashes: Vec<u64> = if store.is_some() {
+        module
+            .provides
+            .iter()
+            .map(|provide| super::cone::export_cone_hash(program, module, provide))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut slots: Vec<Option<(String, ExportAnalysis)>> = vec![None; export_count];
+    let mut skipped: Vec<String> = Vec::new();
+    // The work list: export indices that actually need analysis. In
+    // incremental mode, an export whose cone hash matches a stored verdict
+    // is answered from the store and never claimed by a worker.
+    let mut pending: Vec<usize> = Vec::with_capacity(export_count);
+    for (index, provide) in module.provides.iter().enumerate() {
+        let reused = if options.incremental {
+            store
+                .as_ref()
+                .and_then(|s| s.lookup_export(&module.name, &provide.name, cone_hashes[index]))
+        } else {
+            None
+        };
+        match reused {
+            Some(analysis) => {
+                slots[index] = Some((provide.name.clone(), analysis));
+                skipped.push(provide.name.clone());
+            }
+            None => pending.push(index),
+        }
+    }
+
     // `workers: 0` means "auto" (one worker per hardware thread); whatever
     // the request resolves to is then capped by the amount of actual work.
-    let worker_count = super::resolve_workers(options.workers).clamp(1, export_count.max(1));
+    let worker_count = super::resolve_workers(options.workers).clamp(1, pending.len().max(1));
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<(String, ExportAnalysis)>> = vec![None; export_count];
+    let pending = &pending[..];
     let mut worker_stats: Vec<SessionStats> = Vec::with_capacity(worker_count);
 
     let place = |slots: &mut Vec<Option<(String, ExportAnalysis)>>,
@@ -66,7 +115,7 @@ pub(super) fn run_exports(
     };
 
     if worker_count <= 1 {
-        let outcome = worker_loop(program, module, options, &next);
+        let outcome = worker_loop(program, module, options, pending, &next);
         place(&mut slots, &mut worker_stats, outcome);
     } else {
         // The heap's `Rc`-based environments keep evaluator state
@@ -74,13 +123,29 @@ pub(super) fn run_exports(
         // `Sync`, so scoped threads borrow them directly.
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..worker_count)
-                .map(|_| scope.spawn(|| worker_loop(program, module, options, &next)))
+                .map(|_| scope.spawn(|| worker_loop(program, module, options, pending, &next)))
                 .collect();
             for handle in handles {
                 let outcome = handle.join().expect("analysis worker panicked");
                 place(&mut slots, &mut worker_stats, outcome);
             }
         });
+    }
+
+    // Persist what this run added: freshly computed per-export verdicts
+    // under their cone hashes (skipped slots are already on disk) and any
+    // new theory lemmas, then flush so a crashed *next* process still reads
+    // a clean file.
+    if let Some(store) = &store {
+        for &index in pending {
+            if let Some((name, verdict)) = &slots[index] {
+                store.record_export(&module.name, name, cone_hashes[index], verdict);
+            }
+        }
+        if let Some(pool) = &options.shared_lemmas {
+            store.record_lemmas(pool, 0);
+        }
+        store.flush();
     }
 
     let exports: Vec<(String, ExportAnalysis)> = slots
@@ -91,7 +156,7 @@ pub(super) fn run_exports(
     for per_worker in &worker_stats {
         stats.merge(per_worker);
     }
-    (exports, stats, worker_stats)
+    (exports, stats, worker_stats, skipped)
 }
 
 /// What one worker produced: verdicts tagged with their export index, plus
@@ -101,22 +166,25 @@ struct WorkerOutcome {
     stats: SessionStats,
 }
 
-/// Claims exports off the shared counter until the list is exhausted,
-/// reusing one prover session for all of them.
+/// Claims exports off the shared counter (an index into the pending work
+/// list, which excludes incrementally skipped exports) until the list is
+/// exhausted, reusing one prover session for all of them.
 fn worker_loop(
     program: &Program,
     module: &Module,
     options: &AnalyzeOptions,
+    pending: &[usize],
     next: &AtomicUsize,
 ) -> WorkerOutcome {
     let mut session = new_session(options);
     let mut results = Vec::new();
     let mut stats = SessionStats::default();
     loop {
-        let index = next.fetch_add(1, Ordering::SeqCst);
-        let Some(provide) = module.provides.get(index) else {
+        let claim = next.fetch_add(1, Ordering::SeqCst);
+        let Some(&index) = pending.get(claim) else {
             break;
         };
+        let provide = &module.provides[index];
         // Heaps are thread-local (Rc-based environments), so the per-thread
         // sharing counters attribute this export's snapshot/copy-on-write
         // work exactly; the delta rides along in the export's SessionStats.

@@ -66,6 +66,16 @@
 //!   [`SharedLemmaPool`] (atom ids are process-global in `folic`, so a
 //!   lemma is meaningful in every worker); `CPCF_LEMMA_SHARING=off` is the
 //!   ablation that keeps every session's lemmas private.
+//! * [`store`] — warm starts across *processes*: an append-only,
+//!   content-addressed on-disk store ([`AnalysisStore`]) persisting proved
+//!   verdicts (keyed by heap fingerprint), theory lemmas (by atom content)
+//!   and per-export verdicts keyed by a dependency-cone hash
+//!   ([`analyze::export_cone_hash`]). A [`SharedVerdictCache`] built
+//!   [`with_store`](SharedVerdictCache::with_store) gains the disk tier;
+//!   [`AnalyzeOptions::incremental`] skips exports whose cone hash already
+//!   has a stored verdict. Schema-versioned, engine-fingerprinted
+//!   ([`EngineFingerprint`]) and CRC-framed: a mismatched, truncated or
+//!   corrupted file degrades to a cold start, never to a wrong verdict.
 //!
 //! ## Example
 //!
@@ -102,6 +112,7 @@ pub mod numeric;
 pub mod parse;
 pub mod pmap;
 pub mod prove;
+pub mod store;
 pub mod syntax;
 
 pub use analyze::{
@@ -116,4 +127,5 @@ pub use numeric::Number;
 pub use parse::{parse_expr, parse_program, ParseError, Parser};
 pub use pmap::{sharing_totals, PMap, SharingStats};
 pub use prove::{default_prove_mode, ProveConfig, ProverSession, SessionStats, SharedVerdictCache};
+pub use store::{AnalysisStore, EngineFingerprint, StoreCounters};
 pub use syntax::{CBlame, Definition, Expr, Label, Module, Prim, Program, Provide, StructDef};

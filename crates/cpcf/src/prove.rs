@@ -177,6 +177,16 @@ pub struct SessionStats {
     /// exactly the bytes the old `Vec`-journal representation memcpy'd at
     /// every branch split. Filled by the scheduler like `snapshots`.
     pub journal_bytes_shared: u64,
+    /// The subset of `shared_cache_hits` served by the *persistent* tier
+    /// ([`crate::AnalysisStore`]) rather than the in-memory shards — i.e.
+    /// verdicts inherited from an earlier process.
+    pub store_hits: u64,
+    /// Queries that missed both cache tiers while a persistent store was
+    /// attached (the store's reach: `store_hits / (store_hits +
+    /// store_misses)` is the warm-start hit rate).
+    pub store_misses: u64,
+    /// Verdicts this session newly appended to the persistent store.
+    pub store_writes: u64,
     /// Aggregated statistics of the underlying first-order solver(s).
     pub solver: SolverStats,
 }
@@ -199,6 +209,9 @@ impl SessionStats {
         self.snapshots += other.snapshots;
         self.nodes_copied += other.nodes_copied;
         self.journal_bytes_shared += other.journal_bytes_shared;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_writes += other.store_writes;
         self.solver.merge(&other.solver);
     }
 
@@ -213,15 +226,16 @@ impl SessionStats {
     }
 }
 
-/// A memoizable query.
+/// A memoizable query. Crate-visible so [`crate::store`] can serialize
+/// cache keys content-addressed for the persistent tier.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Query {
+pub(crate) enum Query {
     Tag(Loc, Tag),
     Num(Loc, CmpOp, CSymExpr),
 }
 
 /// A cache key: heap fingerprint, heap generation, and the query itself.
-type CacheKey = (u64, u64, Query);
+pub(crate) type CacheKey = (u64, u64, Query);
 
 /// Number of lock shards in a [`SharedVerdictCache`]. Shard selection uses
 /// the heap fingerprint, which is already a well-mixed 64-bit hash.
@@ -243,6 +257,11 @@ struct SharedCacheInner {
     /// faulty variant runs of a benchmark, this counts exactly the
     /// cross-variant hits.
     cross_epoch_hits: AtomicU64,
+    /// Optional persistent tier: misses fall through to this on-disk store
+    /// and new verdicts append to it, giving later *processes* a warm
+    /// start. Disk hits are adopted into the in-memory shards (at the
+    /// current epoch) so each stored verdict pays the disk-map lookup once.
+    persist: Option<crate::store::AnalysisStore>,
 }
 
 /// A verdict cache sharable across [`ProverSession`]s and across threads:
@@ -267,33 +286,88 @@ impl SharedVerdictCache {
         SharedVerdictCache::default()
     }
 
+    /// Creates a cache whose misses fall through to (and whose new verdicts
+    /// append to) a persistent [`crate::AnalysisStore`]. The store's engine
+    /// fingerprint keeps configurations apart; within one configuration the
+    /// content-addressed keys make disk verdicts exactly as trustworthy as
+    /// in-memory ones.
+    pub fn with_store(store: crate::store::AnalysisStore) -> Self {
+        SharedVerdictCache {
+            inner: Arc::new(SharedCacheInner {
+                persist: Some(store),
+                ..SharedCacheInner::default()
+            }),
+        }
+    }
+
+    /// True when a persistent store backs this cache.
+    pub fn has_store(&self) -> bool {
+        self.inner.persist.is_some()
+    }
+
+    /// The persistent store backing this cache, if any.
+    pub fn backing_store(&self) -> Option<&crate::store::AnalysisStore> {
+        self.inner.persist.as_ref()
+    }
+
     fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, (u32, Proof)>> {
         &self.inner.shards[(key.0 as usize) % CACHE_SHARDS]
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<Proof> {
-        let entry = *self
+    /// Looks up a verdict; the second component reports whether it came
+    /// from the persistent tier (`true`) or the in-memory shards (`false`).
+    fn lookup(&self, key: &CacheKey) -> Option<(Proof, bool)> {
+        let entry = self
             .shard(key)
             .lock()
             .expect("cache shard poisoned")
-            .get(key)?;
-        let (stored_epoch, proof) = entry;
-        self.inner.hits.fetch_add(1, Ordering::Relaxed);
-        if stored_epoch < self.inner.epoch.load(Ordering::Relaxed) {
-            self.inner.cross_epoch_hits.fetch_add(1, Ordering::Relaxed);
+            .get(key)
+            .copied();
+        if let Some((stored_epoch, proof)) = entry {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            if stored_epoch < self.inner.epoch.load(Ordering::Relaxed) {
+                self.inner.cross_epoch_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some((proof, false));
         }
-        Some(proof)
-    }
-
-    fn store(&self, key: CacheKey, proof: Proof) {
+        let persist = self.inner.persist.as_ref()?;
+        let proof = persist.lookup_verdict(&crate::store::verdict_key_bytes(key))?;
+        // Adopt the disk verdict into its shard at the *current* epoch (it
+        // is not an in-memory cross-run reuse) so repeat lookups stay off
+        // the store path. Not counted in `hits`: that counter measures the
+        // in-memory tier, the store keeps its own.
         let epoch = self.inner.epoch.load(Ordering::Relaxed);
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         if shard.len() >= SHARD_CAPACITY {
             shard.clear();
         }
-        // Keep the oldest epoch tag: re-storing an entry in a later run must
-        // not mask its cross-run provenance.
-        shard.entry(key).or_insert((epoch, proof));
+        shard.entry(key.clone()).or_insert((epoch, proof));
+        Some((proof, true))
+    }
+
+    /// Stores a verdict in the in-memory shards and, when a persistent
+    /// store is attached, on disk. Returns `true` when the verdict was new
+    /// to the store (a record was appended).
+    fn store(&self, key: CacheKey, proof: Proof) -> bool {
+        let key_bytes = self
+            .inner
+            .persist
+            .as_ref()
+            .map(|_| crate::store::verdict_key_bytes(&key));
+        let epoch = self.inner.epoch.load(Ordering::Relaxed);
+        {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            if shard.len() >= SHARD_CAPACITY {
+                shard.clear();
+            }
+            // Keep the oldest epoch tag: re-storing an entry in a later run
+            // must not mask its cross-run provenance.
+            shard.entry(key).or_insert((epoch, proof));
+        }
+        match (&self.inner.persist, key_bytes) {
+            (Some(persist), Some(bytes)) => persist.record_verdict(bytes, proof),
+            _ => false,
+        }
     }
 
     /// Starts a new epoch. Entries stored before the call count as
@@ -469,11 +543,17 @@ impl ProverSession {
             return Some(proof);
         }
         if let Some(shared) = &self.shared {
-            if let Some(proof) = shared.lookup(&key) {
+            if let Some((proof, from_store)) = shared.lookup(&key) {
                 self.stats.cache_hits += 1;
                 self.stats.shared_cache_hits += 1;
+                if from_store {
+                    self.stats.store_hits += 1;
+                }
                 self.cache.insert(key, proof);
                 return Some(proof);
+            }
+            if shared.has_store() {
+                self.stats.store_misses += 1;
             }
         }
         None
@@ -489,7 +569,9 @@ impl ProverSession {
         }
         let key = (heap.fingerprint(), heap.generation(), query);
         if let Some(shared) = &self.shared {
-            shared.store(key.clone(), proof);
+            if shared.store(key.clone(), proof) {
+                self.stats.store_writes += 1;
+            }
         }
         self.cache.insert(key, proof);
     }

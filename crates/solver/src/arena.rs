@@ -77,6 +77,18 @@ fn global_registry() -> &'static Mutex<GlobalRegistry> {
     GLOBAL_ATOMS.get_or_init(|| Mutex::new(GlobalRegistry::default()))
 }
 
+/// The structural atom registered under `id`, or `None` when no arena in
+/// this process has issued the id. This is the reverse direction of
+/// interning, used when lemmas leave the process: atom *ids* are
+/// process-local (the registry numbers atoms in first-sight order), so a
+/// persisted lemma must carry atom *content* and be re-interned on load.
+pub fn global_atom(id: AtomId) -> Option<Atom> {
+    let registry = global_registry()
+        .lock()
+        .expect("global atom registry poisoned");
+    registry.atoms.get(id.index()).cloned()
+}
+
 /// The global id of `atom`, registering it on first sight (by any arena).
 fn global_atom_id(atom: &Atom) -> AtomId {
     let mut registry = global_registry()

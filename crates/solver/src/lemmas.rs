@@ -10,17 +10,28 @@
 //! knows (or later learns) those atoms.
 //!
 //! [`SharedLemmaPool`] is the exchange point: an append-only, deduplicated
-//! pool of lemmas behind a mutex, shared across workers the way
-//! `cpcf`'s `SharedVerdictCache` shares verdicts. Publishing is
-//! one lock + one hash; importing is a cursor read, so a core that imports
-//! at every check boundary only ever pays for lemmas it has not yet seen.
+//! pool of lemmas shared across workers the way `cpcf`'s
+//! `SharedVerdictCache` shares verdicts. The pool is split by access
+//! pattern: the publication **log** lives behind an `RwLock`, so the hot
+//! path — every core's per-check-boundary cursor read — takes a shared read
+//! lock and runs concurrently with every other reader; only the (much
+//! rarer) publication of a genuinely new lemma takes the write lock. The
+//! content-dedup set sits behind its own mutex, serializing writers without
+//! ever blocking readers. Importing stays a cursor read, so a core that
+//! imports at every check boundary only ever pays for lemmas it has not yet
+//! seen.
 //!
 //! Sharing is gated by the `CPCF_LEMMA_SHARING` environment variable
 //! ([`default_lemma_sharing`]): `on` (the default) or `off` (the ablation
 //! leg that measures what sharing buys).
+//!
+//! Lemmas also persist well: their atoms are universally valid arithmetic
+//! facts, so `cpcf`'s analysis store serializes them *by content* (atom
+//! structure, not process-local ids — see [`crate::arena::global_atom`])
+//! and warm-starts a later run's pool from disk.
 
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::arena::AtomId;
 
@@ -31,9 +42,13 @@ pub type SharedLemma = Arc<[AtomId]>;
 #[derive(Debug, Default)]
 struct PoolInner {
     /// Append-only publication order, so per-core cursors stay valid.
-    lemmas: Vec<SharedLemma>,
-    /// Content dedup: the same atom set is only ever published once.
-    seen: HashSet<SharedLemma>,
+    /// Readers (cursor fetches, length checks) share the lock; only the
+    /// append of a new lemma writes.
+    log: RwLock<Vec<SharedLemma>>,
+    /// Content dedup: the same atom set is only ever published once. Kept
+    /// behind a separate mutex so writer deduplication never blocks the
+    /// readers of `log`.
+    seen: Mutex<HashSet<SharedLemma>>,
 }
 
 /// A pool of theory lemmas shared across solver cores (and threads).
@@ -44,7 +59,7 @@ struct PoolInner {
 /// clone to every session.
 #[derive(Debug, Clone, Default)]
 pub struct SharedLemmaPool {
-    inner: Arc<Mutex<PoolInner>>,
+    inner: Arc<PoolInner>,
 }
 
 impl SharedLemmaPool {
@@ -64,9 +79,15 @@ impl SharedLemmaPool {
         sorted.sort_unstable();
         sorted.dedup();
         let lemma: SharedLemma = sorted.into();
-        let mut inner = self.inner.lock().expect("lemma pool poisoned");
-        if inner.seen.insert(Arc::clone(&lemma)) {
-            inner.lemmas.push(lemma);
+        // The `seen` mutex serializes publishers, so between the dedup
+        // check and the log append no sibling can slip the same lemma in.
+        let mut seen = self.inner.seen.lock().expect("lemma pool poisoned");
+        if seen.insert(Arc::clone(&lemma)) {
+            self.inner
+                .log
+                .write()
+                .expect("lemma pool poisoned")
+                .push(lemma);
             true
         } else {
             false
@@ -75,16 +96,18 @@ impl SharedLemmaPool {
 
     /// The lemmas published at or after position `cursor`, together with the
     /// new cursor (the pool length). A core that keeps its cursor and calls
-    /// this at every check boundary sees each lemma exactly once.
+    /// this at every check boundary sees each lemma exactly once. Readers
+    /// take only the shared side of the log lock, so concurrent fetches
+    /// never serialize against each other.
     pub fn fetch_from(&self, cursor: usize) -> (Vec<SharedLemma>, usize) {
-        let inner = self.inner.lock().expect("lemma pool poisoned");
-        let fresh = inner.lemmas.get(cursor..).unwrap_or(&[]).to_vec();
-        (fresh, inner.lemmas.len())
+        let log = self.inner.log.read().expect("lemma pool poisoned");
+        let fresh = log.get(cursor..).unwrap_or(&[]).to_vec();
+        (fresh, log.len())
     }
 
     /// Number of distinct lemmas published so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("lemma pool poisoned").lemmas.len()
+        self.inner.log.read().expect("lemma pool poisoned").len()
     }
 
     /// True when no lemma has been published.
@@ -177,5 +200,45 @@ mod tests {
         let clone = pool.clone();
         pool.publish(&[a]);
         assert_eq!(clone.len(), 1, "clones see the same pool");
+    }
+
+    #[test]
+    fn concurrent_publishers_and_readers_converge() {
+        // Hammer the split-lock pool from both sides: publishers racing on
+        // overlapping lemma sets, readers draining via cursors. Every
+        // distinct set must appear exactly once and every cursor walk must
+        // observe a consistent append-only log.
+        let mut arena = Arena::new();
+        let ids: Vec<AtomId> = (0..16).map(|i| atom_id(&mut arena, i, i as i64)).collect();
+        let pool = SharedLemmaPool::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let pool = pool.clone();
+                let ids = ids.clone();
+                scope.spawn(move || {
+                    for i in 0..ids.len().saturating_sub(1) {
+                        // Each publisher offers the same sliding pairs; the
+                        // pool must dedup them across threads.
+                        pool.publish(&[ids[i], ids[i + 1]]);
+                        let _ = t;
+                    }
+                });
+            }
+            let reader = pool.clone();
+            scope.spawn(move || {
+                let mut cursor = 0;
+                let mut seen = 0;
+                while seen < 4 {
+                    let (fresh, next) = reader.fetch_from(cursor);
+                    assert!(next >= cursor, "the log never shrinks");
+                    seen += fresh.len();
+                    cursor = next;
+                    if fresh.is_empty() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(pool.len(), 15, "each distinct pair published exactly once");
     }
 }

@@ -101,6 +101,7 @@ pub mod solver;
 pub mod term;
 pub mod theory;
 
+pub use arena::{global_atom, Arena, AtomId};
 pub use dl::{default_theory_dl, DlSolver};
 pub use formula::{Atom, CmpOp, Formula};
 pub use lemmas::{default_lemma_sharing, SharedLemma, SharedLemmaPool};
